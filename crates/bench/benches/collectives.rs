@@ -1,0 +1,54 @@
+//! Criterion benchmarks of the in-process communication substrate:
+//! all-reduce groups and p2p mesh round-trips.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use opt_net::{CollectiveWorld, P2pMesh};
+use opt_tensor::{Matrix, SeedStream};
+use std::thread;
+
+fn bench_all_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_reduce_sum");
+    for &ranks in &[2usize, 4, 8] {
+        let mut rng = SeedStream::new(1);
+        let m = rng.uniform_matrix(64, 64, 1.0);
+        group.throughput(Throughput::Bytes((m.len() * 4 * ranks) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            let world = CollectiveWorld::new(ranks);
+            let g = world.group(&(0..ranks).collect::<Vec<_>>());
+            b.iter(|| {
+                thread::scope(|s| {
+                    let mut handles = Vec::new();
+                    for r in 0..ranks {
+                        let g = g.clone();
+                        let m = m.clone();
+                        handles.push(s.spawn(move || g.all_reduce_sum(r, m)));
+                    }
+                    for h in handles {
+                        std::hint::black_box(h.join().unwrap());
+                    }
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_p2p(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p2p_send_recv");
+    for &elems in &[1024usize, 16 * 1024, 256 * 1024] {
+        let mut rng = SeedStream::new(2);
+        let m = rng.uniform_matrix(elems / 32, 32, 1.0);
+        group.throughput(Throughput::Bytes((m.len() * 4) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(elems), &elems, |b, _| {
+            let mesh: P2pMesh<Matrix> = P2pMesh::new(2);
+            b.iter(|| {
+                mesh.send(0, 1, m.clone());
+                std::hint::black_box(mesh.recv(0, 1).unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_reduce, bench_p2p);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Fig. 9: validation perplexity curves over training for the four
+//! Table-2 configurations (small-model numerical proxy).
+
+use opt_bench::{banner, print_table};
+use optimus_cc::{QualityConfig, Trainer, TrainerConfig};
+
+fn main() {
+    let iters: u64 = std::env::var("OPT_QUALITY_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    banner("Fig. 9 — validation PPL over training (small-model proxy)");
+    let mut curves = Vec::new();
+    for (label, q) in QualityConfig::table2_columns() {
+        let mut cfg = TrainerConfig::small_test(q, iters);
+        cfg.validate_every = (iters / 12).max(1);
+        let mut t = Trainer::launch(cfg);
+        let report = t.train();
+        t.shutdown();
+        curves.push((label, report.val_points));
+    }
+    // Print as an aligned series table: one row per validation point.
+    let n = curves.iter().map(|(_, v)| v.len()).min().unwrap_or(0);
+    let mut rows = Vec::new();
+    for i in 0..n {
+        let mut row = vec![curves[0].1[i].iter.to_string()];
+        for (_, pts) in &curves {
+            row.push(format!("{:.3}", pts[i].perplexity()));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("iter")
+        .chain(curves.iter().map(|(l, _)| *l))
+        .collect();
+    print_table(&headers, &rows);
+    println!("\nPaper shape: CB and CB+FE track the baseline curve; CB+FE+SC converges");
+    println!("slightly above it (the DP error-feedback staleness trade-off).");
+}

@@ -1,0 +1,38 @@
+//! Fig. 12: peak memory overhead of compressed backpropagation and lazy
+//! error propagation.
+
+use opt_bench::{banner, print_table};
+use optimus_cc::{QualityConfig, Trainer, TrainerConfig};
+
+fn main() {
+    banner("Fig. 12 — per-worker memory (f32 elements) and overheads");
+    let configs: Vec<(&str, QualityConfig)> = vec![
+        ("Baseline", QualityConfig::baseline()),
+        ("CB (Non-LEP)", QualityConfig::cb_non_lep()),
+        ("CB (LEP)", QualityConfig::cb()),
+        ("CB+FE+SC", QualityConfig::cb_fe_sc()),
+    ];
+    let mut rows = Vec::new();
+    for (label, q) in configs {
+        let mut t = Trainer::launch(TrainerConfig::small_test(q, 5));
+        t.train();
+        let m = t.memory_report();
+        t.shutdown();
+        rows.push(vec![
+            label.to_string(),
+            m.baseline_total().to_string(),
+            m.compressor_elems.to_string(),
+            m.lazy_error_elems.to_string(),
+            format!("{:.2}%", m.compression_overhead() * 100.0),
+            format!("{:.2}%", m.lep_overhead() * 100.0),
+        ]);
+    }
+    print_table(
+        &["Config", "base elems", "compressor elems", "LEP elems", "comp ovh", "LEP ovh"],
+        &rows,
+    );
+    println!("\nPaper: low-rank buffers add 5-10% over baseline; LEP adds ~1% more.");
+    println!("(Our absolute overheads are smaller because the proxy model's activation");
+    println!("working set dominates at tiny scale; the ordering and the ~order-of-");
+    println!("magnitude gap between compressor and LEP buffers match.)");
+}

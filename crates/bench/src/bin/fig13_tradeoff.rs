@@ -1,0 +1,62 @@
+//! Fig. 13: speed/quality trade-off — selective stage compression
+//! (varying the stage fraction) versus adjusting the PowerSGD rank.
+
+use opt_bench::{banner, print_table, speedup_pct};
+use opt_sim::{simulate, CompressionPlan, ScPlan, SimConfig};
+use optimus_cc::{QualityConfig, ScQuality, Trainer, TrainerConfig};
+
+fn quality_ppl(q: QualityConfig, iters: u64) -> f32 {
+    let mut t = Trainer::launch(TrainerConfig::small_test(q, iters));
+    let r = t.train();
+    t.shutdown();
+    r.final_val_ppl()
+}
+
+fn main() {
+    let iters: u64 = std::env::var("OPT_QUALITY_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(250);
+    let sim = SimConfig::paper_gpt_2_5b();
+    let t0 = simulate(&sim).iteration_time_s;
+
+    banner("Fig. 13 (left) — selective stage compression sweep (GPT-2.5B)");
+    let mut rows = Vec::new();
+    for frac in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let plan = CompressionPlan {
+            selective_stage: (frac > 0.0).then_some(ScPlan { fraction: frac, rank: 128 }),
+            ..CompressionPlan::baseline()
+        };
+        let t = simulate(&sim.clone().with_plan(plan)).iteration_time_s;
+        let q = QualityConfig {
+            sc: (frac > 0.0)
+                .then_some(ScQuality { fraction: frac, rank: QualityConfig::SMALL_DP_RANK }),
+            ..QualityConfig::baseline()
+        };
+        let ppl = quality_ppl(q, iters);
+        rows.push(vec![
+            format!("{:.0}%", frac * 100.0),
+            speedup_pct(t0, t),
+            format!("{ppl:.3}"),
+        ]);
+    }
+    print_table(&["stages compressed", "speedup (sim)", "val PPL (proxy)"], &rows);
+
+    banner("Fig. 13 (middle) — rank sweep with all stages compressed");
+    let mut rows = Vec::new();
+    // Paper sweeps ranks on the real model up to 512 where compression
+    // kernels dominate; quality ranks are scaled for the proxy model.
+    for (sim_rank, q_rank) in [(32usize, 1usize), (64, 2), (128, 4), (256, 8), (512, 16)] {
+        let plan = CompressionPlan::naive_dp(sim_rank);
+        let t = simulate(&sim.clone().with_plan(plan)).iteration_time_s;
+        let ppl = quality_ppl(QualityConfig::naive_dp(q_rank), iters);
+        rows.push(vec![
+            sim_rank.to_string(),
+            speedup_pct(t0, t),
+            format!("{ppl:.3}"),
+        ]);
+    }
+    print_table(&["rank (sim)", "speedup (sim)", "val PPL (proxy)"], &rows);
+    println!("\nPaper shape: SC gives a smooth monotone trade-off; rank adjustment is");
+    println!("non-linear and collapses at rank 512 (compression kernel time dominates).");
+}

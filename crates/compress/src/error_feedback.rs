@@ -1,0 +1,135 @@
+//! Classic error feedback (EF) for across-iteration gradient compression.
+
+use crate::{Compressed, Compressor};
+use opt_tensor::Matrix;
+
+/// Wraps a compressor with classic error feedback: the residual of this
+/// iteration's compression is added to the *next iteration's* gradient
+/// before compressing.
+///
+/// This is the standard mechanism used by PowerSGD and ScaleCom for
+/// data-parallel traffic. The paper's §7 observes its weakness: because
+/// the residual is applied after the weight update, it acts on a *stale*
+/// weight version — which is why naive DP compression hurts quality and
+/// why Optimus-CC adds selective stage compression on top rather than
+/// relying on EF alone.
+///
+/// # Example
+///
+/// ```
+/// use opt_compress::{Compressor, ErrorFeedback, PowerSgd};
+/// use opt_tensor::SeedStream;
+///
+/// let mut rng = SeedStream::new(0);
+/// let mut ef = ErrorFeedback::new(PowerSgd::new(2, 1));
+/// let g = rng.uniform_matrix(16, 16, 1.0);
+/// let _ = ef.compress(&g);
+/// assert!(ef.residual_norm() > 0.0); // lossy -> residual retained
+/// ```
+#[derive(Debug)]
+pub struct ErrorFeedback<C> {
+    inner: C,
+    residual: Option<Matrix>,
+}
+
+impl<C: Compressor> ErrorFeedback<C> {
+    /// Wraps `inner` with an (initially empty) residual buffer.
+    pub fn new(inner: C) -> Self {
+        Self { inner, residual: None }
+    }
+
+    /// Frobenius norm of the current residual (0 before the first call).
+    pub fn residual_norm(&self) -> f32 {
+        self.residual.as_ref().map_or(0.0, Matrix::norm)
+    }
+
+    /// Extra memory held by the residual buffer, in elements. Used by the
+    /// Fig. 12 memory-overhead experiment.
+    pub fn residual_elems(&self) -> usize {
+        self.residual.as_ref().map_or(0, Matrix::len)
+    }
+
+    /// Access to the wrapped compressor.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the wrapped compressor.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: Compressor> Compressor for ErrorFeedback<C> {
+    fn compress(&mut self, grad: &Matrix) -> Compressed {
+        let corrected = match &self.residual {
+            Some(r) if r.shape() == grad.shape() => grad.add(r),
+            _ => grad.clone(),
+        };
+        let payload = self.inner.compress(&corrected);
+        let approx = payload.decompress();
+        self.residual = Some(corrected.sub(&approx));
+        payload
+    }
+
+    fn name(&self) -> &'static str {
+        "error-feedback"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Identity, PowerSgd, TopK};
+    use opt_tensor::SeedStream;
+
+    #[test]
+    fn lossless_inner_keeps_zero_residual() {
+        let mut rng = SeedStream::new(1);
+        let mut ef = ErrorFeedback::new(Identity);
+        for _ in 0..3 {
+            let g = rng.uniform_matrix(4, 4, 1.0);
+            ef.compress(&g);
+            assert!(ef.residual_norm() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn residual_is_reinjected() {
+        // With a compressor that zeroes everything (top-k density -> 1 elem
+        // of a big matrix), the residual accumulates the lost mass and the
+        // *sum of transmitted* gradients over time approaches the sum of
+        // true gradients (EF's defining property).
+        let g = Matrix::full(8, 8, 1.0);
+        let mut ef = ErrorFeedback::new(TopK::new(0.02)); // keeps 2 of 64
+        let mut transmitted = Matrix::zeros(8, 8);
+        let steps = 200;
+        for _ in 0..steps {
+            transmitted.add_assign(&ef.compress(&g).decompress());
+        }
+        let true_sum = g.scale(steps as f32);
+        // Relative error of accumulated transmission must be far below the
+        // per-step loss (which is ~97 % of mass per step).
+        let rel = transmitted.sub(&true_sum).norm() / true_sum.norm();
+        assert!(rel < 0.2, "EF failed to recover lost mass: rel {rel}");
+    }
+
+    #[test]
+    fn shape_change_resets_residual_use() {
+        let mut ef = ErrorFeedback::new(PowerSgd::new(1, 0));
+        let mut rng = SeedStream::new(2);
+        ef.compress(&rng.uniform_matrix(8, 8, 1.0));
+        // Different shape: residual must be ignored, not panic.
+        let payload = ef.compress(&rng.uniform_matrix(4, 12, 1.0));
+        assert_eq!(payload.dense_shape(), (4, 12));
+    }
+
+    #[test]
+    fn residual_elems_track_buffer() {
+        let mut ef = ErrorFeedback::new(PowerSgd::new(1, 0));
+        assert_eq!(ef.residual_elems(), 0);
+        let mut rng = SeedStream::new(3);
+        ef.compress(&rng.uniform_matrix(6, 5, 1.0));
+        assert_eq!(ef.residual_elems(), 30);
+    }
+}

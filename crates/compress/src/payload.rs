@@ -1,0 +1,216 @@
+//! Self-describing compressed payloads and their wire-size accounting.
+
+use opt_tensor::Matrix;
+
+/// Bytes per floating-point element on the wire.
+///
+/// The paper's cluster communicates activations and gradients in fp16, so
+/// volume accounting uses 2 bytes per element even though our CPU numerics
+/// are f32.
+pub const FP16_BYTES: usize = 2;
+
+/// Bytes per sparse index on the wire (top-k sends 32-bit indices).
+const INDEX_BYTES: usize = 4;
+
+/// A compressed gradient payload.
+///
+/// Payloads are self-describing: they carry enough metadata to reconstruct
+/// a dense approximation via [`Compressed::decompress`] and to compute the
+/// exact number of bytes they would occupy on the interconnect via
+/// [`Compressed::wire_bytes`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Compressed {
+    /// Uncompressed matrix (baseline / `Identity` compressor).
+    Dense {
+        /// The matrix itself.
+        matrix: Matrix,
+    },
+    /// PowerSGD low-rank factorization; decompresses to `p * q^T`.
+    LowRank {
+        /// Left factor, `rows x rank`, orthonormal columns.
+        p: Matrix,
+        /// Right factor, `cols x rank`.
+        q: Matrix,
+    },
+    /// Top-k sparsification: `values[i]` belongs at flat index `indices[i]`.
+    Sparse {
+        /// Dense row count.
+        rows: usize,
+        /// Dense column count.
+        cols: usize,
+        /// Flat (row-major) indices of the kept elements.
+        indices: Vec<u32>,
+        /// Kept element values.
+        values: Vec<f32>,
+    },
+    /// 1-bit sign quantization with a single positive scale.
+    Sign {
+        /// Dense row count.
+        rows: usize,
+        /// Dense column count.
+        cols: usize,
+        /// Reconstruction magnitude (mean absolute value).
+        scale: f32,
+        /// One bit per element, LSB-first within each word.
+        bits: Vec<u64>,
+    },
+    /// Ternary quantization (TernGrad): each element in {-1, 0, +1} x scale.
+    Ternary {
+        /// Dense row count.
+        rows: usize,
+        /// Dense column count.
+        cols: usize,
+        /// Reconstruction magnitude (max absolute value).
+        scale: f32,
+        /// One entry per element.
+        trits: Vec<i8>,
+    },
+}
+
+impl Compressed {
+    /// Reconstructs the dense approximation this payload encodes.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use opt_compress::Compressed;
+    /// use opt_tensor::Matrix;
+    /// let c = Compressed::Sparse {
+    ///     rows: 2, cols: 2, indices: vec![3], values: vec![5.0],
+    /// };
+    /// assert_eq!(c.decompress()[(1, 1)], 5.0);
+    /// ```
+    pub fn decompress(&self) -> Matrix {
+        match self {
+            Compressed::Dense { matrix } => matrix.clone(),
+            Compressed::LowRank { p, q } => p.matmul_t(q),
+            Compressed::Sparse { rows, cols, indices, values } => {
+                let mut m = Matrix::zeros(*rows, *cols);
+                let slice = m.as_mut_slice();
+                for (&idx, &v) in indices.iter().zip(values) {
+                    slice[idx as usize] = v;
+                }
+                m
+            }
+            Compressed::Sign { rows, cols, scale, bits } => {
+                let mut m = Matrix::zeros(*rows, *cols);
+                for (i, e) in m.as_mut_slice().iter_mut().enumerate() {
+                    let bit = (bits[i / 64] >> (i % 64)) & 1;
+                    *e = if bit == 1 { *scale } else { -*scale };
+                }
+                m
+            }
+            Compressed::Ternary { rows, cols, scale, trits } => {
+                let data = trits.iter().map(|&t| t as f32 * scale).collect();
+                Matrix::from_vec(*rows, *cols, data)
+            }
+        }
+    }
+
+    /// Number of bytes this payload occupies on the interconnect, using the
+    /// paper's fp16 wire format for floats, 4-byte sparse indices, 1 bit
+    /// per sign, and 2 bits per ternary value.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            Compressed::Dense { matrix } => matrix.len() * FP16_BYTES,
+            Compressed::LowRank { p, q } => (p.len() + q.len()) * FP16_BYTES,
+            Compressed::Sparse { indices, values, .. } => {
+                indices.len() * INDEX_BYTES + values.len() * FP16_BYTES
+            }
+            Compressed::Sign { rows, cols, .. } => (rows * cols).div_ceil(8) + 4,
+            Compressed::Ternary { rows, cols, .. } => (rows * cols * 2).div_ceil(8) + 4,
+        }
+    }
+
+    /// Dense shape `(rows, cols)` of the gradient this payload encodes.
+    pub fn dense_shape(&self) -> (usize, usize) {
+        match self {
+            Compressed::Dense { matrix } => matrix.shape(),
+            Compressed::LowRank { p, q } => (p.rows(), q.rows()),
+            Compressed::Sparse { rows, cols, .. }
+            | Compressed::Sign { rows, cols, .. }
+            | Compressed::Ternary { rows, cols, .. } => (*rows, *cols),
+        }
+    }
+
+    /// Compression ratio: dense wire bytes / compressed wire bytes.
+    ///
+    /// A ratio of 10 means the payload is 10x smaller than sending the
+    /// dense fp16 matrix.
+    pub fn ratio(&self) -> f64 {
+        let (r, c) = self.dense_shape();
+        let dense = (r * c * FP16_BYTES) as f64;
+        dense / self.wire_bytes().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]);
+        let c = Compressed::Dense { matrix: m.clone() };
+        assert_eq!(c.decompress(), m);
+        assert_eq!(c.wire_bytes(), 4 * FP16_BYTES);
+        assert_eq!(c.dense_shape(), (2, 2));
+        assert!((c.ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lowrank_decompress_is_outer_product() {
+        let p = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        let q = Matrix::from_rows(&[&[3.0], &[4.0], &[5.0]]);
+        let c = Compressed::LowRank { p, q };
+        let m = c.decompress();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(1, 2)], 10.0);
+        assert_eq!(c.dense_shape(), (2, 3));
+    }
+
+    #[test]
+    fn sparse_scatter() {
+        let c = Compressed::Sparse {
+            rows: 2,
+            cols: 3,
+            indices: vec![0, 5],
+            values: vec![7.0, -1.0],
+        };
+        let m = c.decompress();
+        assert_eq!(m[(0, 0)], 7.0);
+        assert_eq!(m[(1, 2)], -1.0);
+        assert_eq!(m[(0, 1)], 0.0);
+        assert_eq!(c.wire_bytes(), 2 * 4 + 2 * FP16_BYTES);
+    }
+
+    #[test]
+    fn sign_bits_roundtrip() {
+        // Elements: +s, -s, -s, +s
+        let c = Compressed::Sign { rows: 2, cols: 2, scale: 0.5, bits: vec![0b1001] };
+        let m = c.decompress();
+        assert_eq!(m.as_slice(), &[0.5, -0.5, -0.5, 0.5]);
+        assert_eq!(c.wire_bytes(), 1 + 4); // 4 bits -> 1 byte + scale
+    }
+
+    #[test]
+    fn ternary_decompress() {
+        let c = Compressed::Ternary {
+            rows: 1,
+            cols: 4,
+            scale: 2.0,
+            trits: vec![-1, 0, 1, 0],
+        };
+        assert_eq!(c.decompress().as_slice(), &[-2.0, 0.0, 2.0, 0.0]);
+        assert_eq!(c.wire_bytes(), 1 + 4); // 8 bits -> 1 byte + scale
+    }
+
+    #[test]
+    fn ratio_reflects_lowrank_savings() {
+        // 100x100 dense vs rank-2 factors (100x2 + 100x2).
+        let p = Matrix::zeros(100, 2);
+        let q = Matrix::zeros(100, 2);
+        let c = Compressed::LowRank { p, q };
+        assert!((c.ratio() - 25.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,182 @@
+//! Quantization compressors: signSGD-style 1-bit and TernGrad ternary.
+
+use crate::{Compressed, Compressor};
+use opt_tensor::{Matrix, SeedStream};
+
+/// 1-bit sign quantization with mean-magnitude scaling (signSGD family).
+///
+/// Each element is transmitted as its sign; the receiver reconstructs
+/// `sign(x) * mean(|x|)`. This preserves the expected descent direction
+/// while compressing by ~16x relative to fp16.
+///
+/// # Example
+///
+/// ```
+/// use opt_compress::{Compressor, SignQuantizer};
+/// use opt_tensor::Matrix;
+/// let g = Matrix::from_rows(&[&[2.0, -4.0]]);
+/// let out = SignQuantizer::new().compress(&g).decompress();
+/// assert_eq!(out.as_slice(), &[3.0, -3.0]); // mean |x| = 3
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SignQuantizer;
+
+impl SignQuantizer {
+    /// Creates a sign quantizer.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Compressor for SignQuantizer {
+    fn compress(&mut self, grad: &Matrix) -> Compressed {
+        let len = grad.len();
+        let scale = if len == 0 {
+            0.0
+        } else {
+            grad.as_slice().iter().map(|x| x.abs()).sum::<f32>() / len as f32
+        };
+        let mut bits = vec![0u64; len.div_ceil(64)];
+        for (i, &x) in grad.as_slice().iter().enumerate() {
+            if x >= 0.0 {
+                bits[i / 64] |= 1 << (i % 64);
+            }
+        }
+        Compressed::Sign { rows: grad.rows(), cols: grad.cols(), scale, bits }
+    }
+
+    fn name(&self) -> &'static str {
+        "sign1bit"
+    }
+}
+
+/// TernGrad-style stochastic ternary quantization.
+///
+/// Each element becomes `s_t * sign(x)` with probability `|x| / s_t` and 0
+/// otherwise, where `s_t = max(|x|)`. The quantization is *unbiased*:
+/// `E[quantized] = x`, which is the property TernGrad's convergence proof
+/// rests on and which the property tests assert.
+#[derive(Debug)]
+pub struct TernaryQuantizer {
+    rng: SeedStream,
+}
+
+impl TernaryQuantizer {
+    /// Creates a ternary quantizer with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: SeedStream::new(seed) }
+    }
+}
+
+impl Compressor for TernaryQuantizer {
+    fn compress(&mut self, grad: &Matrix) -> Compressed {
+        let scale = grad.max_abs();
+        let trits = if scale == 0.0 {
+            vec![0i8; grad.len()]
+        } else {
+            grad.as_slice()
+                .iter()
+                .map(|&x| {
+                    let p = x.abs() / scale;
+                    if self.rng.unit() < p {
+                        if x >= 0.0 {
+                            1
+                        } else {
+                            -1
+                        }
+                    } else {
+                        0
+                    }
+                })
+                .collect()
+        };
+        Compressed::Ternary { rows: grad.rows(), cols: grad.cols(), scale, trits }
+    }
+
+    fn name(&self) -> &'static str {
+        "ternary"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_preserves_signs() {
+        let g = Matrix::from_rows(&[&[0.5, -1.5, 2.0, -0.1]]);
+        let out = SignQuantizer::new().round_trip(&g);
+        for (&orig, &rec) in g.as_slice().iter().zip(out.as_slice()) {
+            assert_eq!(orig.signum(), rec.signum());
+        }
+    }
+
+    #[test]
+    fn sign_scale_is_mean_abs() {
+        let g = Matrix::from_rows(&[&[1.0, -3.0]]);
+        if let Compressed::Sign { scale, .. } = SignQuantizer::new().compress(&g) {
+            assert_eq!(scale, 2.0);
+        } else {
+            panic!("expected sign payload");
+        }
+    }
+
+    #[test]
+    fn sign_handles_many_words() {
+        let mut rng = SeedStream::new(1);
+        let g = rng.uniform_matrix(17, 11, 1.0); // 187 elems -> 3 words
+        let out = SignQuantizer::new().round_trip(&g);
+        assert_eq!(out.shape(), g.shape());
+        for (&orig, &rec) in g.as_slice().iter().zip(out.as_slice()) {
+            assert_eq!(orig >= 0.0, rec >= 0.0);
+        }
+    }
+
+    #[test]
+    fn ternary_zero_matrix_stays_zero() {
+        let g = Matrix::zeros(4, 4);
+        let out = TernaryQuantizer::new(0).round_trip(&g);
+        assert_eq!(out, g);
+    }
+
+    #[test]
+    fn ternary_is_approximately_unbiased() {
+        // Average many independent quantizations of a fixed vector: the
+        // mean must approach the original values (TernGrad unbiasedness).
+        let g = Matrix::from_rows(&[&[0.8, -0.4, 0.2, -1.0]]);
+        let mut q = TernaryQuantizer::new(7);
+        let trials = 4000;
+        let mut acc = Matrix::zeros(1, 4);
+        for _ in 0..trials {
+            acc.add_assign(&q.round_trip(&g));
+        }
+        acc.scale_assign(1.0 / trials as f32);
+        for (&orig, &est) in g.as_slice().iter().zip(acc.as_slice()) {
+            assert!((orig - est).abs() < 0.05, "bias at {orig}: est {est}");
+        }
+    }
+
+    #[test]
+    fn ternary_values_in_support() {
+        let mut rng = SeedStream::new(2);
+        let g = rng.uniform_matrix(8, 8, 2.0);
+        let scale = g.max_abs();
+        let out = TernaryQuantizer::new(3).round_trip(&g);
+        for &v in out.as_slice() {
+            assert!(
+                v == 0.0 || (v.abs() - scale).abs() < 1e-6,
+                "value {v} outside ternary support"
+            );
+        }
+    }
+
+    #[test]
+    fn quantizers_compress_hard() {
+        let mut rng = SeedStream::new(4);
+        let g = rng.uniform_matrix(64, 64, 1.0);
+        let sign = SignQuantizer::new().compress(&g);
+        let tern = TernaryQuantizer::new(1).compress(&g);
+        assert!(sign.ratio() > 14.0, "sign ratio {}", sign.ratio());
+        assert!(tern.ratio() > 7.0, "ternary ratio {}", tern.ratio());
+    }
+}

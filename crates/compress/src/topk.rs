@@ -1,0 +1,147 @@
+//! Top-k sparsification (Deep Gradient Compression style).
+
+use crate::{Compressed, Compressor};
+use opt_tensor::Matrix;
+
+/// Keeps the `k` largest-magnitude elements of each gradient.
+///
+/// `k` is derived from a target density: `k = ceil(density * len)`, with at
+/// least one element kept. The paper's Fig. 3 shows this family performs
+/// poorly on point-to-point (inter-stage) traffic — reproduced by the
+/// `fig03_motivation` experiment — because each micro-batch's activation
+/// gradient has a different support, so the warm-start/error dynamics that
+/// help all-reduce compression do not transfer.
+///
+/// # Example
+///
+/// ```
+/// use opt_compress::{Compressor, TopK};
+/// use opt_tensor::Matrix;
+///
+/// let g = Matrix::from_rows(&[&[0.1, -5.0], &[3.0, 0.2]]);
+/// let mut c = TopK::new(0.5);
+/// let approx = c.compress(&g).decompress();
+/// assert_eq!(approx[(0, 1)], -5.0); // kept
+/// assert_eq!(approx[(0, 0)], 0.0);  // dropped
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopK {
+    density: f64,
+}
+
+impl TopK {
+    /// Creates a top-k compressor keeping a `density` fraction of elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < density <= 1.0`.
+    pub fn new(density: f64) -> Self {
+        assert!(density > 0.0 && density <= 1.0, "density must be in (0, 1]");
+        Self { density }
+    }
+
+    /// The configured density.
+    pub fn density(&self) -> f64 {
+        self.density
+    }
+
+    /// Number of elements kept for a gradient with `len` elements.
+    pub fn k_for_len(&self, len: usize) -> usize {
+        ((self.density * len as f64).ceil() as usize).clamp(1, len.max(1))
+    }
+}
+
+impl Compressor for TopK {
+    fn compress(&mut self, grad: &Matrix) -> Compressed {
+        let len = grad.len();
+        let k = self.k_for_len(len);
+        // Partial selection: indices sorted by |value| descending.
+        let mut order: Vec<u32> = (0..len as u32).collect();
+        let data = grad.as_slice();
+        order.select_nth_unstable_by(k.saturating_sub(1), |&a, &b| {
+            data[b as usize]
+                .abs()
+                .partial_cmp(&data[a as usize].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut indices: Vec<u32> = order[..k].to_vec();
+        indices.sort_unstable();
+        let values = indices.iter().map(|&i| data[i as usize]).collect();
+        Compressed::Sparse { rows: grad.rows(), cols: grad.cols(), indices, values }
+    }
+
+    fn name(&self) -> &'static str {
+        "topk"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opt_tensor::SeedStream;
+
+    #[test]
+    #[should_panic(expected = "density must be in (0, 1]")]
+    fn zero_density_panics() {
+        let _ = TopK::new(0.0);
+    }
+
+    #[test]
+    fn keeps_largest_magnitudes() {
+        let g = Matrix::from_rows(&[&[1.0, -10.0, 0.5, 7.0]]);
+        let mut c = TopK::new(0.5);
+        let out = c.compress(&g).decompress();
+        assert_eq!(out.as_slice(), &[0.0, -10.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn density_one_is_lossless() {
+        let mut rng = SeedStream::new(2);
+        let g = rng.uniform_matrix(6, 6, 3.0);
+        let mut c = TopK::new(1.0);
+        assert_eq!(c.round_trip(&g), g);
+    }
+
+    #[test]
+    fn k_at_least_one() {
+        let c = TopK::new(0.001);
+        assert_eq!(c.k_for_len(10), 1);
+    }
+
+    #[test]
+    fn wire_bytes_scale_with_density() {
+        let mut rng = SeedStream::new(3);
+        let g = rng.uniform_matrix(100, 10, 1.0);
+        let mut small = TopK::new(0.01);
+        let mut large = TopK::new(0.5);
+        assert!(small.compress(&g).wire_bytes() < large.compress(&g).wire_bytes());
+    }
+
+    #[test]
+    fn reconstruction_error_decreases_with_density() {
+        let mut rng = SeedStream::new(4);
+        let g = rng.uniform_matrix(32, 32, 1.0);
+        let mut prev_err = f32::INFINITY;
+        for density in [0.05, 0.25, 0.75, 1.0] {
+            let mut c = TopK::new(density);
+            let err = g.sub(&c.round_trip(&g)).norm();
+            assert!(err <= prev_err + 1e-6, "density {density}: {err} > {prev_err}");
+            prev_err = err;
+        }
+        assert!(prev_err < 1e-6); // density 1.0 exact
+    }
+
+    #[test]
+    fn indices_are_sorted_and_unique() {
+        let mut rng = SeedStream::new(5);
+        let g = rng.uniform_matrix(16, 16, 1.0);
+        let mut c = TopK::new(0.3);
+        if let Compressed::Sparse { indices, .. } = c.compress(&g) {
+            for w in indices.windows(2) {
+                assert!(w[0] < w[1], "indices not strictly increasing");
+            }
+        } else {
+            panic!("expected sparse payload");
+        }
+    }
+}

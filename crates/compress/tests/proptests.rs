@@ -1,0 +1,113 @@
+//! Property-based tests on compression invariants.
+
+use opt_compress::{
+    Compressor, ErrorFeedback, Identity, LazyErrorPropagator, PowerSgd, SignQuantizer, TopK,
+};
+use opt_tensor::{Matrix, SeedStream};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn powersgd_shape_preserved(rows in 1usize..24, cols in 1usize..24, rank in 1usize..8, seed in 0u64..200) {
+        let mut rng = SeedStream::new(seed);
+        let g = rng.uniform_matrix(rows, cols, 1.0);
+        let mut c = PowerSgd::new(rank, seed);
+        let out = c.round_trip(&g);
+        prop_assert_eq!(out.shape(), g.shape());
+        prop_assert!(out.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn powersgd_wire_bytes_formula(rows in 1usize..32, cols in 1usize..32, rank in 1usize..8, seed in 0u64..100) {
+        let mut rng = SeedStream::new(seed);
+        let g = rng.uniform_matrix(rows, cols, 1.0);
+        let mut c = PowerSgd::new(rank, seed);
+        let payload = c.compress(&g);
+        let r = rank.min(rows).min(cols).max(1);
+        prop_assert_eq!(payload.wire_bytes(), (rows * r + cols * r) * opt_compress::FP16_BYTES);
+    }
+
+    #[test]
+    fn topk_never_increases_norm(rows in 1usize..16, cols in 1usize..16, density in 0.01f64..1.0, seed in 0u64..200) {
+        let mut rng = SeedStream::new(seed);
+        let g = rng.uniform_matrix(rows, cols, 5.0);
+        let mut c = TopK::new(density);
+        let out = c.round_trip(&g);
+        prop_assert!(out.norm() <= g.norm() + 1e-4);
+    }
+
+    #[test]
+    fn topk_kept_values_are_exact(seed in 0u64..200) {
+        let mut rng = SeedStream::new(seed);
+        let g = rng.uniform_matrix(8, 8, 3.0);
+        let mut c = TopK::new(0.25);
+        let out = c.round_trip(&g);
+        for (o, r) in g.as_slice().iter().zip(out.as_slice()) {
+            prop_assert!(*r == 0.0 || r == o);
+        }
+    }
+
+    #[test]
+    fn sign_reconstruction_has_constant_magnitude(seed in 0u64..200) {
+        let mut rng = SeedStream::new(seed);
+        let g = rng.uniform_matrix(4, 9, 2.0);
+        let out = SignQuantizer::new().round_trip(&g);
+        let mag = out.as_slice()[0].abs();
+        for &v in out.as_slice() {
+            prop_assert!((v.abs() - mag).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn error_feedback_residual_equals_loss(seed in 0u64..200) {
+        // After one EF step from empty state: residual == grad - decompressed.
+        let mut rng = SeedStream::new(seed);
+        let g = rng.uniform_matrix(12, 6, 1.0);
+        let mut ef = ErrorFeedback::new(PowerSgd::new(2, seed));
+        let payload = ef.compress(&g);
+        let loss = g.sub(&payload.decompress()).norm();
+        prop_assert!((ef.residual_norm() - loss).abs() < 1e-4);
+    }
+
+    #[test]
+    fn lazy_error_mass_conservation(seed in 0u64..100, n_micro in 1usize..12) {
+        let mut rng = SeedStream::new(seed);
+        let mut link = LazyErrorPropagator::new(PowerSgd::new(1, seed), true);
+        let mut delivered = Matrix::zeros(6, 6);
+        let mut truth = Matrix::zeros(6, 6);
+        for _ in 0..n_micro {
+            let g = rng.uniform_matrix(6, 6, 1.0);
+            let (p, _) = link.process(&g, true);
+            delivered.add_assign(&p.decompress());
+            truth.add_assign(&g);
+        }
+        if let Some(resid) = link.error() {
+            delivered.add_assign(resid);
+        }
+        prop_assert!(delivered.sub(&truth).max_abs() < 1e-3);
+    }
+
+    #[test]
+    fn identity_is_lossless(rows in 1usize..10, cols in 1usize..10, seed in 0u64..200) {
+        let mut rng = SeedStream::new(seed);
+        let g = rng.uniform_matrix(rows, cols, 10.0);
+        prop_assert_eq!(Identity.round_trip(&g), g);
+    }
+
+    #[test]
+    fn all_payloads_report_consistent_shape(seed in 0u64..100) {
+        let mut rng = SeedStream::new(seed);
+        let g = rng.uniform_matrix(7, 5, 1.0);
+        let payloads = vec![
+            Identity.compress(&g),
+            PowerSgd::new(2, seed).compress(&g),
+            TopK::new(0.3).compress(&g),
+            SignQuantizer::new().compress(&g),
+        ];
+        for p in payloads {
+            prop_assert_eq!(p.dense_shape(), (7, 5));
+            prop_assert_eq!(p.decompress().shape(), (7, 5));
+            prop_assert!(p.wire_bytes() > 0);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Metrics collected during a training run.
+
+use opt_net::TrafficSnapshot;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One validation measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValPoint {
+    /// Iteration at which validation ran.
+    pub iter: u64,
+    /// Mean validation loss (nats/token).
+    pub loss: f32,
+}
+
+impl ValPoint {
+    /// Validation perplexity `exp(loss)` — the paper's metric.
+    pub fn perplexity(&self) -> f32 {
+        self.loss.exp()
+    }
+}
+
+/// One Fig. 11 sample from an inter-stage link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStatPoint {
+    /// Iteration the sample was taken in.
+    pub iter: u64,
+    /// Pipeline stage holding the lazy-error buffer (the sender).
+    pub stage: usize,
+    /// Mean of the preserved error elements (`Avg(eps)`, ~0 per Eq. 14).
+    pub error_mean: f32,
+    /// Mean of the activation difference `Y(i) - Y(i+n)` (~0 per Eq. 14).
+    pub act_diff_mean: f32,
+    /// Cosine similarity between error and activation difference (~0:
+    /// independence, the paper's empirical validation of Eq. 14).
+    pub cosine: f32,
+}
+
+/// Final report of a training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// Mean training loss per iteration (averaged over micro-batches and
+    /// data-parallel ranks).
+    pub train_loss: Vec<f32>,
+    /// Validation curve.
+    pub val_points: Vec<ValPoint>,
+    /// Fig. 11 error statistics (empty unless enabled).
+    pub error_stats: Vec<ErrorStatPoint>,
+    /// Per-class wire traffic of the whole run.
+    pub traffic: TrafficSnapshot,
+}
+
+impl TrainReport {
+    /// The last validation perplexity (NaN if validation never ran).
+    pub fn final_val_ppl(&self) -> f32 {
+        self.val_points.last().map_or(f32::NAN, ValPoint::perplexity)
+    }
+
+    /// The last validation loss (NaN if validation never ran).
+    pub fn final_val_loss(&self) -> f32 {
+        self.val_points.last().map_or(f32::NAN, |p| p.loss)
+    }
+}
+
+/// Shared collector the worker threads append into.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Collector {
+    inner: Arc<Mutex<CollectorInner>>,
+}
+
+#[derive(Debug, Default)]
+struct CollectorInner {
+    /// (iter, loss) samples from last-stage workers, one per micro-batch.
+    train_samples: Vec<(u64, f32)>,
+    /// (iter, loss) validation samples (dp rank 0's pipeline).
+    val_samples: Vec<(u64, f32)>,
+    error_stats: Vec<ErrorStatPoint>,
+}
+
+impl Collector {
+    pub fn record_train(&self, iter: u64, loss: f32) {
+        self.inner.lock().train_samples.push((iter, loss));
+    }
+
+    pub fn record_val(&self, iter: u64, loss: f32) {
+        self.inner.lock().val_samples.push((iter, loss));
+    }
+
+    pub fn record_error_stat(&self, p: ErrorStatPoint) {
+        self.inner.lock().error_stats.push(p);
+    }
+
+    /// Aggregates the raw samples into a [`TrainReport`].
+    pub fn into_report(self, iters: u64, traffic: TrafficSnapshot) -> TrainReport {
+        let inner = Arc::try_unwrap(self.inner)
+            .map(Mutex::into_inner)
+            .unwrap_or_else(|arc| {
+                let guard = arc.lock();
+                CollectorInner {
+                    train_samples: guard.train_samples.clone(),
+                    val_samples: guard.val_samples.clone(),
+                    error_stats: guard.error_stats.clone(),
+                }
+            });
+        let mut train_loss = Vec::with_capacity(iters as usize);
+        for it in 0..iters {
+            let samples: Vec<f32> = inner
+                .train_samples
+                .iter()
+                .filter(|(i, _)| *i == it)
+                .map(|(_, l)| *l)
+                .collect();
+            if samples.is_empty() {
+                train_loss.push(f32::NAN);
+            } else {
+                train_loss.push(samples.iter().sum::<f32>() / samples.len() as f32);
+            }
+        }
+        // Validation: average samples per iteration tag, sorted.
+        let mut val_iters: Vec<u64> = inner.val_samples.iter().map(|(i, _)| *i).collect();
+        val_iters.sort_unstable();
+        val_iters.dedup();
+        let val_points = val_iters
+            .into_iter()
+            .map(|it| {
+                let ls: Vec<f32> = inner
+                    .val_samples
+                    .iter()
+                    .filter(|(i, _)| *i == it)
+                    .map(|(_, l)| *l)
+                    .collect();
+                ValPoint { iter: it, loss: ls.iter().sum::<f32>() / ls.len() as f32 }
+            })
+            .collect();
+        TrainReport {
+            train_loss,
+            val_points,
+            error_stats: inner.error_stats,
+            traffic,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_aggregates_per_iteration() {
+        let c = Collector::default();
+        c.record_train(0, 2.0);
+        c.record_train(0, 4.0);
+        c.record_train(1, 1.0);
+        c.record_val(1, 0.5);
+        let report = c.into_report(2, TrafficSnapshot::default());
+        assert_eq!(report.train_loss, vec![3.0, 1.0]);
+        assert_eq!(report.val_points.len(), 1);
+        assert!((report.final_val_ppl() - 0.5f32.exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_report_is_nan() {
+        let c = Collector::default();
+        let report = c.into_report(1, TrafficSnapshot::default());
+        assert!(report.train_loss[0].is_nan());
+        assert!(report.final_val_ppl().is_nan());
+    }
+}

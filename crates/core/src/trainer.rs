@@ -1,0 +1,267 @@
+//! The trainer: spawns workers, drives the run, gathers results.
+
+use crate::config::TrainerConfig;
+use crate::stats::{Collector, TrainReport};
+use crate::worker::{run_worker, Cmd, WorkerAck, WorkerCtx};
+use crate::MemoryReport;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use opt_data::{TaskScore, ZeroShotTask};
+use opt_model::Stage;
+use opt_net::{CollectiveWorld, P2pMesh, TrafficLedger};
+use std::thread::JoinHandle;
+
+/// A running 3D-parallel training job: `pp x dp` worker threads, each
+/// owning one model slice.
+///
+/// Workers are driven by broadcast commands; [`Trainer::train`] runs the
+/// configured number of iterations with periodic validation,
+/// [`Trainer::predict`] and [`Trainer::zero_shot`] evaluate the frozen
+/// model, and [`Trainer::shutdown`] joins all threads.
+pub struct Trainer {
+    cfg: TrainerConfig,
+    cmd_txs: Vec<Sender<Cmd>>,
+    ack_rx: Receiver<WorkerAck>,
+    predict_rx: Receiver<(u64, Vec<usize>)>,
+    handles: Vec<JoinHandle<()>>,
+    collector: Collector,
+    ledger: TrafficLedger,
+    next_id: u64,
+    trained_iters: u64,
+}
+
+impl std::fmt::Debug for Trainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Trainer(pp={}, dp={}, workers={})", self.cfg.pp, self.cfg.dp, self.handles.len())
+    }
+}
+
+impl Trainer {
+    /// Builds all model slices and spawns the worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pp` or `dp` is zero, or `pp > model.n_layers`.
+    pub fn launch(cfg: TrainerConfig) -> Trainer {
+        assert!(cfg.pp > 0 && cfg.dp > 0, "pp and dp must be positive");
+        let pp = cfg.pp;
+        let dp = cfg.dp;
+        let world_size = pp * dp;
+        let fwd_mesh: P2pMesh<opt_tensor::Matrix> = P2pMesh::new(world_size);
+        let bwd_mesh: P2pMesh<opt_compress::Compressed> = P2pMesh::new(world_size);
+        let world = CollectiveWorld::new(world_size);
+        let collector = Collector::default();
+        let ledger = TrafficLedger::new();
+        let (ack_tx, ack_rx) = unbounded();
+        let (predict_tx, predict_rx) = unbounded();
+
+        // Shared groups: one DP group per stage, one 2-way embedding pair
+        // per dp rank, one fused group over all end-stage ranks.
+        let stage_groups: Vec<_> = (0..pp)
+            .map(|s| world.group(&(0..dp).map(|d| d * pp + s).collect::<Vec<_>>()))
+            .collect();
+        let emb_pair_groups: Vec<_> = (0..dp)
+            .map(|d| {
+                if pp > 1 {
+                    Some(world.group(&[d * pp, d * pp + pp - 1]))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let fused_group = if pp > 1 {
+            let mut ranks: Vec<usize> = (0..dp).map(|d| d * pp).collect();
+            ranks.extend((0..dp).map(|d| d * pp + pp - 1));
+            ranks.sort_unstable();
+            Some(world.group(&ranks))
+        } else {
+            None
+        };
+
+        let corpus = cfg.corpus();
+        let mut handles = Vec::with_capacity(world_size);
+        let mut cmd_txs = Vec::with_capacity(world_size);
+        for d in 0..dp {
+            // Every dp rank builds the identical pipeline (same seed).
+            let mut stages = Stage::build_pipeline(&cfg.model, pp, cfg.seed);
+            for s in (0..pp).rev() {
+                let stage = stages.pop().expect("stage built");
+                let (cmd_tx, cmd_rx) = unbounded();
+                let ctx = WorkerCtx {
+                    cfg: cfg.clone(),
+                    stage_idx: s,
+                    dp_idx: d,
+                    stage,
+                    corpus: corpus.clone(),
+                    fwd_mesh: fwd_mesh.clone(),
+                    bwd_mesh: bwd_mesh.clone(),
+                    stage_group: stage_groups[s].clone(),
+                    emb_pair_group: if s == 0 || s == pp - 1 {
+                        emb_pair_groups[d].clone()
+                    } else {
+                        None
+                    },
+                    fused_group: if s == 0 || s == pp - 1 {
+                        fused_group.clone()
+                    } else {
+                        None
+                    },
+                    cmds: cmd_rx,
+                    acks: ack_tx.clone(),
+                    predict_out: predict_tx.clone(),
+                    collector: collector.clone(),
+                    ledger: ledger.clone(),
+                };
+                let name = format!("worker-s{s}-d{d}");
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(name)
+                        .spawn(move || run_worker(ctx))
+                        .expect("spawn worker"),
+                );
+                cmd_txs.push(cmd_tx);
+            }
+        }
+        // cmd_txs were pushed in reverse stage order per dp rank; order is
+        // irrelevant (commands are broadcast), but keep deterministic.
+        Trainer {
+            cfg,
+            cmd_txs,
+            ack_rx,
+            predict_rx,
+            handles,
+            collector,
+            ledger,
+            next_id: 0,
+            trained_iters: 0,
+        }
+    }
+
+    /// The configuration of this run.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.cfg
+    }
+
+    fn broadcast(&self, cmd: Cmd) {
+        for tx in &self.cmd_txs {
+            tx.send(cmd.clone()).expect("worker channel closed");
+        }
+    }
+
+    fn barrier(&mut self) -> Vec<WorkerAck> {
+        self.next_id += 1;
+        let id = self.next_id;
+        self.broadcast(Cmd::Barrier { id });
+        let mut acks = Vec::with_capacity(self.cmd_txs.len());
+        while acks.len() < self.cmd_txs.len() {
+            let ack = self.ack_rx.recv().expect("worker dropped ack channel");
+            if ack.id == id {
+                acks.push(ack);
+            }
+        }
+        acks
+    }
+
+    /// Runs the configured number of training iterations with periodic
+    /// validation, returning the aggregated report.
+    pub fn train(&mut self) -> TrainReport {
+        let iters = self.cfg.iters;
+        for iter in 0..iters {
+            self.broadcast(Cmd::TrainIter { iter });
+            let validate_now = self.cfg.validate_every > 0
+                && (iter + 1) % self.cfg.validate_every == 0;
+            if validate_now {
+                self.broadcast(Cmd::Validate {
+                    iter,
+                    index: iter,
+                    n_seq: self.cfg.val_sequences,
+                });
+            }
+        }
+        // Final validation at the last iteration tag.
+        self.broadcast(Cmd::Validate {
+            iter: iters.saturating_sub(1),
+            index: iters,
+            n_seq: self.cfg.val_sequences,
+        });
+        self.barrier();
+        self.trained_iters = iters;
+        self.collector.clone().into_report(iters, self.ledger.snapshot())
+    }
+
+    /// Runs extra training iterations beyond `cfg.iters` (used by
+    /// long-horizon experiments that checkpoint metrics between phases).
+    pub fn train_more(&mut self, extra: u64) {
+        for iter in self.trained_iters..self.trained_iters + extra {
+            self.broadcast(Cmd::TrainIter { iter });
+        }
+        self.trained_iters += extra;
+        self.barrier();
+    }
+
+    /// Predicts the next token at the final position of each sequence in
+    /// `tokens` (grouped in `seq_len` chunks), using dp rank 0's pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens.len()` is not a multiple of the sequence length.
+    pub fn predict(&mut self, tokens: &[usize]) -> Vec<usize> {
+        assert!(
+            tokens.len() % self.cfg.model.seq_len == 0,
+            "token count must be a multiple of seq_len"
+        );
+        self.next_id += 1;
+        let id = self.next_id;
+        self.broadcast(Cmd::Predict { id, tokens: tokens.to_vec() });
+        loop {
+            let (got, answers) = self.predict_rx.recv().expect("predict channel closed");
+            if got == id {
+                return answers;
+            }
+        }
+    }
+
+    /// Evaluates a zero-shot probe on the frozen model (Table 3 protocol):
+    /// `n` generated examples, accuracy of last-position argmax.
+    pub fn zero_shot(&mut self, task: ZeroShotTask, n: usize, seed: u64) -> TaskScore {
+        let corpus = self.cfg.corpus();
+        let examples = task.generate(&corpus, n, seed);
+        let mut correct = 0;
+        // Batch examples to amortize pipeline latency.
+        let batch = 16usize;
+        for chunk in examples.chunks(batch) {
+            let mut tokens = Vec::with_capacity(chunk.len() * self.cfg.model.seq_len);
+            for ex in chunk {
+                tokens.extend_from_slice(&ex.context);
+            }
+            let preds = self.predict(&tokens);
+            for (p, ex) in preds.iter().zip(chunk) {
+                if *p == ex.answer {
+                    correct += 1;
+                }
+            }
+        }
+        TaskScore { correct, total: n }
+    }
+
+    /// Evaluates all five zero-shot probes (Table 3 row order).
+    pub fn zero_shot_suite(&mut self, n: usize, seed: u64) -> Vec<(ZeroShotTask, TaskScore)> {
+        ZeroShotTask::ALL
+            .into_iter()
+            .map(|t| (t, self.zero_shot(t, n, seed)))
+            .collect()
+    }
+
+    /// Memory accounting across workers (Fig. 12).
+    pub fn memory_report(&mut self) -> MemoryReport {
+        let acks = self.barrier();
+        crate::memory::memory_report(&self.cfg, &acks)
+    }
+
+    /// Stops and joins every worker thread.
+    pub fn shutdown(mut self) {
+        self.broadcast(Cmd::Stop);
+        for h in self.handles.drain(..) {
+            h.join().expect("worker panicked");
+        }
+    }
+}

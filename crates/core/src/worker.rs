@@ -1,0 +1,447 @@
+//! The per-(stage, dp-rank) worker thread.
+
+use crate::config::{CbMethod, TrainerConfig};
+use crate::dp_compress::DistPowerSgd;
+use crate::stats::{Collector, ErrorStatPoint};
+use crossbeam::channel::{Receiver, Sender};
+use opt_compress::{
+    Compressed, LazyErrorPropagator, PowerSgd, TopK, FP16_BYTES,
+};
+use opt_data::SyntheticCorpus;
+use opt_model::{cross_entropy, Adam, Optimizer, Stage};
+use opt_net::{CollectiveGroup, P2pMesh, TrafficClass, TrafficLedger};
+use opt_schedule::{is_epilogue_send, one_f_one_b, Op};
+use opt_tensor::{cosine_similarity, Matrix};
+use std::collections::{HashMap, VecDeque};
+
+/// Commands broadcast from the trainer to every worker.
+#[derive(Debug, Clone)]
+pub(crate) enum Cmd {
+    /// Run one full training iteration (all micro-batches + DP + sync).
+    TrainIter { iter: u64 },
+    /// Run a validation forward pass (dp rank 0's pipeline only).
+    Validate { iter: u64, index: u64, n_seq: usize },
+    /// Run an inference forward pass and report last-position argmaxes
+    /// (dp rank 0's pipeline only; the last stage answers).
+    Predict { id: u64, tokens: Vec<usize> },
+    /// Acknowledge via the ack channel once all prior commands finished.
+    Barrier { id: u64 },
+    /// Exit the worker loop.
+    Stop,
+}
+
+/// Barrier acknowledgement with memory accounting (Fig. 12).
+#[derive(Debug, Clone)]
+pub(crate) struct WorkerAck {
+    pub id: u64,
+    /// Stage index (kept for diagnostics in future per-stage reports).
+    #[allow(dead_code)]
+    pub stage: usize,
+    /// DP rank (kept for diagnostics).
+    #[allow(dead_code)]
+    pub dp: usize,
+    /// Scalar parameter elements on this worker.
+    pub param_elems: usize,
+    /// Lazy-error buffer elements (CB + LEP).
+    pub lazy_error_elems: usize,
+    /// PowerSGD warm-start + EF buffer elements (CB link + DP state).
+    pub compressor_elems: usize,
+}
+
+/// Everything a worker thread needs, bundled at spawn time.
+pub(crate) struct WorkerCtx {
+    pub cfg: TrainerConfig,
+    pub stage_idx: usize,
+    pub dp_idx: usize,
+    pub stage: Stage,
+    pub corpus: SyntheticCorpus,
+    pub fwd_mesh: P2pMesh<Matrix>,
+    pub bwd_mesh: P2pMesh<Compressed>,
+    /// DP group over all dp ranks of this stage.
+    pub stage_group: CollectiveGroup,
+    /// 2-way first<->last group of this dp rank (baseline EMB sync).
+    pub emb_pair_group: Option<CollectiveGroup>,
+    /// Fused 2D-way group over all end-stage ranks.
+    pub fused_group: Option<CollectiveGroup>,
+    pub cmds: Receiver<Cmd>,
+    pub acks: Sender<WorkerAck>,
+    pub predict_out: Sender<(u64, Vec<usize>)>,
+    pub collector: Collector,
+    pub ledger: TrafficLedger,
+}
+
+/// The inter-stage compressor variant for compressed backpropagation.
+enum CbLink {
+    LowRank(LazyErrorPropagator<PowerSgd>),
+    TopK(LazyErrorPropagator<TopK>),
+}
+
+impl CbLink {
+    fn process(&mut self, grad: &Matrix, compress: bool) -> (Compressed, opt_compress::LinkErrorStats) {
+        match self {
+            CbLink::LowRank(l) => l.process(grad, compress),
+            CbLink::TopK(l) => l.process(grad, compress),
+        }
+    }
+
+    fn error(&self) -> Option<&Matrix> {
+        match self {
+            CbLink::LowRank(l) => l.error(),
+            CbLink::TopK(l) => l.error(),
+        }
+    }
+
+    fn error_elems(&self) -> usize {
+        match self {
+            CbLink::LowRank(l) => l.error_elems(),
+            CbLink::TopK(l) => l.error_elems(),
+        }
+    }
+
+    fn warm_start_elems(&self) -> usize {
+        match self {
+            CbLink::LowRank(l) => l.inner().warm_start_elems(),
+            CbLink::TopK(_) => 0,
+        }
+    }
+}
+
+/// Runs the worker loop until [`Cmd::Stop`].
+pub(crate) fn run_worker(mut ctx: WorkerCtx) {
+    let pp = ctx.cfg.pp;
+    let s = ctx.stage_idx;
+    let d = ctx.dp_idx;
+    let my_rank = d * pp + s;
+    let schedule = one_f_one_b(pp, ctx.cfg.n_micro);
+    let mut optimizer = Adam::new(ctx.cfg.lr);
+
+    // Inter-stage compression state for the upstream (s -> s-1) link.
+    let mut cb_link: Option<CbLink> = if s > 0 {
+        ctx.cfg.quality.cb.map(|cb| match cb.method {
+            CbMethod::LowRank(rank) => CbLink::LowRank(LazyErrorPropagator::new(
+                PowerSgd::new(rank, ctx.cfg.seed ^ 0xCB ^ my_rank as u64),
+                cb.lazy_error,
+            )),
+            CbMethod::TopK(density) => {
+                CbLink::TopK(LazyErrorPropagator::new(TopK::new(density), cb.lazy_error))
+            }
+        })
+    } else {
+        None
+    };
+
+    // DP compression state (selective stage / naive DP).
+    let dp_compressed = s < ctx.cfg.sc_stage_count();
+    let mut dp_state: Option<DistPowerSgd> = match (dp_compressed, ctx.cfg.dp_rank()) {
+        (true, Some(rank)) => {
+            let n_slots = ctx.stage.non_embedding_params().len();
+            // Seed must agree across dp ranks of the same stage.
+            Some(DistPowerSgd::new(rank, n_slots, ctx.cfg.seed ^ 0xD9 ^ s as u64))
+        }
+        _ => None,
+    };
+
+    let act_dense_bytes =
+        |m: &Matrix| -> u64 { (m.len() * FP16_BYTES) as u64 };
+
+    loop {
+        // A dropped trainer (no explicit shutdown) reads as Stop.
+        let Ok(cmd) = ctx.cmds.recv() else { return };
+        match cmd {
+            Cmd::TrainIter { iter } => {
+                train_iter(
+                    &mut ctx,
+                    &schedule,
+                    &mut optimizer,
+                    &mut cb_link,
+                    &mut dp_state,
+                    iter,
+                    my_rank,
+                    act_dense_bytes,
+                );
+            }
+            Cmd::Validate { iter, index, n_seq } => {
+                if d == 0 {
+                    validate(&mut ctx, iter, index, n_seq);
+                }
+            }
+            Cmd::Predict { id, tokens } => {
+                if d == 0 {
+                    predict(&mut ctx, id, &tokens);
+                }
+            }
+            Cmd::Barrier { id } => {
+                let ack = WorkerAck {
+                    id,
+                    stage: s,
+                    dp: d,
+                    param_elems: ctx.stage.param_count(),
+                    lazy_error_elems: cb_link.as_ref().map_or(0, CbLink::error_elems),
+                    compressor_elems: cb_link.as_ref().map_or(0, CbLink::warm_start_elems)
+                        + dp_state.as_ref().map_or(0, DistPowerSgd::buffer_elems),
+                };
+                ctx.acks.send(ack).expect("trainer dropped ack channel");
+            }
+            Cmd::Stop => return,
+        }
+    }
+}
+
+/// Deterministic batch key shared by the first and last stages.
+fn batch_key(iter: u64, d: usize, micro: usize) -> u64 {
+    iter * 1_000_003 + (d as u64) * 1009 + micro as u64
+}
+
+#[allow(clippy::too_many_arguments)]
+fn train_iter(
+    ctx: &mut WorkerCtx,
+    schedule: &opt_schedule::PipelineSchedule,
+    optimizer: &mut Adam,
+    cb_link: &mut Option<CbLink>,
+    dp_state: &mut Option<DistPowerSgd>,
+    iter: u64,
+    my_rank: usize,
+    act_dense_bytes: impl Fn(&Matrix) -> u64,
+) {
+    let pp = ctx.cfg.pp;
+    let s = ctx.stage_idx;
+    let d = ctx.dp_idx;
+    let n_micro = ctx.cfg.n_micro;
+    let is_first = s == 0;
+    let is_last = s == pp - 1;
+
+    // Per-micro-batch logits gradients waiting for their backward op.
+    let mut grad_queue: VecDeque<Matrix> = VecDeque::new();
+    // Fig. 11 instrumentation: received activations per micro and the
+    // consecutive differences Y(i) - Y(i+1).
+    let collect_stats = ctx.cfg.collect_error_stats && d == 0 && s > 0;
+    let mut recv_acts: HashMap<usize, Matrix> = HashMap::new();
+    let mut act_diffs: HashMap<usize, Matrix> = HashMap::new();
+
+    for op in schedule.device_ops(s) {
+        match *op {
+            Op::Forward { micro } => {
+                let hidden = if is_first {
+                    let batch = ctx.corpus.train_batch(
+                        ctx.cfg.micro_batch,
+                        batch_key(iter, d, micro),
+                    );
+                    ctx.stage.forward_tokens(&batch.tokens)
+                } else {
+                    let act = ctx
+                        .fwd_mesh
+                        .recv(my_rank - 1, my_rank)
+                        .expect("forward activation lost");
+                    if collect_stats {
+                        if let Some(prev) = recv_acts.get(&(micro.wrapping_sub(1))) {
+                            act_diffs.insert(micro.wrapping_sub(1), prev.sub(&act));
+                        }
+                        recv_acts.insert(micro, act.clone());
+                    }
+                    ctx.stage.forward_hidden(&act)
+                };
+                if is_last {
+                    // Compute the loss now; backward pops it later.
+                    let batch = ctx.corpus.train_batch(
+                        ctx.cfg.micro_batch,
+                        batch_key(iter, d, micro),
+                    );
+                    let out = cross_entropy(&hidden, &batch.targets);
+                    ctx.collector.record_train(iter, out.loss);
+                    grad_queue.push_back(out.grad_logits);
+                } else {
+                    ctx.ledger.record(TrafficClass::InterStage, act_dense_bytes(&hidden));
+                    ctx.fwd_mesh.send(my_rank, my_rank + 1, hidden);
+                }
+            }
+            Op::Backward { micro } => {
+                let grad_in = if is_last {
+                    grad_queue.pop_front().expect("logits gradient queued")
+                } else {
+                    let payload = ctx
+                        .bwd_mesh
+                        .recv(my_rank + 1, my_rank)
+                        .expect("backward gradient lost");
+                    payload.decompress()
+                };
+                let upstream = ctx.stage.backward(&grad_in);
+                if let Some(up) = upstream {
+                    let (payload, _stats) = match cb_link {
+                        Some(link) => {
+                            let cb = ctx.cfg.quality.cb.expect("cb config present");
+                            let compress_now = !cb.epilogue_only
+                                || is_epilogue_send(s, micro, pp, n_micro);
+                            let (payload, stats) = link.process(&up, compress_now);
+                            if collect_stats {
+                                if let (Some(eps), Some(diff)) =
+                                    (link.error(), act_diffs.get(&micro))
+                                {
+                                    ctx.collector.record_error_stat(ErrorStatPoint {
+                                        iter,
+                                        stage: s,
+                                        error_mean: eps.mean_all(),
+                                        act_diff_mean: diff.mean_all(),
+                                        cosine: cosine_similarity(eps, diff),
+                                    });
+                                }
+                            }
+                            (payload, stats)
+                        }
+                        None => (
+                            Compressed::Dense { matrix: up },
+                            opt_compress::LinkErrorStats::default(),
+                        ),
+                    };
+                    ctx.ledger
+                        .record(TrafficClass::InterStage, payload.wire_bytes() as u64);
+                    ctx.bwd_mesh.send(my_rank, my_rank - 1, payload);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(ctx.stage.pending_activations(), 0, "schedule left dangling caches");
+
+    // ----- Data-parallel gradient exchange ------------------------------
+    {
+        let mut params = ctx.stage.non_embedding_params();
+        match dp_state {
+            Some(state) => {
+                for (slot, p) in params.iter_mut().enumerate() {
+                    state.all_reduce(&ctx.stage_group, my_rank, slot, p.grad, &ctx.ledger);
+                }
+            }
+            None => {
+                for p in params.iter_mut() {
+                    ctx.ledger.record(
+                        TrafficClass::DataParallel,
+                        ring_wire_bytes(p.grad.len(), ctx.stage_group.size()),
+                    );
+                    *p.grad = ctx.stage_group.all_reduce_mean(my_rank, p.grad.clone());
+                }
+            }
+        }
+    }
+
+    // ----- Embedding synchronization (§6) -------------------------------
+    if pp == 1 {
+        // Single replica: the table gradient rides the plain DP path.
+        if let Some(g) = ctx.stage.embedding_grad().cloned() {
+            ctx.ledger.record(
+                TrafficClass::Embedding,
+                ring_wire_bytes(g.len(), ctx.stage_group.size()),
+            );
+            let synced = ctx.stage_group.all_reduce_mean(my_rank, g);
+            ctx.stage.set_embedding_grad(synced);
+        }
+    } else if let Some(g) = ctx.stage.embedding_grad().cloned() {
+        let dp_ways = ctx.stage_group.size();
+        if ctx.cfg.quality.fused_embedding {
+            // One (2D)-way all-reduce: sum over both replicas' groups,
+            // divided by D = mean over data ranks of (first + last).
+            let fused = ctx.fused_group.as_ref().expect("end stage has fused group");
+            ctx.ledger.record(
+                TrafficClass::Embedding,
+                ring_wire_bytes(g.len(), fused.size()),
+            );
+            let mut summed = fused.all_reduce_sum(my_rank, g);
+            summed.scale_assign(1.0 / dp_ways as f32);
+            ctx.stage.set_embedding_grad(summed);
+        } else {
+            // Baseline: EMB DP (D-way mean) then 2-way sum (paper Fig. 7a).
+            ctx.ledger.record(
+                TrafficClass::Embedding,
+                ring_wire_bytes(g.len(), dp_ways),
+            );
+            let meaned = ctx.stage_group.all_reduce_mean(my_rank, g);
+            let pair = ctx.emb_pair_group.as_ref().expect("end stage has pair group");
+            ctx.ledger
+                .record(TrafficClass::Embedding, ring_wire_bytes(meaned.len(), 2));
+            let synced = pair.all_reduce_sum(my_rank, meaned);
+            ctx.stage.set_embedding_grad(synced);
+        }
+    }
+
+    // ----- Optimizer step ------------------------------------------------
+    let mut params = ctx.stage.params();
+    optimizer.step(&mut params);
+    ctx.stage.zero_grad();
+}
+
+/// Validation forward pass over `n_seq` held-out sequences (dp rank 0).
+fn validate(ctx: &mut WorkerCtx, iter: u64, index: u64, n_seq: usize) {
+    let pp = ctx.cfg.pp;
+    let s = ctx.stage_idx;
+    let my_rank = s; // dp rank 0 => global rank == stage index
+    let chunks = n_seq.div_ceil(ctx.cfg.micro_batch);
+    for c in 0..chunks {
+        let key = index * 10_007 + c as u64;
+        if s == 0 {
+            let batch = ctx.corpus.validation_batch(ctx.cfg.micro_batch, key);
+            let h = ctx.stage.forward_tokens(&batch.tokens);
+            if pp == 1 {
+                let out = cross_entropy(&h, &batch.targets);
+                ctx.collector.record_val(iter, out.loss);
+            } else {
+                ctx.fwd_mesh.send(my_rank, my_rank + 1, h);
+            }
+        } else {
+            let act = ctx
+                .fwd_mesh
+                .recv(my_rank - 1, my_rank)
+                .expect("validation activation lost");
+            let h = ctx.stage.forward_hidden(&act);
+            if s == pp - 1 {
+                let batch = ctx.corpus.validation_batch(ctx.cfg.micro_batch, key);
+                let out = cross_entropy(&h, &batch.targets);
+                ctx.collector.record_val(iter, out.loss);
+            } else {
+                ctx.fwd_mesh.send(my_rank, my_rank + 1, h);
+            }
+        }
+    }
+    ctx.stage.clear_caches();
+}
+
+/// Inference pass: last-position argmax per sequence (dp rank 0).
+fn predict(ctx: &mut WorkerCtx, id: u64, tokens: &[usize]) {
+    let pp = ctx.cfg.pp;
+    let s = ctx.stage_idx;
+    let my_rank = s;
+    let logits = if s == 0 {
+        let h = ctx.stage.forward_tokens(tokens);
+        if pp == 1 {
+            h
+        } else {
+            ctx.fwd_mesh.send(my_rank, my_rank + 1, h);
+            ctx.stage.clear_caches();
+            return;
+        }
+    } else {
+        let act = ctx
+            .fwd_mesh
+            .recv(my_rank - 1, my_rank)
+            .expect("predict activation lost");
+        let h = ctx.stage.forward_hidden(&act);
+        if s < pp - 1 {
+            ctx.fwd_mesh.send(my_rank, my_rank + 1, h);
+            ctx.stage.clear_caches();
+            return;
+        }
+        h
+    };
+    // Last stage: argmax at each sequence's final position.
+    let seq_len = ctx.cfg.model.seq_len;
+    let n_seq = logits.rows() / seq_len;
+    let preds = logits.argmax_rows();
+    let answers: Vec<usize> = (0..n_seq).map(|q| preds[q * seq_len + seq_len - 1]).collect();
+    ctx.stage.clear_caches();
+    ctx.predict_out.send((id, answers)).expect("trainer dropped predict channel");
+}
+
+/// Per-rank ring all-reduce wire bytes for `elems` fp16 elements.
+fn ring_wire_bytes(elems: usize, ranks: usize) -> u64 {
+    if ranks <= 1 {
+        return 0;
+    }
+    (2 * elems * FP16_BYTES) as u64 * (ranks as u64 - 1) / ranks as u64
+}

@@ -1,0 +1,103 @@
+//! Edge-case parallelism configurations: the runtime must behave for
+//! degenerate pipelines (single stage, single DP rank) and asymmetric
+//! layer splits, since the paper's Fig. 14 sweeps exactly these shapes.
+
+use opt_model::GptConfig;
+use optimus_cc::{QualityConfig, Trainer, TrainerConfig};
+
+fn cfg(pp: usize, dp: usize, q: QualityConfig, iters: u64) -> TrainerConfig {
+    let mut c = TrainerConfig::tiny_test(q, iters);
+    c.pp = pp;
+    c.dp = dp;
+    c
+}
+
+#[test]
+fn single_stage_single_rank_trains() {
+    // pp=1, dp=1: no pipeline traffic, no DP traffic, tied embedding on
+    // one replica — the plain single-GPU path.
+    let mut t = Trainer::launch(cfg(1, 1, QualityConfig::baseline(), 15));
+    let r = t.train();
+    t.shutdown();
+    assert!(r.train_loss.iter().all(|l| l.is_finite()));
+    assert_eq!(r.traffic.bytes(opt_net::TrafficClass::InterStage), 0);
+    assert_eq!(r.traffic.bytes(opt_net::TrafficClass::DataParallel), 0);
+}
+
+#[test]
+fn deep_pipeline_no_dp_trains() {
+    // pp=4, dp=1: pure pipeline parallelism; CB still applies, the
+    // embedding pair sync still runs between first and last stage.
+    let mut t = Trainer::launch(cfg(4, 1, QualityConfig::cb(), 15));
+    let r = t.train();
+    t.shutdown();
+    assert!(r.train_loss.iter().all(|l| l.is_finite()));
+    assert!(r.traffic.bytes(opt_net::TrafficClass::InterStage) > 0);
+}
+
+#[test]
+fn dp_only_with_naive_compression_trains() {
+    // pp=1, dp=2 with naive DP compression: the Fig. 3 "naive DP" shape
+    // in its purest form.
+    let mut t = Trainer::launch(cfg(1, 2, QualityConfig::naive_dp(2), 20));
+    let r = t.train();
+    t.shutdown();
+    assert!(r.final_val_ppl().is_finite());
+    assert!(r.traffic.bytes(opt_net::TrafficClass::DataParallel) > 0);
+}
+
+#[test]
+fn uneven_layer_split_trains() {
+    // 4 layers over 3 stages: front stages take the extra layer.
+    let mut c = TrainerConfig::tiny_test(QualityConfig::cb_fe(), 10);
+    c.pp = 3;
+    c.dp = 1;
+    let mut t = Trainer::launch(c);
+    let r = t.train();
+    t.shutdown();
+    assert!(r.train_loss.iter().all(|l| l.is_finite()));
+}
+
+#[test]
+fn fused_embedding_identity_holds_at_dp4() {
+    // The §6 exactness claim at a wider DP degree (D=4, pp=2).
+    let run = |fused: bool| {
+        let mut q = QualityConfig::baseline();
+        q.fused_embedding = fused;
+        let mut c = TrainerConfig::tiny_test(q, 6);
+        c.pp = 2;
+        c.dp = 4;
+        let mut t = Trainer::launch(c);
+        let r = t.train();
+        t.shutdown();
+        r.train_loss
+    };
+    let a = run(false);
+    let b = run(true);
+    for (x, y) in a.iter().zip(&b) {
+        assert!((x - y).abs() < 1e-3 * (1.0 + x.abs()), "{a:?} vs {b:?}");
+    }
+}
+
+#[test]
+fn sixteen_micro_batches_deep_schedule() {
+    // More micro-batches than 2x stages: long steady state, full drain.
+    let mut c = TrainerConfig::tiny_test(QualityConfig::cb_fe_sc(), 3);
+    c.n_micro = 16;
+    let mut t = Trainer::launch(c);
+    let r = t.train();
+    t.shutdown();
+    assert!(r.train_loss.iter().all(|l| l.is_finite()));
+}
+
+#[test]
+fn tiny_config_with_bigger_model_shape() {
+    // 6-layer model over 4 stages with heads=4 (hidden 16 -> head_dim 4).
+    let mut c = TrainerConfig::tiny_test(QualityConfig::cb(), 5);
+    c.model = GptConfig { n_layers: 6, ..GptConfig::tiny() };
+    c.pp = 4;
+    let mut t = Trainer::launch(c);
+    let r = t.train();
+    t.shutdown();
+    assert!(r.train_loss.iter().all(|l| l.is_finite()));
+}

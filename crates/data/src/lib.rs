@@ -1,0 +1,23 @@
+//! `opt-data` — synthetic corpora and evaluation tasks.
+//!
+//! The paper pretrains on RealNews + Wikipedia + CC-Stories + OpenWebtext
+//! and evaluates zero-shot on LAMBADA / PIQA / MathQA / WinoGrande / RACE.
+//! Neither the corpus nor the benchmark suites are available (or
+//! meaningful) at our model scale, so this crate provides the synthetic
+//! substitutes documented in `DESIGN.md` §4:
+//!
+//! * [`SyntheticCorpus`] — a mixture of an order-1 Markov language (local
+//!   statistics, a well-defined entropy floor) and repeated-window
+//!   sequences (long-range structure that trains induction/copy heads).
+//!   A deterministic holdout split provides train/validation batches, as
+//!   the paper holds out 5 % for validation.
+//! * [`ZeroShotTask`] — five probes evaluated *without fine-tuning*, each
+//!   substituting for one paper benchmark by exercising a comparable
+//!   capability (long-range recall, local recall, corpus statistics,
+//!   copying, recall under distraction).
+
+mod corpus;
+mod tasks;
+
+pub use corpus::{Batch, MarkovChain, SyntheticCorpus};
+pub use tasks::{TaskExample, TaskScore, ZeroShotTask};

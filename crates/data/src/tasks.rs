@@ -1,0 +1,300 @@
+//! Zero-shot evaluation probes (Table 3/4 substitutes).
+
+use crate::{MarkovChain, SyntheticCorpus};
+use opt_tensor::SeedStream;
+
+/// One zero-shot example: a context of `seq_len` tokens and the expected
+/// next token at the final position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskExample {
+    /// The full input context (exactly `seq_len` tokens).
+    pub context: Vec<usize>,
+    /// The expected prediction for the final position.
+    pub answer: usize,
+}
+
+/// Accuracy result of a task evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskScore {
+    /// Number of correct predictions.
+    pub correct: usize,
+    /// Number of examples evaluated.
+    pub total: usize,
+}
+
+impl TaskScore {
+    /// Accuracy in `[0, 1]`.
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+}
+
+/// The five zero-shot probes substituting for the paper's Table 3 suite.
+///
+/// Each probe is evaluated on a frozen pretrained model (no fine-tuning)
+/// and measures a capability the mixture corpus exercises, graded by
+/// difficulty so accuracies spread out like the paper's benchmarks do:
+///
+/// | Probe | Substitutes for | Capability |
+/// |---|---|---|
+/// | `LongRecall` | LAMBADA | recall a pattern planted at the start of the context |
+/// | `ShortRecall` | PIQA | recall a pattern planted a few tokens back |
+/// | `MarkovNext` | MathQA | reproduce corpus statistics on rare states |
+/// | `Copy` | WinoGrande | continue a periodic sequence |
+/// | `DistractedRecall` | RACE | recall across interleaved distractors |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ZeroShotTask {
+    /// Pattern pair planted at context start, queried at the end.
+    LongRecall,
+    /// Pattern pair planted close to the query.
+    ShortRecall,
+    /// Predict the most likely Markov successor of the final token.
+    MarkovNext,
+    /// Continue a periodic (window-repeat) sequence.
+    Copy,
+    /// Recall with distractor tokens interleaved around the planted pair.
+    DistractedRecall,
+}
+
+impl ZeroShotTask {
+    /// All tasks in Table-3 row order.
+    pub const ALL: [ZeroShotTask; 5] = [
+        ZeroShotTask::LongRecall,
+        ZeroShotTask::ShortRecall,
+        ZeroShotTask::MarkovNext,
+        ZeroShotTask::Copy,
+        ZeroShotTask::DistractedRecall,
+    ];
+
+    /// The paper benchmark this probe substitutes for.
+    pub fn paper_benchmark(&self) -> &'static str {
+        match self {
+            ZeroShotTask::LongRecall => "LAMBADA",
+            ZeroShotTask::ShortRecall => "PIQA",
+            ZeroShotTask::MarkovNext => "MathQA",
+            ZeroShotTask::Copy => "WinoGrande",
+            ZeroShotTask::DistractedRecall => "RACE",
+        }
+    }
+
+    /// Generates `n` deterministic examples against `corpus`.
+    pub fn generate(&self, corpus: &SyntheticCorpus, n: usize, seed: u64) -> Vec<TaskExample> {
+        let mut rng = SeedStream::new(seed ^ 0x7A5C ^ (*self as u64) << 8);
+        (0..n).map(|_| self.example(corpus, &mut rng)).collect()
+    }
+
+    fn example(&self, corpus: &SyntheticCorpus, rng: &mut SeedStream) -> TaskExample {
+        let l = corpus.seq_len();
+        let v = corpus.vocab();
+        let chain = corpus.chain();
+        match self {
+            ZeroShotTask::LongRecall => {
+                // [a, b, fill..., a] -> b, with the pair at the very start.
+                let (a, b) = distinct_pair(v, rng);
+                let mut ctx = vec![a, b];
+                fill_markov(&mut ctx, chain, l - 1, rng, &[a]);
+                ctx.push(a);
+                TaskExample { context: ctx, answer: b }
+            }
+            ZeroShotTask::ShortRecall => {
+                // fill... [a, b, x, a] -> b, pair planted 3 back.
+                let (a, b) = distinct_pair(v, rng);
+                let mut ctx = Vec::new();
+                fill_markov(&mut ctx, chain, l - 4, rng, &[a]);
+                let x = loop {
+                    let x = rng.below(v);
+                    if x != a {
+                        break x;
+                    }
+                };
+                ctx.extend_from_slice(&[a, b, x, a]);
+                TaskExample { context: ctx, answer: b }
+            }
+            ZeroShotTask::MarkovNext => {
+                // Pure chain context; answer = most likely successor of
+                // the final token.
+                let mut ctx = Vec::with_capacity(l);
+                let mut t = rng.below(v);
+                ctx.push(t);
+                for _ in 1..l {
+                    t = chain.step(t, rng);
+                    ctx.push(t);
+                }
+                TaskExample { context: ctx.clone(), answer: chain.most_likely_successor(t) }
+            }
+            ZeroShotTask::Copy => {
+                // Periodic window; answer continues the period.
+                let window = (l / 2).max(2);
+                let mut prefix = Vec::with_capacity(window);
+                let mut t = rng.below(v);
+                prefix.push(t);
+                for _ in 1..window {
+                    t = chain.step(t, rng);
+                    prefix.push(t);
+                }
+                let ctx: Vec<usize> = (0..l).map(|i| prefix[i % window]).collect();
+                TaskExample { context: ctx, answer: prefix[l % window] }
+            }
+            ZeroShotTask::DistractedRecall => {
+                // [a, b] planted mid-context, distractors after, query a.
+                let (a, b) = distinct_pair(v, rng);
+                let mut ctx = Vec::new();
+                fill_markov(&mut ctx, chain, l / 2 - 1, rng, &[a]);
+                ctx.push(a);
+                ctx.push(b);
+                fill_markov(&mut ctx, chain, l - 1, rng, &[a]);
+                ctx.push(a);
+                TaskExample { context: ctx, answer: b }
+            }
+        }
+    }
+
+    /// Evaluates `predict` (a frozen model's final-position argmax) on `n`
+    /// examples.
+    pub fn evaluate(
+        &self,
+        corpus: &SyntheticCorpus,
+        n: usize,
+        seed: u64,
+        mut predict: impl FnMut(&[usize]) -> usize,
+    ) -> TaskScore {
+        let examples = self.generate(corpus, n, seed);
+        let correct = examples
+            .iter()
+            .filter(|ex| predict(&ex.context) == ex.answer)
+            .count();
+        TaskScore { correct, total: n }
+    }
+}
+
+/// Two distinct random tokens.
+fn distinct_pair(vocab: usize, rng: &mut SeedStream) -> (usize, usize) {
+    let a = rng.below(vocab);
+    let mut b = rng.below(vocab);
+    while b == a {
+        b = rng.below(vocab);
+    }
+    (a, b)
+}
+
+/// Extends `ctx` with chain-sampled tokens until it reaches `target_len`,
+/// avoiding tokens in `forbidden` (so the planted cue stays unique).
+fn fill_markov(
+    ctx: &mut Vec<usize>,
+    chain: &MarkovChain,
+    target_len: usize,
+    rng: &mut SeedStream,
+    forbidden: &[usize],
+) {
+    let mut t = if ctx.is_empty() { rng.below(chain.vocab()) } else { *ctx.last().unwrap() };
+    while ctx.len() < target_len {
+        t = chain.step(t, rng);
+        let mut guard = 0;
+        while forbidden.contains(&t) && guard < 8 {
+            t = rng.below(chain.vocab());
+            guard += 1;
+        }
+        if forbidden.contains(&t) {
+            // Fall back to any non-forbidden token deterministically.
+            t = (0..chain.vocab())
+                .find(|x| !forbidden.contains(x))
+                .expect("vocab larger than forbidden set");
+        }
+        ctx.push(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> SyntheticCorpus {
+        SyntheticCorpus::new(64, 16, 0.5, 7)
+    }
+
+    #[test]
+    fn examples_have_exact_context_length() {
+        let c = corpus();
+        for task in ZeroShotTask::ALL {
+            for ex in task.generate(&c, 20, 1) {
+                assert_eq!(ex.context.len(), 16, "{task:?}");
+                assert!(ex.answer < 64);
+                assert!(ex.context.iter().all(|&t| t < 64));
+            }
+        }
+    }
+
+    #[test]
+    fn long_recall_plants_pair_at_start_and_cue_at_end() {
+        let c = corpus();
+        for ex in ZeroShotTask::LongRecall.generate(&c, 20, 2) {
+            let a = ex.context[0];
+            assert_eq!(ex.context[1], ex.answer);
+            assert_eq!(*ex.context.last().unwrap(), a);
+            // Cue token unique in the middle (no ambiguity).
+            let occurrences = ex.context[..15].iter().filter(|&&t| t == a).count();
+            assert_eq!(occurrences, 1, "cue token leaked into distractors");
+        }
+    }
+
+    #[test]
+    fn copy_examples_are_periodic() {
+        let c = corpus();
+        for ex in ZeroShotTask::Copy.generate(&c, 10, 3) {
+            for i in 8..16 {
+                assert_eq!(ex.context[i], ex.context[i - 8]);
+            }
+            assert_eq!(ex.answer, ex.context[16 % 8]);
+        }
+    }
+
+    #[test]
+    fn markov_next_answer_is_argmax_successor() {
+        let c = corpus();
+        for ex in ZeroShotTask::MarkovNext.generate(&c, 10, 4) {
+            let last = *ex.context.last().unwrap();
+            assert_eq!(ex.answer, c.chain().most_likely_successor(last));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = corpus();
+        let a = ZeroShotTask::DistractedRecall.generate(&c, 5, 9);
+        let b = ZeroShotTask::DistractedRecall.generate(&c, 5, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oracle_predictor_scores_100_percent() {
+        let c = corpus();
+        let examples = ZeroShotTask::LongRecall.generate(&c, 50, 11);
+        let mut i = 0;
+        let score = ZeroShotTask::LongRecall.evaluate(&c, 50, 11, |_ctx| {
+            let ans = examples[i].answer;
+            i += 1;
+            ans
+        });
+        assert_eq!(score.correct, 50);
+        assert!((score.accuracy() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_predictor_scores_near_chance() {
+        let c = corpus();
+        let mut rng = SeedStream::new(5);
+        let score =
+            ZeroShotTask::MarkovNext.evaluate(&c, 400, 13, |_ctx| rng.below(64));
+        assert!(score.accuracy() < 0.1, "random accuracy {}", score.accuracy());
+    }
+
+    #[test]
+    fn paper_benchmark_names() {
+        assert_eq!(ZeroShotTask::LongRecall.paper_benchmark(), "LAMBADA");
+        assert_eq!(ZeroShotTask::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests for corpus and task generation.
+
+use opt_data::{SyntheticCorpus, ZeroShotTask};
+use proptest::prelude::*;
+
+fn corpus(vocab: usize, seq: usize, rep: f64, seed: u64) -> SyntheticCorpus {
+    SyntheticCorpus::new(vocab, seq, rep, seed)
+}
+
+proptest! {
+    #[test]
+    fn batches_stay_in_vocab(vocab in 8usize..128, seq in 4usize..32, seed in 0u64..200) {
+        let c = corpus(vocab, seq, 0.5, seed);
+        let b = c.train_batch(3, 0);
+        prop_assert!(b.tokens.iter().all(|&t| t < vocab));
+        prop_assert!(b.targets.iter().all(|&t| t < vocab));
+        prop_assert_eq!(b.tokens.len(), 3 * seq);
+    }
+
+    #[test]
+    fn targets_shift_within_sequences(seed in 0u64..200, rep in 0.0f64..1.0) {
+        let c = corpus(32, 8, rep, seed);
+        let b = c.train_batch(4, 1);
+        for s in 0..4 {
+            for i in 0..7 {
+                prop_assert_eq!(b.targets[s * 8 + i], b.tokens[s * 8 + i + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn different_steps_give_different_batches(seed in 0u64..100) {
+        let c = corpus(32, 16, 0.5, seed);
+        prop_assert_ne!(c.train_batch(4, 0), c.train_batch(4, 1));
+    }
+
+    #[test]
+    fn task_examples_are_well_formed(seed in 0u64..100, n in 1usize..20) {
+        let c = corpus(64, 16, 0.5, 3);
+        for task in ZeroShotTask::ALL {
+            for ex in task.generate(&c, n, seed) {
+                prop_assert_eq!(ex.context.len(), 16);
+                prop_assert!(ex.answer < 64);
+            }
+        }
+    }
+
+    #[test]
+    fn long_recall_cue_is_unambiguous(seed in 0u64..200) {
+        let c = corpus(64, 16, 0.5, 5);
+        for ex in ZeroShotTask::LongRecall.generate(&c, 10, seed) {
+            let cue = *ex.context.last().unwrap();
+            // The cue appears exactly twice: at position 0 and at the end.
+            let count = ex.context.iter().filter(|&&t| t == cue).count();
+            prop_assert_eq!(count, 2, "cue ambiguity in {:?}", ex.context);
+        }
+    }
+
+    #[test]
+    fn chain_entropy_floor_is_nonnegative_and_bounded(vocab in 4usize..64, branch in 1usize..4, seed in 0u64..100) {
+        let chain = opt_data::MarkovChain::new(vocab, branch, seed);
+        let h = chain.entropy_floor_nats();
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= (branch as f32).ln() + 1e-5, "entropy above log(branching)");
+    }
+}

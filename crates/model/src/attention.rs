@@ -1,0 +1,345 @@
+//! Causal multi-head self-attention with hand-written backward pass.
+
+use crate::{Layer, ParamRef};
+use opt_tensor::{xavier_uniform, Matrix, SeedStream};
+use std::collections::VecDeque;
+
+/// Per-forward cached tensors needed by the backward pass.
+struct AttnCache {
+    x: Matrix,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    /// Softmax outputs per (sequence, head): attn[s * heads + h] is L x L.
+    attn: Vec<Matrix>,
+    /// Concatenated per-head context (pre output-projection).
+    context: Matrix,
+}
+
+/// Causal multi-head self-attention: `y = softmax(QK^T / sqrt(dk)) V W_o`.
+///
+/// Input is `(batch * seq_len) x hidden`, rows grouped by sequence: rows
+/// `[s*L, (s+1)*L)` form sequence `s` — the same folding Megatron-LM uses
+/// before its attention GEMMs. A causal mask forbids attending to future
+/// positions.
+pub struct MultiHeadAttention {
+    hidden: usize,
+    heads: usize,
+    seq_len: usize,
+    wq: Matrix,
+    wk: Matrix,
+    wv: Matrix,
+    wo: Matrix,
+    grad_wq: Matrix,
+    grad_wk: Matrix,
+    grad_wv: Matrix,
+    grad_wo: Matrix,
+    cache: VecDeque<AttnCache>,
+}
+
+impl std::fmt::Debug for MultiHeadAttention {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MultiHeadAttention(hidden={}, heads={}, seq_len={})",
+            self.hidden, self.heads, self.seq_len
+        )
+    }
+}
+
+impl MultiHeadAttention {
+    /// Creates an attention layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` is not divisible by `heads`.
+    pub fn new(hidden: usize, heads: usize, seq_len: usize, rng: &mut SeedStream) -> Self {
+        assert!(hidden % heads == 0, "hidden must be divisible by heads");
+        Self {
+            hidden,
+            heads,
+            seq_len,
+            wq: xavier_uniform(rng, hidden, hidden),
+            wk: xavier_uniform(rng, hidden, hidden),
+            wv: xavier_uniform(rng, hidden, hidden),
+            wo: xavier_uniform(rng, hidden, hidden),
+            grad_wq: Matrix::zeros(hidden, hidden),
+            grad_wk: Matrix::zeros(hidden, hidden),
+            grad_wv: Matrix::zeros(hidden, hidden),
+            grad_wo: Matrix::zeros(hidden, hidden),
+            cache: VecDeque::new(),
+        }
+    }
+
+    /// Head dimensionality `hidden / heads`.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    fn n_sequences(&self, rows: usize) -> usize {
+        assert!(
+            rows % self.seq_len == 0,
+            "input rows {rows} not a multiple of seq_len {}",
+            self.seq_len
+        );
+        rows / self.seq_len
+    }
+
+    /// Row-wise softmax with causal masking applied to an `L x L` score
+    /// matrix: position `i` attends to positions `0..=i`.
+    fn causal_softmax(scores: &Matrix) -> Matrix {
+        let l = scores.rows();
+        let mut out = Matrix::zeros(l, l);
+        for i in 0..l {
+            let row = scores.row(i);
+            let visible = &row[..=i];
+            let max = visible.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+            let mut denom = 0.0;
+            for (j, &s) in visible.iter().enumerate() {
+                let e = (s - max).exp();
+                out[(i, j)] = e;
+                denom += e;
+            }
+            for j in 0..=i {
+                out[(i, j)] /= denom;
+            }
+        }
+        out
+    }
+}
+
+impl Layer for MultiHeadAttention {
+    fn forward(&mut self, x: &Matrix) -> Matrix {
+        let n_seq = self.n_sequences(x.rows());
+        let l = self.seq_len;
+        let dk = self.head_dim();
+        let scale = 1.0 / (dk as f32).sqrt();
+
+        let q = x.matmul(&self.wq);
+        let k = x.matmul(&self.wk);
+        let v = x.matmul(&self.wv);
+
+        let mut context = Matrix::zeros(x.rows(), self.hidden);
+        let mut attn = Vec::with_capacity(n_seq * self.heads);
+        for s in 0..n_seq {
+            let qs = q.slice_rows(s * l, (s + 1) * l);
+            let ks = k.slice_rows(s * l, (s + 1) * l);
+            let vs = v.slice_rows(s * l, (s + 1) * l);
+            for h in 0..self.heads {
+                let qh = qs.slice_cols(h * dk, (h + 1) * dk);
+                let kh = ks.slice_cols(h * dk, (h + 1) * dk);
+                let vh = vs.slice_cols(h * dk, (h + 1) * dk);
+                let scores = qh.matmul_t(&kh).scale(scale);
+                let a = Self::causal_softmax(&scores);
+                let ctx_h = a.matmul(&vh); // L x dk
+                // Paste into the context block for this sequence.
+                for (i, row) in (s * l..(s + 1) * l).enumerate() {
+                    let dst = context.row_mut(row);
+                    dst[h * dk..(h + 1) * dk].copy_from_slice(ctx_h.row(i));
+                }
+                attn.push(a);
+            }
+        }
+        let y = context.matmul(&self.wo);
+        self.cache.push_back(AttnCache { x: x.clone(), q, k, v, attn, context });
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let c = self.cache.pop_front().expect("Attention::backward without forward");
+        let n_seq = self.n_sequences(grad_out.rows());
+        let l = self.seq_len;
+        let dk = self.head_dim();
+        let scale = 1.0 / (dk as f32).sqrt();
+
+        // y = context * Wo
+        self.grad_wo.add_assign(&c.context.t_matmul(grad_out));
+        let d_context = grad_out.matmul_t(&self.wo);
+
+        let mut dq = Matrix::zeros(grad_out.rows(), self.hidden);
+        let mut dk_mat = Matrix::zeros(grad_out.rows(), self.hidden);
+        let mut dv = Matrix::zeros(grad_out.rows(), self.hidden);
+
+        for s in 0..n_seq {
+            let qs = c.q.slice_rows(s * l, (s + 1) * l);
+            let ks = c.k.slice_rows(s * l, (s + 1) * l);
+            let vs = c.v.slice_rows(s * l, (s + 1) * l);
+            let d_ctx_s = d_context.slice_rows(s * l, (s + 1) * l);
+            for h in 0..self.heads {
+                let a = &c.attn[s * self.heads + h]; // L x L
+                let qh = qs.slice_cols(h * dk, (h + 1) * dk);
+                let kh = ks.slice_cols(h * dk, (h + 1) * dk);
+                let vh = vs.slice_cols(h * dk, (h + 1) * dk);
+                let d_ctx_h = d_ctx_s.slice_cols(h * dk, (h + 1) * dk); // L x dk
+
+                // ctx_h = A vh
+                let d_a = d_ctx_h.matmul_t(&vh); // L x L
+                let d_vh = a.t_matmul(&d_ctx_h); // L x dk
+
+                // Softmax backward per row: dS = A ⊙ (dA - rowsum(dA ⊙ A)).
+                let mut d_s = Matrix::zeros(l, l);
+                for i in 0..l {
+                    let mut dot = 0.0;
+                    for j in 0..=i {
+                        dot += d_a[(i, j)] * a[(i, j)];
+                    }
+                    for j in 0..=i {
+                        d_s[(i, j)] = a[(i, j)] * (d_a[(i, j)] - dot);
+                    }
+                }
+                // scores = qh kh^T * scale
+                let d_qh = d_s.matmul(&kh).scale(scale);
+                let d_kh = d_s.t_matmul(&qh).scale(scale);
+
+                // Scatter head gradients back into full-width matrices.
+                for (i, row) in (s * l..(s + 1) * l).enumerate() {
+                    dq.row_mut(row)[h * dk..(h + 1) * dk].copy_from_slice(d_qh.row(i));
+                    dk_mat.row_mut(row)[h * dk..(h + 1) * dk].copy_from_slice(d_kh.row(i));
+                    dv.row_mut(row)[h * dk..(h + 1) * dk].copy_from_slice(d_vh.row(i));
+                }
+            }
+        }
+
+        // q = x Wq etc.
+        self.grad_wq.add_assign(&c.x.t_matmul(&dq));
+        self.grad_wk.add_assign(&c.x.t_matmul(&dk_mat));
+        self.grad_wv.add_assign(&c.x.t_matmul(&dv));
+        let mut dx = dq.matmul_t(&self.wq);
+        dx.add_assign(&dk_mat.matmul_t(&self.wk));
+        dx.add_assign(&dv.matmul_t(&self.wv));
+        dx
+    }
+
+    fn params(&mut self) -> Vec<ParamRef<'_>> {
+        vec![
+            ParamRef { name: "attn.wq", value: &mut self.wq, grad: &mut self.grad_wq },
+            ParamRef { name: "attn.wk", value: &mut self.wk, grad: &mut self.grad_wk },
+            ParamRef { name: "attn.wv", value: &mut self.wv, grad: &mut self.grad_wv },
+            ParamRef { name: "attn.wo", value: &mut self.wo, grad: &mut self.grad_wo },
+        ]
+    }
+
+    fn pending_activations(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn clear_caches(&mut self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::testutil::check_input_gradient;
+
+    #[test]
+    #[should_panic(expected = "divisible by heads")]
+    fn indivisible_heads_panics() {
+        let _ = MultiHeadAttention::new(6, 4, 4, &mut SeedStream::new(0));
+    }
+
+    #[test]
+    fn causal_softmax_rows_sum_to_one_and_mask_future() {
+        let scores = Matrix::from_fn(4, 4, |r, c| (r + c) as f32 * 0.1);
+        let a = MultiHeadAttention::causal_softmax(&scores);
+        for i in 0..4 {
+            let row_sum: f32 = a.row(i).iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-5);
+            for j in (i + 1)..4 {
+                assert_eq!(a[(i, j)], 0.0, "future position ({i},{j}) not masked");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_shape_preserved() {
+        let mut rng = SeedStream::new(1);
+        let mut attn = MultiHeadAttention::new(8, 2, 4, &mut rng);
+        let x = rng.uniform_matrix(8, 8, 0.5); // 2 sequences of length 4
+        let y = attn.forward(&x);
+        assert_eq!(y.shape(), (8, 8));
+    }
+
+    #[test]
+    fn first_position_attends_only_to_itself() {
+        // With causal masking, output at position 0 is v[0] * Wo regardless
+        // of other positions.
+        let mut rng = SeedStream::new(2);
+        let mut attn = MultiHeadAttention::new(4, 1, 3, &mut rng);
+        let x1 = rng.uniform_matrix(3, 4, 0.5);
+        let mut x2 = x1.clone();
+        // Perturb positions 1, 2: output row 0 must not change.
+        for c in 0..4 {
+            x2[(1, c)] += 1.0;
+            x2[(2, c)] -= 1.0;
+        }
+        let y1 = attn.forward(&x1);
+        let y2 = attn.forward(&x2);
+        for c in 0..4 {
+            assert!((y1[(0, c)] - y2[(0, c)]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        check_input_gradient(
+            || MultiHeadAttention::new(4, 2, 3, &mut SeedStream::new(33)),
+            3,
+            4,
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn weight_gradients_match_finite_difference() {
+        let mut rng = SeedStream::new(8);
+        let x = rng.uniform_matrix(4, 4, 0.5); // one sequence of length 4
+        let probe = rng.uniform_matrix(4, 4, 1.0);
+        let make = || MultiHeadAttention::new(4, 2, 4, &mut SeedStream::new(55));
+        let mut layer = make();
+        layer.forward(&x);
+        layer.backward(&probe);
+        // Check a few entries of each weight gradient.
+        for (pi, name) in ["attn.wq", "attn.wk", "attn.wv", "attn.wo"].iter().enumerate() {
+            let analytic = layer.params()[pi].grad.clone();
+            for idx in [0usize, 7, 15] {
+                let perturb = |delta: f32| {
+                    let mut l = make();
+                    l.params()[pi].value.as_mut_slice()[idx] += delta;
+                    l.forward(&x).dot(&probe)
+                };
+                let eps = 1e-3;
+                let numeric = (perturb(eps) - perturb(-eps)) / (2.0 * eps);
+                let got = analytic.as_slice()[idx];
+                assert!(
+                    (numeric - got).abs() < 3e-2 * (1.0 + numeric.abs()),
+                    "{name}[{idx}]: numeric {numeric} vs analytic {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_cache_supports_pipelined_microbatches() {
+        let mut rng = SeedStream::new(3);
+        let mut attn = MultiHeadAttention::new(4, 1, 2, &mut rng);
+        let x1 = rng.uniform_matrix(2, 4, 0.5);
+        let x2 = rng.uniform_matrix(2, 4, 0.5);
+        let y1 = attn.forward(&x1);
+        let _y2 = attn.forward(&x2);
+        assert_eq!(attn.pending_activations(), 2);
+        // Backward for x1 first: compare against a fresh layer doing only x1.
+        let mut fresh = MultiHeadAttention::new(4, 1, 2, &mut SeedStream::new(3));
+        // Copy weights so both layers are identical.
+        for (dst, src) in fresh.params().into_iter().zip(attn.params()) {
+            *dst.value = src.value.clone();
+        }
+        let y1_fresh = fresh.forward(&x1);
+        assert!(y1.sub(&y1_fresh).max_abs() < 1e-6);
+        let g = Matrix::full(2, 4, 1.0);
+        let dx = attn.backward(&g);
+        let dx_fresh = fresh.backward(&g);
+        assert!(dx.sub(&dx_fresh).max_abs() < 1e-6);
+    }
+}

@@ -1,0 +1,303 @@
+//! Deterministic in-process all-reduce groups.
+
+use opt_tensor::Matrix;
+use parking_lot::{Condvar, Mutex};
+use std::fmt;
+use std::sync::Arc;
+
+struct GroupState {
+    /// Deposit slot per member (indexed by member position, not global rank).
+    slots: Vec<Option<Matrix>>,
+    /// Result of the current round, filled by the last depositor.
+    result: Option<Matrix>,
+    /// Number of members that have picked up the current result.
+    picked_up: usize,
+    /// Round counter for reuse across iterations.
+    round: u64,
+}
+
+/// An all-reduce group over a fixed set of global ranks.
+///
+/// Semantics match NCCL's `allReduce(sum)`: every member contributes a
+/// same-shaped matrix and receives the element-wise sum. The reduction is
+/// performed in member order, so results are bit-deterministic regardless
+/// of thread arrival order — important for the reproduction's
+/// "fused embedding synchronization is mathematically identical" test.
+///
+/// The group is reusable across rounds (one round per training iteration).
+///
+/// # Example
+///
+/// ```
+/// use opt_net::CollectiveWorld;
+/// use opt_tensor::Matrix;
+/// use std::thread;
+///
+/// let world = CollectiveWorld::new(2);
+/// let g0 = world.group(&[0, 1]);
+/// let g1 = g0.clone();
+/// let h = thread::spawn(move || g1.all_reduce_sum(1, Matrix::full(1, 2, 2.0)));
+/// let sum = g0.all_reduce_sum(0, Matrix::full(1, 2, 1.0));
+/// assert_eq!(sum.as_slice(), &[3.0, 3.0]);
+/// h.join().unwrap();
+/// ```
+#[derive(Clone)]
+pub struct CollectiveGroup {
+    members: Arc<Vec<usize>>,
+    state: Arc<(Mutex<GroupState>, Condvar)>,
+}
+
+impl fmt::Debug for CollectiveGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CollectiveGroup({:?})", self.members)
+    }
+}
+
+impl CollectiveGroup {
+    fn new(members: Vec<usize>) -> Self {
+        let n = members.len();
+        let state = GroupState {
+            slots: (0..n).map(|_| None).collect(),
+            result: None,
+            picked_up: 0,
+            round: 0,
+        };
+        Self {
+            members: Arc::new(members),
+            state: Arc::new((Mutex::new(state), Condvar::new())),
+        }
+    }
+
+    /// The global ranks participating in this group, in reduction order.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Number of participating ranks.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Contributes `m` on behalf of global rank `rank` and returns the
+    /// element-wise sum over all members. Blocks until every member has
+    /// contributed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is not a member, if shapes mismatch across members,
+    /// or if the same rank contributes twice in one round.
+    pub fn all_reduce_sum(&self, rank: usize, m: Matrix) -> Matrix {
+        let pos = self
+            .members
+            .iter()
+            .position(|&r| r == rank)
+            .unwrap_or_else(|| panic!("rank {rank} is not a member of {:?}", self.members));
+        let (lock, cvar) = &*self.state;
+        let mut st = lock.lock();
+        // Wait for the previous round to fully drain before starting a new
+        // deposit (protects pipelined reuse).
+        while st.result.is_some() && st.slots[pos].is_some() {
+            cvar.wait(&mut st);
+        }
+        assert!(st.slots[pos].is_none(), "rank {rank} deposited twice in one round");
+        st.slots[pos] = Some(m);
+        if st.slots.iter().all(Option::is_some) {
+            // Last depositor reduces in member order (deterministic).
+            let mut iter = st.slots.iter_mut();
+            let mut acc = iter.next().unwrap().take().unwrap();
+            for slot in iter {
+                let m = slot.take().unwrap();
+                assert_eq!(acc.shape(), m.shape(), "all-reduce shape mismatch");
+                acc.add_assign(&m);
+            }
+            st.result = Some(acc);
+            st.round += 1;
+            cvar.notify_all();
+        } else {
+            let my_round = st.round;
+            while st.result.is_none() || st.round == my_round {
+                cvar.wait(&mut st);
+            }
+        }
+        let out = st.result.clone().expect("result present");
+        st.picked_up += 1;
+        if st.picked_up == self.members.len() {
+            st.picked_up = 0;
+            st.result = None;
+            cvar.notify_all();
+        }
+        out
+    }
+
+    /// All-reduce returning the mean instead of the sum.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`CollectiveGroup::all_reduce_sum`].
+    pub fn all_reduce_mean(&self, rank: usize, m: Matrix) -> Matrix {
+        let mut sum = self.all_reduce_sum(rank, m);
+        sum.scale_assign(1.0 / self.size() as f32);
+        sum
+    }
+}
+
+/// Factory for [`CollectiveGroup`]s over a world of ranks.
+///
+/// Mirrors the process-group bootstrap of `torch.distributed`: the trainer
+/// creates one world, then carves out data-parallel groups (one per
+/// pipeline stage), the embedding-synchronization pair, or the paper's
+/// fused embedding group spanning both.
+#[derive(Debug)]
+pub struct CollectiveWorld {
+    world: usize,
+}
+
+impl CollectiveWorld {
+    /// Creates a world of `world` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world == 0`.
+    pub fn new(world: usize) -> Self {
+        assert!(world > 0, "world size must be positive");
+        Self { world }
+    }
+
+    /// Number of ranks in the world.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// Creates a reusable all-reduce group over `ranks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks` is empty, contains duplicates, or references a
+    /// rank outside the world.
+    pub fn group(&self, ranks: &[usize]) -> CollectiveGroup {
+        assert!(!ranks.is_empty(), "group must have at least one member");
+        let mut sorted = ranks.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ranks.len(), "group has duplicate ranks");
+        assert!(
+            ranks.iter().all(|&r| r < self.world),
+            "group rank out of range (world {})",
+            self.world
+        );
+        CollectiveGroup::new(ranks.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn run_group(members: Vec<usize>, inputs: Vec<Matrix>) -> Vec<Matrix> {
+        let world = CollectiveWorld::new(members.iter().max().unwrap() + 1);
+        let group = world.group(&members);
+        let mut handles = Vec::new();
+        for (rank, m) in members.iter().copied().zip(inputs) {
+            let g = group.clone();
+            handles.push(thread::spawn(move || g.all_reduce_sum(rank, m)));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn two_rank_sum() {
+        let outs = run_group(
+            vec![0, 1],
+            vec![Matrix::full(2, 2, 1.0), Matrix::full(2, 2, 2.0)],
+        );
+        for o in outs {
+            assert_eq!(o, Matrix::full(2, 2, 3.0));
+        }
+    }
+
+    #[test]
+    fn four_rank_sum_all_equal_results() {
+        let inputs: Vec<_> = (0..4).map(|i| Matrix::full(3, 3, i as f32)).collect();
+        let outs = run_group(vec![0, 1, 2, 3], inputs);
+        for o in &outs {
+            assert_eq!(*o, Matrix::full(3, 3, 6.0));
+        }
+    }
+
+    #[test]
+    fn mean_divides_by_group_size() {
+        let world = CollectiveWorld::new(2);
+        let group = world.group(&[0, 1]);
+        let g1 = group.clone();
+        let h = thread::spawn(move || g1.all_reduce_mean(1, Matrix::full(1, 1, 4.0)));
+        let m0 = group.all_reduce_mean(0, Matrix::full(1, 1, 2.0));
+        assert_eq!(m0[(0, 0)], 3.0);
+        assert_eq!(h.join().unwrap()[(0, 0)], 3.0);
+    }
+
+    #[test]
+    fn group_is_reusable_across_rounds() {
+        let world = CollectiveWorld::new(2);
+        let group = world.group(&[0, 1]);
+        for round in 0..5 {
+            let g1 = group.clone();
+            let h =
+                thread::spawn(move || g1.all_reduce_sum(1, Matrix::full(1, 1, round as f32)));
+            let got = group.all_reduce_sum(0, Matrix::full(1, 1, 1.0));
+            assert_eq!(got[(0, 0)], 1.0 + round as f32);
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn reduction_is_deterministic_in_member_order() {
+        // Floating-point order sensitivity: x + y + z evaluated in member
+        // order must be identical across repetitions, regardless of thread
+        // scheduling.
+        let inputs = vec![
+            Matrix::full(1, 1, 0.1),
+            Matrix::full(1, 1, 1e8),
+            Matrix::full(1, 1, -1e8),
+        ];
+        let first = run_group(vec![0, 1, 2], inputs.clone())[0].clone();
+        for _ in 0..10 {
+            let again = run_group(vec![0, 1, 2], inputs.clone())[0].clone();
+            assert_eq!(first, again);
+        }
+    }
+
+    #[test]
+    fn subgroups_of_noncontiguous_ranks() {
+        let outs = run_group(
+            vec![1, 3],
+            vec![Matrix::full(1, 2, 5.0), Matrix::full(1, 2, -2.0)],
+        );
+        for o in outs {
+            assert_eq!(o.as_slice(), &[3.0, 3.0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a member")]
+    fn non_member_rank_panics() {
+        let world = CollectiveWorld::new(4);
+        let group = world.group(&[0, 1]);
+        group.all_reduce_sum(3, Matrix::zeros(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate ranks")]
+    fn duplicate_ranks_panic() {
+        let world = CollectiveWorld::new(4);
+        let _ = world.group(&[0, 0]);
+    }
+
+    #[test]
+    fn single_rank_group_is_identity() {
+        let world = CollectiveWorld::new(1);
+        let group = world.group(&[0]);
+        let m = Matrix::full(2, 2, 7.0);
+        assert_eq!(group.all_reduce_sum(0, m.clone()), m);
+    }
+}

@@ -1,0 +1,30 @@
+//! `opt-net` — the communication substrate of the Optimus-CC reproduction.
+//!
+//! The paper runs on NCCL over NVLink (intra-node) and 200 Gb/s Infiniband
+//! HDR (inter-node). This crate replaces that fabric with two layers:
+//!
+//! 1. **Real in-process collectives** for the numerical trainer:
+//!    [`P2pMesh`] gives every (src, dst) pair a FIFO message channel
+//!    (pipeline inter-stage traffic), and [`CollectiveGroup`] implements a
+//!    deterministic all-reduce over any subset of ranks (data-parallel
+//!    gradient exchange, embedding synchronization, and the paper's *fused*
+//!    embedding synchronization which simply uses a larger group).
+//! 2. **Analytic cost models** ([`CostModel`]) for the discrete-event simulator:
+//!    the standard alpha–beta model with the ring all-reduce volume factor
+//!    `2 V (R-1) / R` that the paper's Eq. 15 builds on, and the
+//!    [`Topology`] describing the paper's cluster (Table 1).
+//!
+//! Traffic is accounted per class ([`TrafficClass`]) by [`TrafficLedger`],
+//! which experiments read to verify volume reductions.
+
+mod collective;
+mod cost;
+mod p2p;
+mod topology;
+mod traffic;
+
+pub use collective::{CollectiveGroup, CollectiveWorld};
+pub use cost::{all_reduce_time_s, p2p_time_s, ring_all_reduce_wire_bytes, CostModel};
+pub use p2p::{P2pMesh, RecvError};
+pub use topology::{LinkKind, Topology};
+pub use traffic::{TrafficClass, TrafficLedger, TrafficSnapshot};

@@ -1,0 +1,198 @@
+//! Point-to-point message mesh for pipeline inter-stage communication.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::fmt;
+use std::time::Duration;
+
+/// Error returned by [`P2pMesh::recv`] when the peer disconnected or the
+/// receive timed out (indicating a deadlocked schedule — a bug).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvError {
+    /// The sending side was dropped before a message arrived.
+    Disconnected,
+    /// No message arrived within the timeout.
+    Timeout,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvError::Disconnected => write!(f, "peer disconnected"),
+            RecvError::Timeout => write!(f, "receive timed out (schedule deadlock?)"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// A full mesh of FIFO channels between `world` ranks, carrying messages of
+/// type `T`.
+///
+/// This models the point-to-point sends of pipeline parallelism: each
+/// (src, dst) ordered pair has an independent FIFO, exactly like a
+/// connection-oriented transport. Message order between a fixed pair is
+/// preserved; messages between different pairs are unordered, matching the
+/// guarantees the 1F1B schedule relies on.
+///
+/// Cloning the mesh is cheap (channels are internally reference-counted),
+/// so one clone is handed to each rank's thread.
+///
+/// # Example
+///
+/// ```
+/// use opt_net::P2pMesh;
+/// let mesh: P2pMesh<String> = P2pMesh::new(2);
+/// mesh.send(0, 1, "hello".to_string());
+/// assert_eq!(mesh.recv(0, 1).unwrap(), "hello");
+/// ```
+#[derive(Clone)]
+pub struct P2pMesh<T> {
+    world: usize,
+    senders: Vec<Sender<T>>,
+    receivers: Vec<Receiver<T>>,
+    timeout: Duration,
+}
+
+impl<T> fmt::Debug for P2pMesh<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P2pMesh(world={})", self.world)
+    }
+}
+
+impl<T: Send> P2pMesh<T> {
+    /// Creates a mesh over `world` ranks with a 30 s receive timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world == 0`.
+    pub fn new(world: usize) -> Self {
+        Self::with_timeout(world, Duration::from_secs(30))
+    }
+
+    /// Creates a mesh with an explicit receive timeout. Receives that
+    /// exceed the timeout return [`RecvError::Timeout`]; in a correct
+    /// schedule this only fires on deadlock bugs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world == 0`.
+    pub fn with_timeout(world: usize, timeout: Duration) -> Self {
+        assert!(world > 0, "world size must be positive");
+        let mut senders = Vec::with_capacity(world * world);
+        let mut receivers = Vec::with_capacity(world * world);
+        for _ in 0..world * world {
+            let (s, r) = unbounded();
+            senders.push(s);
+            receivers.push(r);
+        }
+        Self { world, senders, receivers, timeout }
+    }
+
+    /// Number of ranks in the mesh.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// Sends `msg` on the (src, dst) FIFO. Non-blocking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn send(&self, src: usize, dst: usize, msg: T) {
+        assert!(src < self.world && dst < self.world, "rank out of range");
+        // Receiver ends are held by the mesh itself, so send cannot fail.
+        self.senders[src * self.world + dst]
+            .send(msg)
+            .expect("mesh receiver endpoint dropped");
+    }
+
+    /// Receives the next message on the (src, dst) FIFO, blocking up to the
+    /// configured timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError::Timeout`] if nothing arrives in time, or
+    /// [`RecvError::Disconnected`] if all senders were dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn recv(&self, src: usize, dst: usize) -> Result<T, RecvError> {
+        assert!(src < self.world && dst < self.world, "rank out of range");
+        match self.receivers[src * self.world + dst].recv_timeout(self.timeout) {
+            Ok(msg) => Ok(msg),
+            Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(RecvError::Disconnected),
+        }
+    }
+
+    /// Attempts to receive without blocking; returns `None` if the FIFO is
+    /// currently empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn try_recv(&self, src: usize, dst: usize) -> Option<T> {
+        assert!(src < self.world && dst < self.world, "rank out of range");
+        self.receivers[src * self.world + dst].try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_preserved_per_pair() {
+        let mesh: P2pMesh<u32> = P2pMesh::new(3);
+        for i in 0..10 {
+            mesh.send(1, 2, i);
+        }
+        for i in 0..10 {
+            assert_eq!(mesh.recv(1, 2).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn pairs_are_independent() {
+        let mesh: P2pMesh<&'static str> = P2pMesh::new(2);
+        mesh.send(0, 1, "a");
+        mesh.send(1, 0, "b");
+        assert_eq!(mesh.recv(1, 0).unwrap(), "b");
+        assert_eq!(mesh.recv(0, 1).unwrap(), "a");
+    }
+
+    #[test]
+    fn cross_thread_transfer() {
+        let mesh: P2pMesh<Vec<f32>> = P2pMesh::new(2);
+        let m2 = mesh.clone();
+        let h = thread::spawn(move || {
+            m2.send(0, 1, vec![1.0, 2.0, 3.0]);
+        });
+        let got = mesh.recv(0, 1).unwrap();
+        assert_eq!(got, vec![1.0, 2.0, 3.0]);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn timeout_fires_on_empty_channel() {
+        let mesh: P2pMesh<u8> = P2pMesh::with_timeout(2, Duration::from_millis(10));
+        assert_eq!(mesh.recv(0, 1), Err(RecvError::Timeout));
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let mesh: P2pMesh<u8> = P2pMesh::new(2);
+        assert_eq!(mesh.try_recv(0, 1), None);
+        mesh.send(0, 1, 9);
+        assert_eq!(mesh.try_recv(0, 1), Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn out_of_range_rank_panics() {
+        let mesh: P2pMesh<u8> = P2pMesh::new(2);
+        mesh.send(0, 2, 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Cluster topology description (paper Table 1).
+
+use serde::{Deserialize, Serialize};
+
+/// Which physical link a communication traverses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// Intra-node GPU interconnect (NVLink in the paper: 600 GB/s per GPU).
+    IntraNode,
+    /// Inter-node fabric (Infiniband HDR in the paper: 200 Gb/s).
+    InterNode,
+}
+
+/// A cluster of identical multi-GPU nodes.
+///
+/// Default values reproduce the paper's Table 1 environment: 16 nodes x
+/// 8 A100 GPUs, NVLink intra-node and 200 Gb/s Infiniband HDR inter-node.
+///
+/// # Example
+///
+/// ```
+/// use opt_net::{LinkKind, Topology};
+/// let t = Topology::paper_cluster();
+/// assert_eq!(t.total_gpus(), 128);
+/// assert!(t.bandwidth_bytes_per_s(LinkKind::IntraNode)
+///     > t.bandwidth_bytes_per_s(LinkKind::InterNode));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of server nodes.
+    pub nodes: usize,
+    /// GPUs per node.
+    pub gpus_per_node: usize,
+    /// Intra-node bandwidth per GPU, bytes/s (NVLink: 600 GB/s).
+    pub intra_node_bw: f64,
+    /// Inter-node bandwidth per node, bytes/s (IB HDR: 200 Gb/s = 25 GB/s).
+    pub inter_node_bw: f64,
+    /// Per-message latency on the intra-node link, seconds.
+    pub intra_node_latency: f64,
+    /// Per-message latency on the inter-node link, seconds.
+    pub inter_node_latency: f64,
+}
+
+impl Topology {
+    /// The paper's 128-GPU cluster (Table 1).
+    pub fn paper_cluster() -> Self {
+        Self {
+            nodes: 16,
+            gpus_per_node: 8,
+            intra_node_bw: 600e9,
+            inter_node_bw: 25e9, // 200 Gb/s
+            intra_node_latency: 2e-6,
+            inter_node_latency: 5e-6,
+        }
+    }
+
+    /// A cluster with the paper's per-node hardware but a different node
+    /// count (used by the Fig. 16 scalability sweep).
+    pub fn with_nodes(nodes: usize) -> Self {
+        Self { nodes, ..Self::paper_cluster() }
+    }
+
+    /// A TPU-pod-like cluster (paper §10.1): higher intra-node bandwidth,
+    /// 400 Gb/s inter-node links.
+    pub fn tpu_pod() -> Self {
+        Self {
+            nodes: 16,
+            gpus_per_node: 8,
+            intra_node_bw: 900e9,
+            inter_node_bw: 50e9, // 400 Gb/s
+            intra_node_latency: 1e-6,
+            inter_node_latency: 4e-6,
+        }
+    }
+
+    /// An IPU-POD128-like cluster (paper §10.1): ~1.6x the compute per
+    /// node of the paper's A100 nodes but only 100 Gb/s inter-node — the
+    /// regime where the paper argues Optimus-CC "will provide more
+    /// advantages".
+    pub fn ipu_pod128() -> Self {
+        Self {
+            nodes: 16,
+            gpus_per_node: 8,
+            intra_node_bw: 320e9,
+            inter_node_bw: 12.5e9, // 100 Gb/s
+            intra_node_latency: 2e-6,
+            inter_node_latency: 6e-6,
+        }
+    }
+
+    /// Total GPU count.
+    pub fn total_gpus(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+
+    /// Bandwidth in bytes/s of the given link kind.
+    pub fn bandwidth_bytes_per_s(&self, kind: LinkKind) -> f64 {
+        match kind {
+            LinkKind::IntraNode => self.intra_node_bw,
+            LinkKind::InterNode => self.inter_node_bw,
+        }
+    }
+
+    /// Latency in seconds of the given link kind.
+    pub fn latency_s(&self, kind: LinkKind) -> f64 {
+        match kind {
+            LinkKind::IntraNode => self.intra_node_latency,
+            LinkKind::InterNode => self.inter_node_latency,
+        }
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::paper_cluster()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_matches_table1() {
+        let t = Topology::paper_cluster();
+        assert_eq!(t.nodes, 16);
+        assert_eq!(t.gpus_per_node, 8);
+        assert_eq!(t.total_gpus(), 128);
+        // 200 Gb/s == 25 GB/s
+        assert!((t.inter_node_bw - 25e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn with_nodes_scales_gpu_count() {
+        assert_eq!(Topology::with_nodes(32).total_gpus(), 256);
+    }
+
+    #[test]
+    fn link_kind_selects_bandwidth() {
+        let t = Topology::paper_cluster();
+        assert_eq!(t.bandwidth_bytes_per_s(LinkKind::IntraNode), 600e9);
+        assert_eq!(t.bandwidth_bytes_per_s(LinkKind::InterNode), 25e9);
+        assert!(t.latency_s(LinkKind::InterNode) > t.latency_s(LinkKind::IntraNode));
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the communication substrate.
+
+use opt_net::{
+    all_reduce_time_s, p2p_time_s, ring_all_reduce_wire_bytes, CollectiveWorld, CostModel,
+    P2pMesh, Topology, TrafficClass, TrafficLedger,
+};
+use opt_tensor::{Matrix, SeedStream};
+use proptest::prelude::*;
+use std::thread;
+
+proptest! {
+    #[test]
+    fn ring_wire_bytes_bounded_by_2v(volume in 0.0f64..1e12, ranks in 1usize..1024) {
+        let wire = ring_all_reduce_wire_bytes(volume, ranks);
+        prop_assert!(wire >= 0.0);
+        prop_assert!(wire <= 2.0 * volume + 1e-9);
+        if ranks == 1 {
+            prop_assert_eq!(wire, 0.0);
+        }
+    }
+
+    #[test]
+    fn all_reduce_time_monotone_in_ranks(volume in 1.0f64..1e9, ranks in 2usize..128) {
+        let t1 = all_reduce_time_s(volume, ranks, 10e9, 5e-6);
+        let t2 = all_reduce_time_s(volume, ranks + 1, 10e9, 5e-6);
+        prop_assert!(t2 >= t1, "more ranks cannot be faster for fixed volume");
+    }
+
+    #[test]
+    fn p2p_time_linear_in_volume(v in 1.0f64..1e9, bw in 1e9f64..1e12) {
+        let t1 = p2p_time_s(v, bw, 0.0);
+        let t2 = p2p_time_s(2.0 * v, bw, 0.0);
+        prop_assert!((t2 - 2.0 * t1).abs() < 1e-12 * t2.max(1.0));
+    }
+
+    #[test]
+    fn fusion_speedup_matches_closed_form(d in 2usize..256) {
+        let cm = CostModel::new(Topology::paper_cluster());
+        let expect = (d as f64 - 1.0) / (2.0 * d as f64 - 1.0);
+        prop_assert!((cm.embedding_fusion_speedup(d) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_reduce_sum_equals_serial_sum(n_ranks in 2usize..5, seed in 0u64..200) {
+        let mut rng = SeedStream::new(seed);
+        let inputs: Vec<Matrix> = (0..n_ranks).map(|_| rng.uniform_matrix(3, 3, 2.0)).collect();
+        let mut expect = Matrix::zeros(3, 3);
+        for m in &inputs {
+            expect.add_assign(m);
+        }
+        let world = CollectiveWorld::new(n_ranks);
+        let group = world.group(&(0..n_ranks).collect::<Vec<_>>());
+        let outs: Vec<Matrix> = thread::scope(|s| {
+            inputs
+                .iter()
+                .enumerate()
+                .map(|(r, m)| {
+                    let g = group.clone();
+                    let m = m.clone();
+                    s.spawn(move || g.all_reduce_sum(r, m))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for o in outs {
+            prop_assert!(o.sub(&expect).max_abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn mesh_preserves_all_messages(n_msgs in 1usize..40) {
+        let mesh: P2pMesh<usize> = P2pMesh::new(2);
+        for i in 0..n_msgs {
+            mesh.send(0, 1, i);
+        }
+        for i in 0..n_msgs {
+            prop_assert_eq!(mesh.recv(0, 1).unwrap(), i);
+        }
+        prop_assert!(mesh.try_recv(0, 1).is_none());
+    }
+
+    #[test]
+    fn ledger_totals_are_sums(a in 0u64..1_000_000, b in 0u64..1_000_000, c in 0u64..1_000_000) {
+        let ledger = TrafficLedger::new();
+        ledger.record(TrafficClass::DataParallel, a);
+        ledger.record(TrafficClass::InterStage, b);
+        ledger.record(TrafficClass::Embedding, c);
+        let s = ledger.snapshot();
+        prop_assert_eq!(s.total_bytes(), a + b + c);
+    }
+}

@@ -1,0 +1,111 @@
+//! Epilogue analysis for epilogue-only compression (paper §5.2).
+
+/// Whether the backward send `sender_stage -> sender_stage - 1` for
+/// micro-batch `micro` lies on the pipeline epilogue (critical path).
+///
+/// Under 1F1B, the receiving stage `r = sender_stage - 1` interleaves its
+/// backwards with forwards until it has launched all `M` of its forwards;
+/// after that it *waits* on each incoming gradient — those receives are on
+/// the critical path. Stage `r` drains its last `S - r - 1` backwards this
+/// way, so the epilogue sends from `sender_stage = r + 1` are the
+/// micro-batches `m >= M - (S - r - 1) = M - S + sender_stage`.
+///
+/// This matches the paper's Fig. 6: the staircase of final backward
+/// communications is compressed, everything earlier stays dense (and
+/// hidden behind computation).
+///
+/// # Panics
+///
+/// Panics if `sender_stage == 0` (the first stage sends nothing upstream)
+/// or `sender_stage >= n_stages`.
+///
+/// # Example
+///
+/// ```
+/// use opt_schedule::is_epilogue_send;
+/// // 4 stages, 8 micro-batches: stage 3's only epilogue send is the last
+/// // micro-batch; stage 1 drains the last three.
+/// assert!(is_epilogue_send(3, 7, 4, 8));
+/// assert!(!is_epilogue_send(3, 6, 4, 8));
+/// assert!(is_epilogue_send(1, 5, 4, 8));
+/// assert!(!is_epilogue_send(1, 4, 4, 8));
+/// ```
+pub fn is_epilogue_send(
+    sender_stage: usize,
+    micro: usize,
+    n_stages: usize,
+    n_micro: usize,
+) -> bool {
+    assert!(sender_stage > 0, "stage 0 has no upstream backward send");
+    assert!(sender_stage < n_stages, "sender stage out of range");
+    let threshold = (n_micro + sender_stage).saturating_sub(n_stages);
+    micro >= threshold
+}
+
+/// Enumerates all epilogue sends as `(sender_stage, micro)` pairs.
+///
+/// The count is `sum_{s=1}^{S-1} min(S - s, M) = S(S-1)/2` when `M >= S`.
+pub fn epilogue_sends(n_stages: usize, n_micro: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for s in 1..n_stages {
+        for m in 0..n_micro {
+            if is_epilogue_send(s, m, n_stages, n_micro) {
+                out.push((s, m));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_is_s_choose_2_when_m_large() {
+        // sum_{s=1}^{S-1} (S - s) = S (S-1) / 2
+        for s in 2..8 {
+            let sends = epilogue_sends(s, 32);
+            assert_eq!(sends.len(), s * (s - 1) / 2, "S={s}");
+        }
+    }
+
+    #[test]
+    fn last_stage_compresses_only_final_microbatch() {
+        let sends = epilogue_sends(4, 8);
+        let from_stage3: Vec<_> = sends.iter().filter(|(s, _)| *s == 3).collect();
+        assert_eq!(from_stage3, vec![&(3, 7)]);
+    }
+
+    #[test]
+    fn earlier_senders_have_longer_epilogues() {
+        let sends = epilogue_sends(4, 8);
+        let count = |stage: usize| sends.iter().filter(|(s, _)| *s == stage).count();
+        assert_eq!(count(1), 3);
+        assert_eq!(count(2), 2);
+        assert_eq!(count(3), 1);
+    }
+
+    #[test]
+    fn all_sends_are_epilogue_when_m_below_s() {
+        // With M < S the pipeline never reaches steady state; every send
+        // drains directly into a waiting stage.
+        let sends = epilogue_sends(6, 2);
+        for s in 1..6 {
+            let count = sends.iter().filter(|(st, _)| *st == s).count();
+            assert_eq!(count, 2.min(6 - s), "stage {s}");
+        }
+    }
+
+    #[test]
+    fn epilogue_fraction_shrinks_with_more_microbatches() {
+        let frac = |m: usize| epilogue_sends(4, m).len() as f64 / (3 * m) as f64;
+        assert!(frac(64) < frac(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "no upstream backward send")]
+    fn stage_zero_panics() {
+        is_epilogue_send(0, 0, 4, 8);
+    }
+}

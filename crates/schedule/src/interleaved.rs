@@ -1,0 +1,95 @@
+//! Interleaved 1F1B scheduling (Narayanan et al., SC'21), the variant the
+//! paper's implementation enables (§8) to shrink pipeline bubbles.
+//!
+//! With `v` virtual chunks per device, each device hosts `v`
+//! non-contiguous model slices; micro-batches stream through `S * v`
+//! virtual stages. The bubble shrinks by `v`, but every micro-batch now
+//! crosses a device boundary `v` times instead of once — the
+//! communication amplification that makes inter-stage traffic worth
+//! compressing in the first place (our simulator's derated inter-node
+//! bandwidth folds this in; this module exposes the analytic model and
+//! the virtual-stage mapping).
+
+/// Bubble fraction of interleaved 1F1B with `v` chunks:
+/// `(S - 1) / (v * M + S - 1)` — `v = 1` recovers plain 1F1B.
+///
+/// # Panics
+///
+/// Panics if any argument is zero.
+pub fn interleaved_bubble_fraction(n_stages: usize, n_micro: usize, v: usize) -> f64 {
+    assert!(n_stages > 0 && n_micro > 0 && v > 0, "arguments must be positive");
+    let s = n_stages as f64 - 1.0;
+    s / (v as f64 * n_micro as f64 + s)
+}
+
+/// Communication amplification of interleaving: each micro-batch crosses
+/// inter-device boundaries `v * (S - 1)` times per direction, versus
+/// `S - 1` for plain 1F1B.
+pub fn interleaved_comm_factor(v: usize) -> usize {
+    v
+}
+
+/// Which device hosts virtual stage `k` of `S * v`, in Megatron's
+/// round-robin chunk placement: device `k % S`.
+///
+/// # Panics
+///
+/// Panics if `k >= n_stages * v`.
+pub fn device_of_virtual_stage(k: usize, n_stages: usize, v: usize) -> usize {
+    assert!(k < n_stages * v, "virtual stage out of range");
+    k % n_stages
+}
+
+/// The virtual stages hosted by `device`, in execution (chunk) order.
+pub fn virtual_stages_of_device(device: usize, n_stages: usize, v: usize) -> Vec<usize> {
+    (0..v).map(|chunk| chunk * n_stages + device).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bubble_fraction;
+
+    #[test]
+    fn v1_recovers_plain_1f1b() {
+        for s in 1..6 {
+            for m in 1..10 {
+                assert!(
+                    (interleaved_bubble_fraction(s, m, 1) - bubble_fraction(s, m)).abs()
+                        < 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_chunks_shrink_bubble() {
+        let b1 = interleaved_bubble_fraction(4, 16, 1);
+        let b2 = interleaved_bubble_fraction(4, 16, 2);
+        let b4 = interleaved_bubble_fraction(4, 16, 4);
+        assert!(b4 < b2 && b2 < b1);
+        // v -> infinity drives the bubble to zero.
+        assert!(interleaved_bubble_fraction(4, 16, 1000) < 1e-2);
+    }
+
+    #[test]
+    fn round_robin_placement_partitions_stages() {
+        let s = 4;
+        let v = 3;
+        let mut seen = vec![false; s * v];
+        for d in 0..s {
+            for k in virtual_stages_of_device(d, s, v) {
+                assert_eq!(device_of_virtual_stage(k, s, v), d);
+                assert!(!seen[k], "virtual stage {k} double-assigned");
+                seen[k] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn comm_factor_is_chunk_count() {
+        assert_eq!(interleaved_comm_factor(1), 1);
+        assert_eq!(interleaved_comm_factor(4), 4);
+    }
+}

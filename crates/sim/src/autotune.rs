@@ -1,0 +1,126 @@
+//! Automatic selection of the compression rank and selective-stage
+//! fraction — the paper's §9.4 closing remark: "an even better trade-off
+//! can be achieved by automatically choosing the right combination of the
+//! compression rank and the number of stages ... which we leave as future
+//! work". This module implements that search on top of the simulator.
+//!
+//! Speed comes from [`simulate`]; quality is scored with a volume-derived
+//! *error-pressure proxy*: DP compression error grows with the compressed
+//! fraction of total gradient volume and shrinks with rank (PowerSGD's
+//! residual decays with rank), and the error-feedback staleness penalty
+//! scales the same way. The proxy is monotone in the same directions the
+//! paper's Fig. 13 measurements are, which is all the search needs.
+
+use crate::{simulate, CompressionPlan, ScPlan, SimConfig};
+use serde::{Deserialize, Serialize};
+
+/// One candidate configuration with its predicted cost and quality proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TunePoint {
+    /// PowerSGD rank for DP traffic.
+    pub rank: usize,
+    /// Fraction of stages compressed (earliest first).
+    pub fraction: f64,
+    /// Simulated iteration time, seconds.
+    pub iteration_s: f64,
+    /// Error-pressure proxy in [0, 1]: 0 = lossless, higher = more
+    /// compression-induced gradient error.
+    pub error_pressure: f64,
+}
+
+/// Error-pressure proxy for compressing `fraction` of the stages at
+/// `rank` on the given job: the compressed share of DP volume times the
+/// per-matrix residual factor `max(0, 1 - 4r/(3h))` (rank coverage of the
+/// paper's ~`12h^2`-element layer gradients, clamped at lossless).
+pub fn error_pressure(cfg: &SimConfig, rank: usize, fraction: f64) -> f64 {
+    let h = cfg.model.hidden as f64;
+    let residual = (1.0 - (4.0 * rank as f64) / (3.0 * h)).max(0.0);
+    fraction.clamp(0.0, 1.0) * residual
+}
+
+/// Exhaustively scores the `ranks x fractions` grid.
+pub fn sweep(cfg: &SimConfig, ranks: &[usize], fractions: &[f64]) -> Vec<TunePoint> {
+    let mut out = Vec::with_capacity(ranks.len() * fractions.len());
+    for &rank in ranks {
+        for &fraction in fractions {
+            let plan = CompressionPlan {
+                selective_stage: (fraction > 0.0).then_some(ScPlan { fraction, rank }),
+                ..cfg.plan
+            };
+            let iteration_s = simulate(&cfg.clone().with_plan(plan)).iteration_time_s;
+            out.push(TunePoint {
+                rank,
+                fraction,
+                iteration_s,
+                error_pressure: error_pressure(cfg, rank, fraction),
+            });
+        }
+    }
+    out
+}
+
+/// Picks the fastest configuration whose error pressure stays within
+/// `budget` — the auto-tuner the paper sketches. Returns `None` only if
+/// the grid is empty (a zero-compression point always satisfies any
+/// non-negative budget).
+pub fn auto_tune(cfg: &SimConfig, budget: f64) -> Option<TunePoint> {
+    let ranks = [16usize, 32, 64, 128, 256, 512];
+    let fractions = [0.0, 0.25, 0.5, 0.75, 1.0];
+    sweep(cfg, &ranks, &fractions)
+        .into_iter()
+        .filter(|p| p.error_pressure <= budget)
+        .min_by(|a, b| a.iteration_s.partial_cmp(&b.iteration_s).unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_pressure_monotone_in_fraction_and_rank() {
+        let cfg = SimConfig::paper_gpt_2_5b();
+        assert!(error_pressure(&cfg, 128, 0.75) > error_pressure(&cfg, 128, 0.25));
+        assert!(error_pressure(&cfg, 64, 0.75) > error_pressure(&cfg, 256, 0.75));
+        assert_eq!(error_pressure(&cfg, 128, 0.0), 0.0);
+    }
+
+    #[test]
+    fn full_rank_coverage_is_lossless() {
+        // 4r >= 3h -> residual clamps to 0.
+        let cfg = SimConfig::paper_gpt_2_5b(); // h = 1920
+        assert_eq!(error_pressure(&cfg, 1440, 1.0), 0.0);
+    }
+
+    #[test]
+    fn zero_budget_forces_no_compression() {
+        let cfg = SimConfig::paper_gpt_2_5b().with_plan(CompressionPlan::cb_fe());
+        let pick = auto_tune(&cfg, 0.0).expect("grid non-empty");
+        assert_eq!(pick.fraction, 0.0);
+    }
+
+    #[test]
+    fn generous_budget_buys_speed() {
+        let cfg = SimConfig::paper_gpt_8_3b().with_plan(CompressionPlan::cb_fe());
+        let strict = auto_tune(&cfg, 0.0).unwrap();
+        let loose = auto_tune(&cfg, 0.9).unwrap();
+        assert!(loose.iteration_s < strict.iteration_s, "budget bought nothing");
+        assert!(loose.fraction > 0.0);
+    }
+
+    #[test]
+    fn tuner_avoids_rank_512_trap() {
+        // Fig. 13: rank 512 is slower *and* lower-error; the tuner should
+        // never pick it when a faster point fits the budget.
+        let cfg = SimConfig::paper_gpt_2_5b().with_plan(CompressionPlan::cb_fe());
+        let pick = auto_tune(&cfg, 0.95).unwrap();
+        assert!(pick.rank < 512, "tuner picked the slow rank-512 point");
+    }
+
+    #[test]
+    fn sweep_covers_grid() {
+        let cfg = SimConfig::paper_gpt_2_5b();
+        let pts = sweep(&cfg, &[64, 128], &[0.0, 0.5, 1.0]);
+        assert_eq!(pts.len(), 6);
+        assert!(pts.iter().all(|p| p.iteration_s > 0.0));
+    }
+}

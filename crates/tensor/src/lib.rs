@@ -1,0 +1,30 @@
+//! `opt-tensor` — a small dense `f32` matrix library.
+//!
+//! This crate is the numerical substrate of the Optimus-CC reproduction.
+//! It provides the [`Matrix`] type with the operations needed by a
+//! hand-written transformer (matmul, transpose, element-wise maps,
+//! row/column reductions), the linear-algebra kernels needed by PowerSGD
+//! gradient compression (Gram–Schmidt orthogonalization, products against
+//! tall/skinny factors), and deterministic random initialization.
+//!
+//! # Example
+//!
+//! ```
+//! use opt_tensor::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c, a);
+//! ```
+
+mod init;
+mod linalg;
+mod matrix;
+mod ops;
+mod stats;
+
+pub use init::{xavier_uniform, SeedStream};
+pub use linalg::orthonormalize_columns;
+pub use matrix::{Matrix, ShapeError};
+pub use stats::{cosine_similarity, frobenius_norm, mean, relative_error};

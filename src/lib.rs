@@ -1,0 +1,19 @@
+//! Umbrella crate re-exporting the Optimus-CC reproduction workspace.
+//!
+//! The reproduction is organized as a Cargo workspace; this crate exists so
+//! that examples and integration tests can reach every subsystem through a
+//! single dependency.
+//!
+//! ```
+//! use optimus::tensor::Matrix;
+//! let m = Matrix::zeros(2, 2);
+//! assert_eq!(m.rows(), 2);
+//! ```
+pub use opt_compress as compress;
+pub use opt_data as data;
+pub use opt_model as model;
+pub use opt_net as net;
+pub use opt_schedule as schedule;
+pub use opt_sim as sim;
+pub use opt_tensor as tensor;
+pub use optimus_cc as core;
