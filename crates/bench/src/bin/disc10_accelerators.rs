@@ -10,7 +10,12 @@ fn main() {
     // (name, topology, effective per-chip FLOPs, effective inter-node bw):
     // IPU-POD128 per the paper: 8 PFLOPS/node vs our 5, but 100 Gb/s.
     let machines: Vec<(&str, Topology, f64, f64)> = vec![
-        ("A100 + IB HDR (paper)", Topology::paper_cluster(), 31e12, 8e9),
+        (
+            "A100 + IB HDR (paper)",
+            Topology::paper_cluster(),
+            31e12,
+            8e9,
+        ),
         ("TPU-like (400 Gb/s)", Topology::tpu_pod(), 40e12, 16e9),
         ("IPU-like (100 Gb/s)", Topology::ipu_pod128(), 50e12, 4e9),
     ];
@@ -25,7 +30,10 @@ fn main() {
         // Full-throttle plan: SC over every stage (the potential §10.1
         // speaks about; quality budget permitting).
         let full = CompressionPlan {
-            selective_stage: Some(ScPlan { fraction: 1.0, rank: 128 }),
+            selective_stage: Some(ScPlan {
+                fraction: 1.0,
+                rank: 128,
+            }),
             ..CompressionPlan::cb_fe()
         };
         let opt = simulate(&cfg.clone().with_plan(full)).iteration_time_s;

@@ -32,7 +32,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["Config", "Days/125K", "FWD+BWD (s)", "DP (s)", "Inter-stage (s)", "EMB (s)"],
+        &[
+            "Config",
+            "Days/125K",
+            "FWD+BWD (s)",
+            "DP (s)",
+            "Inter-stage (s)",
+            "EMB (s)",
+        ],
         &rows,
     );
     println!("Paper: baseline 8.00 days -> Opt-CC 6.97 days on GPT-2.5B.");
@@ -40,8 +47,14 @@ fn main() {
     banner("Fig. 3 (right) — validation PPL of naive compression (small-model proxy)");
     let quality: Vec<(&str, QualityConfig)> = vec![
         ("Baseline", QualityConfig::baseline()),
-        ("naive DP", QualityConfig::naive_dp(QualityConfig::SMALL_DP_RANK)),
-        ("naive CB", QualityConfig::naive_cb(QualityConfig::SMALL_CB_RANK)),
+        (
+            "naive DP",
+            QualityConfig::naive_dp(QualityConfig::SMALL_DP_RANK),
+        ),
+        (
+            "naive CB",
+            QualityConfig::naive_cb(QualityConfig::SMALL_CB_RANK),
+        ),
         ("Opt-CC", QualityConfig::cb_fe_sc()),
         ("Opt-CC (TopK)", QualityConfig::cb_topk(0.05)),
     ];
@@ -50,7 +63,10 @@ fn main() {
         let mut t = Trainer::launch(TrainerConfig::small_test(q, iters));
         let report = t.train();
         t.shutdown();
-        rows.push(vec![label.to_string(), format!("{:.3}", report.final_val_ppl())]);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.3}", report.final_val_ppl()),
+        ]);
     }
     print_table(&["Config", "Val. PPL (proxy)"], &rows);
     println!("Paper shape: naive DP/CB noticeably raise PPL; Opt-CC matches baseline;");

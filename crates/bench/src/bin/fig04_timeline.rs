@@ -28,7 +28,10 @@ fn render(cfg: &SimConfig, title: &str) {
         }
         println!("dev{}: {}", s + 1, line.iter().collect::<String>());
     }
-    println!("iteration = {:.3} s  (F fwd, B bwd, D DP all-reduce, E EMB DP, S EMB sync)", end);
+    println!(
+        "iteration = {:.3} s  (F fwd, B bwd, D DP all-reduce, E EMB DP, S EMB sync)",
+        end
+    );
 }
 
 fn main() {
@@ -40,5 +43,8 @@ fn main() {
     render(&opt, "Fig. 4b — Optimus-CC (CB + fused EMB sync + SC)");
     let base = simulate(&cfg).iteration_time_s;
     let fast = simulate(&opt).iteration_time_s;
-    println!("\nExecution time reduction: {:.2}%", (1.0 - fast / base) * 100.0);
+    println!(
+        "\nExecution time reduction: {:.2}%",
+        (1.0 - fast / base) * 100.0
+    );
 }

@@ -27,7 +27,12 @@ fn main() {
         ]);
     }
     print_table(
-        &["micro-batch", "||eps|| preserved", "avg(eps)", "cumulative rel. err of delivered sum"],
+        &[
+            "micro-batch",
+            "||eps|| preserved",
+            "avg(eps)",
+            "cumulative rel. err of delivered sum",
+        ],
         &rows,
     );
     let resid = link.error().expect("residual").clone();

@@ -31,15 +31,33 @@ fn main() {
     let base = breakdown(&cfg);
     let epi = breakdown(&cfg.clone().with_plan(CompressionPlan::cb()));
     let all = breakdown(&cfg.clone().with_plan(CompressionPlan {
-        compressed_backprop: Some(CbPlan { rank: 16, epilogue_only: false }),
+        compressed_backprop: Some(CbPlan {
+            rank: 16,
+            epilogue_only: false,
+        }),
         ..CompressionPlan::baseline()
     }));
     let rows = vec![
-        vec!["baseline".into(), format!("{:.4}", base.interstage_exposed), format!("{:.3}", base.total)],
-        vec!["CB epilogue-only".into(), format!("{:.4}", epi.interstage_exposed), format!("{:.3}", epi.total)],
-        vec!["CB all sends".into(), format!("{:.4}", all.interstage_exposed), format!("{:.3}", all.total)],
+        vec![
+            "baseline".into(),
+            format!("{:.4}", base.interstage_exposed),
+            format!("{:.3}", base.total),
+        ],
+        vec![
+            "CB epilogue-only".into(),
+            format!("{:.4}", epi.interstage_exposed),
+            format!("{:.3}", epi.total),
+        ],
+        vec![
+            "CB all sends".into(),
+            format!("{:.4}", all.interstage_exposed),
+            format!("{:.3}", all.total),
+        ],
     ];
-    print_table(&["config", "exposed inter-stage (s)", "iteration (s)"], &rows);
+    print_table(
+        &["config", "exposed inter-stage (s)", "iteration (s)"],
+        &rows,
+    );
     println!(
         "epilogue-only achieves {} of the compress-all speedup while touching only {:.1}% of sends",
         speedup_pct(base.total, epi.total),

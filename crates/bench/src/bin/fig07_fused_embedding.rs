@@ -17,7 +17,15 @@ fn main() {
             format!("{:.2}%", cm.embedding_fusion_speedup(d) * 100.0),
         ]);
     }
-    print_table(&["D (dp ways)", "C_emb = V(3D-2)/D", "C_fused = V(2D-1)/D", "speedup (D-1)/(2D-1)"], &rows);
+    print_table(
+        &[
+            "D (dp ways)",
+            "C_emb = V(3D-2)/D",
+            "C_fused = V(2D-1)/D",
+            "speedup (D-1)/(2D-1)",
+        ],
+        &rows,
+    );
     println!("Paper: 42.9% at D=4, approaching 50% as D grows.");
 
     banner("Measured wire bytes in the numerical runtime (4 iterations)");
@@ -34,7 +42,10 @@ fn main() {
     let rows = vec![
         vec!["separate (EMB DP + 2-way sync)".into(), base.to_string()],
         vec!["fused (single 2D-way)".into(), fused.to_string()],
-        vec!["reduction".into(), format!("{:.2}%", (1.0 - fused as f64 / base as f64) * 100.0)],
+        vec![
+            "reduction".into(),
+            format!("{:.2}%", (1.0 - fused as f64 / base as f64) * 100.0),
+        ],
     ];
     print_table(&["embedding path", "wire bytes"], &rows);
 }

@@ -14,7 +14,10 @@ fn main() {
             CompressionPlan::baseline()
         } else {
             CompressionPlan {
-                selective_stage: Some(ScPlan { fraction: pct, rank: 128 }),
+                selective_stage: Some(ScPlan {
+                    fraction: pct,
+                    rank: 128,
+                }),
                 ..CompressionPlan::baseline()
             }
         };
@@ -27,7 +30,12 @@ fn main() {
         ]);
     }
     print_table(
-        &["stages compressed", "iteration (s)", "speedup", "DP wire bytes/rank"],
+        &[
+            "stages compressed",
+            "iteration (s)",
+            "speedup",
+            "DP wire bytes/rank",
+        ],
         &rows,
     );
     println!("Each added stage removes the current bottleneck (paper Fig. 8's staircase).");

@@ -18,11 +18,22 @@ fn main() {
                 format!("{:.3}", b.dp_exposed),
                 format!("{:.4}", b.interstage_exposed),
                 format!("{:.3}", b.emb_exposed),
-                format!("{:.1}%", (1.0 - b.comm_exposed() / base.comm_exposed()) * 100.0),
+                format!(
+                    "{:.1}%",
+                    (1.0 - b.comm_exposed() / base.comm_exposed()) * 100.0
+                ),
             ]);
         }
         print_table(
-            &["Config", "Total (s)", "FWD+BWD", "DP", "Inter-stage", "EMB", "comm cut"],
+            &[
+                "Config",
+                "Total (s)",
+                "FWD+BWD",
+                "DP",
+                "Inter-stage",
+                "EMB",
+                "comm cut",
+            ],
             &rows,
         );
     }

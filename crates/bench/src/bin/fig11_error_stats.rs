@@ -43,7 +43,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["iters", "Avg(eps)", "Avg(Y(i)-Y(i+n))", "mean cos", "mean |cos|"],
+        &[
+            "iters",
+            "Avg(eps)",
+            "Avg(Y(i)-Y(i+n))",
+            "mean cos",
+            "mean |cos|",
+        ],
         &rows,
     );
     println!("\nPaper: all three stay ~0, so Eq. 14 holds and G* approximates G (Eq. 10).");

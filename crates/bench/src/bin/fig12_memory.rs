@@ -28,7 +28,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["Config", "base elems", "compressor elems", "LEP elems", "comp ovh", "LEP ovh"],
+        &[
+            "Config",
+            "base elems",
+            "compressor elems",
+            "LEP elems",
+            "comp ovh",
+            "LEP ovh",
+        ],
         &rows,
     );
     println!("\nPaper: low-rank buffers add 5-10% over baseline; LEP adds ~1% more.");

@@ -24,13 +24,18 @@ fn main() {
     let mut rows = Vec::new();
     for frac in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let plan = CompressionPlan {
-            selective_stage: (frac > 0.0).then_some(ScPlan { fraction: frac, rank: 128 }),
+            selective_stage: (frac > 0.0).then_some(ScPlan {
+                fraction: frac,
+                rank: 128,
+            }),
             ..CompressionPlan::baseline()
         };
         let t = simulate(&sim.clone().with_plan(plan)).iteration_time_s;
         let q = QualityConfig {
-            sc: (frac > 0.0)
-                .then_some(ScQuality { fraction: frac, rank: QualityConfig::SMALL_DP_RANK }),
+            sc: (frac > 0.0).then_some(ScQuality {
+                fraction: frac,
+                rank: QualityConfig::SMALL_DP_RANK,
+            }),
             ..QualityConfig::baseline()
         };
         let ppl = quality_ppl(q, iters);
@@ -40,7 +45,10 @@ fn main() {
             format!("{ppl:.3}"),
         ]);
     }
-    print_table(&["stages compressed", "speedup (sim)", "val PPL (proxy)"], &rows);
+    print_table(
+        &["stages compressed", "speedup (sim)", "val PPL (proxy)"],
+        &rows,
+    );
 
     banner("Fig. 13 (middle) — rank sweep with all stages compressed");
     let mut rows = Vec::new();

@@ -19,7 +19,13 @@ fn main() {
         rows.push(row);
     }
     print_table(
-        &["config", "baseline iter (s)", "CB speedup", "CB+FE speedup", "CB+FE+SC speedup"],
+        &[
+            "config",
+            "baseline iter (s)",
+            "CB speedup",
+            "CB+FE speedup",
+            "CB+FE+SC speedup",
+        ],
         &rows,
     );
     println!("\nPaper shape: CB gains grow with more pipeline ways (more inter-stage");

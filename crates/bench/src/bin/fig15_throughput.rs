@@ -32,14 +32,19 @@ fn cpu_throughput(n: usize, m: usize, rank: usize) -> (f64, f64) {
 fn main() {
     let k = KernelModel::a100();
     for (name, hidden) in [("GPT-8.3B", 3072usize), ("GPT-175B", 12_288)] {
-        banner(&format!("Fig. 15 — {name} activation (8192 x {hidden}), A100 kernel model"));
+        banner(&format!(
+            "Fig. 15 — {name} activation (8192 x {hidden}), A100 kernel model"
+        ));
         let n = 8 * 1024;
         let mut rows = Vec::new();
         for rank in [4usize, 8, 16, 32, 64, 128] {
             rows.push(vec![
                 rank.to_string(),
                 format!("{:.1}", k.compress_throughput(n, hidden, rank) * 8.0 / 1e9),
-                format!("{:.1}", k.decompress_throughput(n, hidden, rank) * 8.0 / 1e9),
+                format!(
+                    "{:.1}",
+                    k.decompress_throughput(n, hidden, rank) * 8.0 / 1e9
+                ),
             ]);
         }
         print_table(&["rank", "compress (Gb/s)", "decompress (Gb/s)"], &rows);

@@ -11,10 +11,10 @@ fn main() {
     // (model, pp, dp, nodes): mirrors "we increased the number of GPUs in
     // larger models for a fair comparison".
     let jobs: Vec<(GptConfig, usize, usize, usize)> = vec![
-        (GptConfig::gpt_2_5b(), 4, 4, 16),   // 128 GPUs
-        (GptConfig::gpt_8_3b(), 4, 4, 16),   // 128 GPUs
-        (GptConfig::gpt_39b(), 8, 4, 32),    // 256 GPUs
-        (GptConfig::gpt_175b(), 16, 4, 64),  // 512 GPUs
+        (GptConfig::gpt_2_5b(), 4, 4, 16),  // 128 GPUs
+        (GptConfig::gpt_8_3b(), 4, 4, 16),  // 128 GPUs
+        (GptConfig::gpt_39b(), 8, 4, 32),   // 256 GPUs
+        (GptConfig::gpt_175b(), 16, 4, 64), // 512 GPUs
     ];
     let mut rows = Vec::new();
     for (model, pp, dp, nodes) in jobs {
@@ -24,11 +24,7 @@ fn main() {
         cfg.dp = dp;
         cfg.topology = Topology::with_nodes(nodes);
         let base = simulate(&cfg).iteration_time_s;
-        let mut row = vec![
-            name,
-            format!("{}", nodes * 8),
-            format!("{base:.2}"),
-        ];
+        let mut row = vec![name, format!("{}", nodes * 8), format!("{base:.2}")];
         for (_, plan) in CompressionPlan::table2_columns().into_iter().skip(1) {
             let t = simulate(&cfg.clone().with_plan(plan)).iteration_time_s;
             row.push(speedup_pct(base, t));
@@ -36,7 +32,14 @@ fn main() {
         rows.push(row);
     }
     print_table(
-        &["model", "GPUs", "baseline iter (s)", "CB", "CB+FE", "CB+FE+SC"],
+        &[
+            "model",
+            "GPUs",
+            "baseline iter (s)",
+            "CB",
+            "CB+FE",
+            "CB+FE+SC",
+        ],
         &rows,
     );
     println!("\nPaper shape: the full-stack speedup is sustained (and compression");

@@ -34,7 +34,10 @@ fn main() {
             speedup_pct(base, p.iteration_s),
         ]);
     }
-    print_table(&["error budget", "rank", "stages", "speedup vs CB+FE"], &rows);
+    print_table(
+        &["error budget", "rank", "stages", "speedup vs CB+FE"],
+        &rows,
+    );
     println!("\nThe tuner trades budget for speed monotonically and never falls into the");
     println!("rank-512 trap of Fig. 13 (slow compression kernels).");
 }

@@ -16,7 +16,10 @@ fn main() {
         .unwrap_or(300);
 
     for sim_cfg in [SimConfig::paper_gpt_8_3b(), SimConfig::paper_gpt_2_5b()] {
-        banner(&format!("Table 2 — {} (sim: days for 230K iters; PPL: small-model proxy)", sim_cfg.model.name));
+        banner(&format!(
+            "Table 2 — {} (sim: days for 230K iters; PPL: small-model proxy)",
+            sim_cfg.model.name
+        ));
         let base_t = simulate(&sim_cfg).iteration_time_s;
         let mut rows = Vec::new();
         for ((label, plan), (_, quality)) in CompressionPlan::table2_columns()
@@ -24,8 +27,7 @@ fn main() {
             .zip(QualityConfig::table2_columns())
         {
             let t = simulate(&sim_cfg.clone().with_plan(plan)).iteration_time_s;
-            let mut trainer =
-                Trainer::launch(TrainerConfig::small_test(quality, iters));
+            let mut trainer = Trainer::launch(TrainerConfig::small_test(quality, iters));
             let report = trainer.train();
             trainer.shutdown();
             rows.push(vec![
@@ -35,7 +37,15 @@ fn main() {
                 format!("{:.3}", report.final_val_ppl()),
             ]);
         }
-        print_table(&["Config", "Training Time (days)", "Speedup", "Val. PPL (proxy)"], &rows);
+        print_table(
+            &[
+                "Config",
+                "Training Time (days)",
+                "Speedup",
+                "Val. PPL (proxy)",
+            ],
+            &rows,
+        );
     }
     println!("\nPaper reference — GPT-8.3B: 37.27d / +7.01% / +13.49% / +44.91%, PPL 8.10→8.20;");
     println!("GPT-2.5B: 14.72d / +8.00% / +15.09% / +17.29%, PPL 9.31→9.55.");

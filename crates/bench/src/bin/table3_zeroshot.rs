@@ -20,7 +20,10 @@ fn main() {
         t.train();
         let suite = t.zero_shot_suite(n_examples, 99);
         t.shutdown();
-        scores.push((label.to_string(), suite.iter().map(|(_, s)| s.accuracy()).collect()));
+        scores.push((
+            label.to_string(),
+            suite.iter().map(|(_, s)| s.accuracy()).collect(),
+        ));
     }
     let mut rows = Vec::new();
     for (ti, task) in ZeroShotTask::ALL.iter().enumerate() {

@@ -35,7 +35,10 @@ pub struct ErrorFeedback<C> {
 impl<C: Compressor> ErrorFeedback<C> {
     /// Wraps `inner` with an (initially empty) residual buffer.
     pub fn new(inner: C) -> Self {
-        Self { inner, residual: None }
+        Self {
+            inner,
+            residual: None,
+        }
     }
 
     /// Frobenius norm of the current residual (0 before the first call).

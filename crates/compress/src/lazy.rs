@@ -60,7 +60,11 @@ impl<C: Compressor> LazyErrorPropagator<C> {
     /// discarded after each compression — the "CB (Non-LEP)" ablation of
     /// the paper's Table 4.
     pub fn new(inner: C, lep_enabled: bool) -> Self {
-        Self { inner, error: None, lep_enabled }
+        Self {
+            inner,
+            error: None,
+            lep_enabled,
+        }
     }
 
     /// Whether lazy error propagation is active.

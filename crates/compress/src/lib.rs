@@ -101,7 +101,9 @@ pub struct Identity;
 
 impl Compressor for Identity {
     fn compress(&mut self, grad: &Matrix) -> Compressed {
-        Compressed::Dense { matrix: grad.clone() }
+        Compressed::Dense {
+            matrix: grad.clone(),
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -84,7 +84,12 @@ impl Compressed {
         match self {
             Compressed::Dense { matrix } => matrix.clone(),
             Compressed::LowRank { p, q } => p.matmul_t(q),
-            Compressed::Sparse { rows, cols, indices, values } => {
+            Compressed::Sparse {
+                rows,
+                cols,
+                indices,
+                values,
+            } => {
                 let mut m = Matrix::zeros(*rows, *cols);
                 let slice = m.as_mut_slice();
                 for (&idx, &v) in indices.iter().zip(values) {
@@ -92,7 +97,12 @@ impl Compressed {
                 }
                 m
             }
-            Compressed::Sign { rows, cols, scale, bits } => {
+            Compressed::Sign {
+                rows,
+                cols,
+                scale,
+                bits,
+            } => {
                 let mut m = Matrix::zeros(*rows, *cols);
                 for (i, e) in m.as_mut_slice().iter_mut().enumerate() {
                     let bit = (bits[i / 64] >> (i % 64)) & 1;
@@ -100,7 +110,12 @@ impl Compressed {
                 }
                 m
             }
-            Compressed::Ternary { rows, cols, scale, trits } => {
+            Compressed::Ternary {
+                rows,
+                cols,
+                scale,
+                trits,
+            } => {
                 let data = trits.iter().map(|&t| t as f32 * scale).collect();
                 Matrix::from_vec(*rows, *cols, data)
             }
@@ -114,9 +129,9 @@ impl Compressed {
         match self {
             Compressed::Dense { matrix } => matrix.len() * FP16_BYTES,
             Compressed::LowRank { p, q } => (p.len() + q.len()) * FP16_BYTES,
-            Compressed::Sparse { indices, values, .. } => {
-                indices.len() * INDEX_BYTES + values.len() * FP16_BYTES
-            }
+            Compressed::Sparse {
+                indices, values, ..
+            } => indices.len() * INDEX_BYTES + values.len() * FP16_BYTES,
             Compressed::Sign { rows, cols, .. } => (rows * cols).div_ceil(8) + 4,
             Compressed::Ternary { rows, cols, .. } => (rows * cols * 2).div_ceil(8) + 4,
         }
@@ -187,7 +202,12 @@ mod tests {
     #[test]
     fn sign_bits_roundtrip() {
         // Elements: +s, -s, -s, +s
-        let c = Compressed::Sign { rows: 2, cols: 2, scale: 0.5, bits: vec![0b1001] };
+        let c = Compressed::Sign {
+            rows: 2,
+            cols: 2,
+            scale: 0.5,
+            bits: vec![0b1001],
+        };
         let m = c.decompress();
         assert_eq!(m.as_slice(), &[0.5, -0.5, -0.5, 0.5]);
         assert_eq!(c.wire_bytes(), 1 + 4); // 4 bits -> 1 byte + scale

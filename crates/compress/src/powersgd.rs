@@ -53,7 +53,11 @@ impl PowerSgd {
     /// Panics if `rank == 0`.
     pub fn new(rank: usize, seed: u64) -> Self {
         assert!(rank > 0, "PowerSGD rank must be positive");
-        Self { rank, rng: SeedStream::new(seed), q_prev: None }
+        Self {
+            rank,
+            rng: SeedStream::new(seed),
+            q_prev: None,
+        }
     }
 
     /// The configured rank.

@@ -42,7 +42,12 @@ impl Compressor for SignQuantizer {
                 bits[i / 64] |= 1 << (i % 64);
             }
         }
-        Compressed::Sign { rows: grad.rows(), cols: grad.cols(), scale, bits }
+        Compressed::Sign {
+            rows: grad.rows(),
+            cols: grad.cols(),
+            scale,
+            bits,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -64,7 +69,9 @@ pub struct TernaryQuantizer {
 impl TernaryQuantizer {
     /// Creates a ternary quantizer with the given RNG seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: SeedStream::new(seed) }
+        Self {
+            rng: SeedStream::new(seed),
+        }
     }
 }
 
@@ -90,7 +97,12 @@ impl Compressor for TernaryQuantizer {
                 })
                 .collect()
         };
-        Compressed::Ternary { rows: grad.rows(), cols: grad.cols(), scale, trits }
+        Compressed::Ternary {
+            rows: grad.rows(),
+            cols: grad.cols(),
+            scale,
+            trits,
+        }
     }
 
     fn name(&self) -> &'static str {

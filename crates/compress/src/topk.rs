@@ -67,7 +67,12 @@ impl Compressor for TopK {
         let mut indices: Vec<u32> = order[..k].to_vec();
         indices.sort_unstable();
         let values = indices.iter().map(|&i| data[i as usize]).collect();
-        Compressed::Sparse { rows: grad.rows(), cols: grad.cols(), indices, values }
+        Compressed::Sparse {
+            rows: grad.rows(),
+            cols: grad.cols(),
+            indices,
+            values,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -125,7 +130,10 @@ mod tests {
         for density in [0.05, 0.25, 0.75, 1.0] {
             let mut c = TopK::new(density);
             let err = g.sub(&c.round_trip(&g)).norm();
-            assert!(err <= prev_err + 1e-6, "density {density}: {err} > {prev_err}");
+            assert!(
+                err <= prev_err + 1e-6,
+                "density {density}: {err} > {prev_err}"
+            );
             prev_err = err;
         }
         assert!(prev_err < 1e-6); // density 1.0 exact

@@ -31,7 +31,11 @@ impl CbQuality {
     /// The paper's setting for the small numerical model: low-rank with
     /// LEP and epilogue-only compression.
     pub fn paper(rank: usize) -> Self {
-        Self { method: CbMethod::LowRank(rank), epilogue_only: true, lazy_error: true }
+        Self {
+            method: CbMethod::LowRank(rank),
+            epilogue_only: true,
+            lazy_error: true,
+        }
     }
 }
 
@@ -73,7 +77,10 @@ impl QualityConfig {
 
     /// Compressed backpropagation only.
     pub fn cb() -> Self {
-        Self { cb: Some(CbQuality::paper(Self::SMALL_CB_RANK)), ..Self::default() }
+        Self {
+            cb: Some(CbQuality::paper(Self::SMALL_CB_RANK)),
+            ..Self::default()
+        }
     }
 
     /// CB without lazy error propagation (Table 4 "CB (Non-LEP)").
@@ -89,21 +96,30 @@ impl QualityConfig {
 
     /// CB + fused embedding synchronization.
     pub fn cb_fe() -> Self {
-        Self { fused_embedding: true, ..Self::cb() }
+        Self {
+            fused_embedding: true,
+            ..Self::cb()
+        }
     }
 
     /// Full Optimus-CC: CB + FE + selective stage compression at the
     /// paper's 75 % fraction.
     pub fn cb_fe_sc() -> Self {
         Self {
-            sc: Some(ScQuality { fraction: 0.75, rank: Self::SMALL_DP_RANK }),
+            sc: Some(ScQuality {
+                fraction: 0.75,
+                rank: Self::SMALL_DP_RANK,
+            }),
             ..Self::cb_fe()
         }
     }
 
     /// Naive full-DP compression (Fig. 3 "naive DP").
     pub fn naive_dp(rank: usize) -> Self {
-        Self { naive_dp_rank: Some(rank), ..Self::default() }
+        Self {
+            naive_dp_rank: Some(rank),
+            ..Self::default()
+        }
     }
 
     /// Naive CB: compress every backward send, no LEP (Fig. 3 "naive CB").
@@ -235,7 +251,10 @@ impl TrainerConfig {
 
     /// The DP compression rank in effect (SC or naive), if any.
     pub fn dp_rank(&self) -> Option<usize> {
-        self.quality.sc.map(|s| s.rank).or(self.quality.naive_dp_rank)
+        self.quality
+            .sc
+            .map(|s| s.rank)
+            .or(self.quality.naive_dp_rank)
     }
 }
 
@@ -270,6 +289,9 @@ mod tests {
     #[test]
     fn corpus_is_deterministic() {
         let cfg = TrainerConfig::small_test(QualityConfig::baseline(), 1);
-        assert_eq!(cfg.corpus().train_batch(2, 0), cfg.corpus().train_batch(2, 0));
+        assert_eq!(
+            cfg.corpus().train_batch(2, 0),
+            cfg.corpus().train_batch(2, 0)
+        );
     }
 }

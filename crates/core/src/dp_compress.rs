@@ -47,7 +47,12 @@ impl DistPowerSgd {
     /// Total elements held in residual + warm-start buffers (Fig. 12).
     pub fn buffer_elems(&self) -> usize {
         self.q_prev.iter().flatten().map(Matrix::len).sum::<usize>()
-            + self.residual.iter().flatten().map(Matrix::len).sum::<usize>()
+            + self
+                .residual
+                .iter()
+                .flatten()
+                .map(Matrix::len)
+                .sum::<usize>()
     }
 
     fn effective_rank(&self, n: usize, m: usize) -> usize {
@@ -119,7 +124,7 @@ mod tests {
 
     /// Runs one distributed PowerSGD round over `grads` (one per rank) and
     /// returns each rank's resulting gradient.
-    fn round(rank: usize, grads: Vec<Matrix>, states: &mut Vec<DistPowerSgd>) -> Vec<Matrix> {
+    fn round(rank: usize, grads: Vec<Matrix>, states: &mut [DistPowerSgd]) -> Vec<Matrix> {
         let world = CollectiveWorld::new(grads.len());
         let group = world.group(&(0..grads.len()).collect::<Vec<_>>());
         let ledger = TrafficLedger::new();

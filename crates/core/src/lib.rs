@@ -43,7 +43,7 @@ mod stats;
 mod trainer;
 mod worker;
 
-pub use config::{CbQuality, CbMethod, QualityConfig, ScQuality, TrainerConfig};
+pub use config::{CbMethod, CbQuality, QualityConfig, ScQuality, TrainerConfig};
 pub use dp_compress::DistPowerSgd;
 pub use memory::MemoryReport;
 pub use stats::{ErrorStatPoint, TrainReport, ValPoint};

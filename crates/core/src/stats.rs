@@ -53,7 +53,9 @@ pub struct TrainReport {
 impl TrainReport {
     /// The last validation perplexity (NaN if validation never ran).
     pub fn final_val_ppl(&self) -> f32 {
-        self.val_points.last().map_or(f32::NAN, ValPoint::perplexity)
+        self.val_points
+            .last()
+            .map_or(f32::NAN, ValPoint::perplexity)
     }
 
     /// The last validation loss (NaN if validation never ran).
@@ -129,7 +131,10 @@ impl Collector {
                     .filter(|(i, _)| *i == it)
                     .map(|(_, l)| *l)
                     .collect();
-                ValPoint { iter: it, loss: ls.iter().sum::<f32>() / ls.len() as f32 }
+                ValPoint {
+                    iter: it,
+                    loss: ls.iter().sum::<f32>() / ls.len() as f32,
+                }
             })
             .collect();
         TrainReport {

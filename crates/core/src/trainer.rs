@@ -31,7 +31,13 @@ pub struct Trainer {
 
 impl std::fmt::Debug for Trainer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Trainer(pp={}, dp={}, workers={})", self.cfg.pp, self.cfg.dp, self.handles.len())
+        write!(
+            f,
+            "Trainer(pp={}, dp={}, workers={})",
+            self.cfg.pp,
+            self.cfg.dp,
+            self.handles.len()
+        )
     }
 }
 
@@ -167,8 +173,8 @@ impl Trainer {
         let iters = self.cfg.iters;
         for iter in 0..iters {
             self.broadcast(Cmd::TrainIter { iter });
-            let validate_now = self.cfg.validate_every > 0
-                && (iter + 1) % self.cfg.validate_every == 0;
+            let validate_now =
+                self.cfg.validate_every > 0 && (iter + 1) % self.cfg.validate_every == 0;
             if validate_now {
                 self.broadcast(Cmd::Validate {
                     iter,
@@ -185,7 +191,9 @@ impl Trainer {
         });
         self.barrier();
         self.trained_iters = iters;
-        self.collector.clone().into_report(iters, self.ledger.snapshot())
+        self.collector
+            .clone()
+            .into_report(iters, self.ledger.snapshot())
     }
 
     /// Runs extra training iterations beyond `cfg.iters` (used by
@@ -206,12 +214,15 @@ impl Trainer {
     /// Panics if `tokens.len()` is not a multiple of the sequence length.
     pub fn predict(&mut self, tokens: &[usize]) -> Vec<usize> {
         assert!(
-            tokens.len() % self.cfg.model.seq_len == 0,
+            tokens.len().is_multiple_of(self.cfg.model.seq_len),
             "token count must be a multiple of seq_len"
         );
         self.next_id += 1;
         let id = self.next_id;
-        self.broadcast(Cmd::Predict { id, tokens: tokens.to_vec() });
+        self.broadcast(Cmd::Predict {
+            id,
+            tokens: tokens.to_vec(),
+        });
         loop {
             let (got, answers) = self.predict_rx.recv().expect("predict channel closed");
             if got == id {

@@ -4,9 +4,7 @@ use crate::config::{CbMethod, TrainerConfig};
 use crate::dp_compress::DistPowerSgd;
 use crate::stats::{Collector, ErrorStatPoint};
 use crossbeam::channel::{Receiver, Sender};
-use opt_compress::{
-    Compressed, LazyErrorPropagator, PowerSgd, TopK, FP16_BYTES,
-};
+use opt_compress::{Compressed, LazyErrorPropagator, PowerSgd, TopK, FP16_BYTES};
 use opt_data::SyntheticCorpus;
 use opt_model::{cross_entropy, Adam, Optimizer, Stage};
 use opt_net::{CollectiveGroup, P2pMesh, TrafficClass, TrafficLedger};
@@ -77,7 +75,11 @@ enum CbLink {
 }
 
 impl CbLink {
-    fn process(&mut self, grad: &Matrix, compress: bool) -> (Compressed, opt_compress::LinkErrorStats) {
+    fn process(
+        &mut self,
+        grad: &Matrix,
+        compress: bool,
+    ) -> (Compressed, opt_compress::LinkErrorStats) {
         match self {
             CbLink::LowRank(l) => l.process(grad, compress),
             CbLink::TopK(l) => l.process(grad, compress),
@@ -136,13 +138,16 @@ pub(crate) fn run_worker(mut ctx: WorkerCtx) {
         (true, Some(rank)) => {
             let n_slots = ctx.stage.non_embedding_params().len();
             // Seed must agree across dp ranks of the same stage.
-            Some(DistPowerSgd::new(rank, n_slots, ctx.cfg.seed ^ 0xD9 ^ s as u64))
+            Some(DistPowerSgd::new(
+                rank,
+                n_slots,
+                ctx.cfg.seed ^ 0xD9 ^ s as u64,
+            ))
         }
         _ => None,
     };
 
-    let act_dense_bytes =
-        |m: &Matrix| -> u64 { (m.len() * FP16_BYTES) as u64 };
+    let act_dense_bytes = |m: &Matrix| -> u64 { (m.len() * FP16_BYTES) as u64 };
 
     loop {
         // A dropped trainer (no explicit shutdown) reads as Stop.
@@ -222,10 +227,9 @@ fn train_iter(
         match *op {
             Op::Forward { micro } => {
                 let hidden = if is_first {
-                    let batch = ctx.corpus.train_batch(
-                        ctx.cfg.micro_batch,
-                        batch_key(iter, d, micro),
-                    );
+                    let batch = ctx
+                        .corpus
+                        .train_batch(ctx.cfg.micro_batch, batch_key(iter, d, micro));
                     ctx.stage.forward_tokens(&batch.tokens)
                 } else {
                     let act = ctx
@@ -242,15 +246,15 @@ fn train_iter(
                 };
                 if is_last {
                     // Compute the loss now; backward pops it later.
-                    let batch = ctx.corpus.train_batch(
-                        ctx.cfg.micro_batch,
-                        batch_key(iter, d, micro),
-                    );
+                    let batch = ctx
+                        .corpus
+                        .train_batch(ctx.cfg.micro_batch, batch_key(iter, d, micro));
                     let out = cross_entropy(&hidden, &batch.targets);
                     ctx.collector.record_train(iter, out.loss);
                     grad_queue.push_back(out.grad_logits);
                 } else {
-                    ctx.ledger.record(TrafficClass::InterStage, act_dense_bytes(&hidden));
+                    ctx.ledger
+                        .record(TrafficClass::InterStage, act_dense_bytes(&hidden));
                     ctx.fwd_mesh.send(my_rank, my_rank + 1, hidden);
                 }
             }
@@ -269,8 +273,8 @@ fn train_iter(
                     let (payload, _stats) = match cb_link {
                         Some(link) => {
                             let cb = ctx.cfg.quality.cb.expect("cb config present");
-                            let compress_now = !cb.epilogue_only
-                                || is_epilogue_send(s, micro, pp, n_micro);
+                            let compress_now =
+                                !cb.epilogue_only || is_epilogue_send(s, micro, pp, n_micro);
                             let (payload, stats) = link.process(&up, compress_now);
                             if collect_stats {
                                 if let (Some(eps), Some(diff)) =
@@ -299,7 +303,11 @@ fn train_iter(
             }
         }
     }
-    debug_assert_eq!(ctx.stage.pending_activations(), 0, "schedule left dangling caches");
+    debug_assert_eq!(
+        ctx.stage.pending_activations(),
+        0,
+        "schedule left dangling caches"
+    );
 
     // ----- Data-parallel gradient exchange ------------------------------
     {
@@ -348,12 +356,13 @@ fn train_iter(
             ctx.stage.set_embedding_grad(summed);
         } else {
             // Baseline: EMB DP (D-way mean) then 2-way sum (paper Fig. 7a).
-            ctx.ledger.record(
-                TrafficClass::Embedding,
-                ring_wire_bytes(g.len(), dp_ways),
-            );
+            ctx.ledger
+                .record(TrafficClass::Embedding, ring_wire_bytes(g.len(), dp_ways));
             let meaned = ctx.stage_group.all_reduce_mean(my_rank, g);
-            let pair = ctx.emb_pair_group.as_ref().expect("end stage has pair group");
+            let pair = ctx
+                .emb_pair_group
+                .as_ref()
+                .expect("end stage has pair group");
             ctx.ledger
                 .record(TrafficClass::Embedding, ring_wire_bytes(meaned.len(), 2));
             let synced = pair.all_reduce_sum(my_rank, meaned);
@@ -433,9 +442,13 @@ fn predict(ctx: &mut WorkerCtx, id: u64, tokens: &[usize]) {
     let seq_len = ctx.cfg.model.seq_len;
     let n_seq = logits.rows() / seq_len;
     let preds = logits.argmax_rows();
-    let answers: Vec<usize> = (0..n_seq).map(|q| preds[q * seq_len + seq_len - 1]).collect();
+    let answers: Vec<usize> = (0..n_seq)
+        .map(|q| preds[q * seq_len + seq_len - 1])
+        .collect();
     ctx.stage.clear_caches();
-    ctx.predict_out.send((id, answers)).expect("trainer dropped predict channel");
+    ctx.predict_out
+        .send((id, answers))
+        .expect("trainer dropped predict channel");
 }
 
 /// Per-rank ring all-reduce wire bytes for `elems` fp16 elements.

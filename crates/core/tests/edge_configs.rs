@@ -94,7 +94,10 @@ fn sixteen_micro_batches_deep_schedule() {
 fn tiny_config_with_bigger_model_shape() {
     // 6-layer model over 4 stages with heads=4 (hidden 16 -> head_dim 4).
     let mut c = TrainerConfig::tiny_test(QualityConfig::cb(), 5);
-    c.model = GptConfig { n_layers: 6, ..GptConfig::tiny() };
+    c.model = GptConfig {
+        n_layers: 6,
+        ..GptConfig::tiny()
+    };
     c.pp = 4;
     let mut t = Trainer::launch(c);
     let r = t.train();

@@ -103,7 +103,10 @@ fn sc_compresses_dp_traffic() {
     };
     let dense = run(QualityConfig::baseline());
     let mut sc = QualityConfig::cb_fe_sc();
-    sc.sc = Some(optimus_cc::ScQuality { fraction: 1.0, rank: 2 });
+    sc.sc = Some(optimus_cc::ScQuality {
+        fraction: 1.0,
+        rank: 2,
+    });
     let compressed = run(sc);
     assert!(
         compressed < dense / 2,

@@ -141,7 +141,10 @@ impl SyntheticCorpus {
     /// Panics if `seq_len < 4` or `repeat_fraction` is outside `[0, 1]`.
     pub fn new(vocab: usize, seq_len: usize, repeat_fraction: f64, seed: u64) -> Self {
         assert!(seq_len >= 4, "seq_len must be at least 4");
-        assert!((0.0..=1.0).contains(&repeat_fraction), "repeat_fraction in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&repeat_fraction),
+            "repeat_fraction in [0,1]"
+        );
         Self {
             chain: MarkovChain::new(vocab, 4, seed ^ 0xC0FFEE),
             seq_len,
@@ -201,7 +204,10 @@ impl SyntheticCorpus {
     /// `step`. Batches are a pure function of `(seed, step)`, so every
     /// data-parallel replica can derive its own shard deterministically.
     pub fn train_batch(&self, n_seq: usize, step: u64) -> Batch {
-        self.batch_from_stream(n_seq, SeedStream::new(self.seed ^ (step.wrapping_mul(0x9E3779B97F4A7C15))))
+        self.batch_from_stream(
+            n_seq,
+            SeedStream::new(self.seed ^ (step.wrapping_mul(0x9E3779B97F4A7C15))),
+        )
     }
 
     /// Samples a validation batch (disjoint RNG stream from training).
@@ -244,8 +250,7 @@ mod tests {
         let chain = MarkovChain::new(16, 3, 1);
         let mut rng = SeedStream::new(3);
         for start in 0..16 {
-            let allowed: Vec<usize> =
-                chain.successors[start].iter().map(|&(t, _)| t).collect();
+            let allowed: Vec<usize> = chain.successors[start].iter().map(|&(t, _)| t).collect();
             for _ in 0..50 {
                 let next = chain.step(start, &mut rng);
                 assert!(allowed.contains(&next), "{start} -> {next} not allowed");
@@ -269,7 +274,11 @@ mod tests {
         let chain = MarkovChain::new(12, 4, 5);
         for t in 0..12 {
             let best = chain.most_likely_successor(t);
-            let best_p = chain.successors[t].iter().find(|&&(s, _)| s == best).unwrap().1;
+            let best_p = chain.successors[t]
+                .iter()
+                .find(|&&(s, _)| s == best)
+                .unwrap()
+                .1;
             for &(_, p) in &chain.successors[t] {
                 assert!(best_p >= p);
             }

@@ -98,7 +98,10 @@ impl ZeroShotTask {
                 let mut ctx = vec![a, b];
                 fill_markov(&mut ctx, chain, l - 1, rng, &[a]);
                 ctx.push(a);
-                TaskExample { context: ctx, answer: b }
+                TaskExample {
+                    context: ctx,
+                    answer: b,
+                }
             }
             ZeroShotTask::ShortRecall => {
                 // fill... [a, b, x, a] -> b, pair planted 3 back.
@@ -112,7 +115,10 @@ impl ZeroShotTask {
                     }
                 };
                 ctx.extend_from_slice(&[a, b, x, a]);
-                TaskExample { context: ctx, answer: b }
+                TaskExample {
+                    context: ctx,
+                    answer: b,
+                }
             }
             ZeroShotTask::MarkovNext => {
                 // Pure chain context; answer = most likely successor of
@@ -124,7 +130,10 @@ impl ZeroShotTask {
                     t = chain.step(t, rng);
                     ctx.push(t);
                 }
-                TaskExample { context: ctx.clone(), answer: chain.most_likely_successor(t) }
+                TaskExample {
+                    context: ctx.clone(),
+                    answer: chain.most_likely_successor(t),
+                }
             }
             ZeroShotTask::Copy => {
                 // Periodic window; answer continues the period.
@@ -137,7 +146,10 @@ impl ZeroShotTask {
                     prefix.push(t);
                 }
                 let ctx: Vec<usize> = (0..l).map(|i| prefix[i % window]).collect();
-                TaskExample { context: ctx, answer: prefix[l % window] }
+                TaskExample {
+                    context: ctx,
+                    answer: prefix[l % window],
+                }
             }
             ZeroShotTask::DistractedRecall => {
                 // [a, b] planted mid-context, distractors after, query a.
@@ -148,7 +160,10 @@ impl ZeroShotTask {
                 ctx.push(b);
                 fill_markov(&mut ctx, chain, l - 1, rng, &[a]);
                 ctx.push(a);
-                TaskExample { context: ctx, answer: b }
+                TaskExample {
+                    context: ctx,
+                    answer: b,
+                }
             }
         }
     }
@@ -190,7 +205,11 @@ fn fill_markov(
     rng: &mut SeedStream,
     forbidden: &[usize],
 ) {
-    let mut t = if ctx.is_empty() { rng.below(chain.vocab()) } else { *ctx.last().unwrap() };
+    let mut t = if ctx.is_empty() {
+        rng.below(chain.vocab())
+    } else {
+        *ctx.last().unwrap()
+    };
     while ctx.len() < target_len {
         t = chain.step(t, rng);
         let mut guard = 0;
@@ -287,9 +306,12 @@ mod tests {
     fn random_predictor_scores_near_chance() {
         let c = corpus();
         let mut rng = SeedStream::new(5);
-        let score =
-            ZeroShotTask::MarkovNext.evaluate(&c, 400, 13, |_ctx| rng.below(64));
-        assert!(score.accuracy() < 0.1, "random accuracy {}", score.accuracy());
+        let score = ZeroShotTask::MarkovNext.evaluate(&c, 400, 13, |_ctx| rng.below(64));
+        assert!(
+            score.accuracy() < 0.1,
+            "random accuracy {}",
+            score.accuracy()
+        );
     }
 
     #[test]

@@ -54,7 +54,10 @@ impl MultiHeadAttention {
     ///
     /// Panics if `hidden` is not divisible by `heads`.
     pub fn new(hidden: usize, heads: usize, seq_len: usize, rng: &mut SeedStream) -> Self {
-        assert!(hidden % heads == 0, "hidden must be divisible by heads");
+        assert!(
+            hidden.is_multiple_of(heads),
+            "hidden must be divisible by heads"
+        );
         Self {
             hidden,
             heads,
@@ -78,7 +81,7 @@ impl MultiHeadAttention {
 
     fn n_sequences(&self, rows: usize) -> usize {
         assert!(
-            rows % self.seq_len == 0,
+            rows.is_multiple_of(self.seq_len),
             "input rows {rows} not a multiple of seq_len {}",
             self.seq_len
         );
@@ -131,8 +134,9 @@ impl Layer for MultiHeadAttention {
                 let vh = vs.slice_cols(h * dk, (h + 1) * dk);
                 let scores = qh.matmul_t(&kh).scale(scale);
                 let a = Self::causal_softmax(&scores);
-                let ctx_h = a.matmul(&vh); // L x dk
-                // Paste into the context block for this sequence.
+                // ctx_h is L x dk; paste it into the context block for
+                // this sequence.
+                let ctx_h = a.matmul(&vh);
                 for (i, row) in (s * l..(s + 1) * l).enumerate() {
                     let dst = context.row_mut(row);
                     dst[h * dk..(h + 1) * dk].copy_from_slice(ctx_h.row(i));
@@ -141,12 +145,22 @@ impl Layer for MultiHeadAttention {
             }
         }
         let y = context.matmul(&self.wo);
-        self.cache.push_back(AttnCache { x: x.clone(), q, k, v, attn, context });
+        self.cache.push_back(AttnCache {
+            x: x.clone(),
+            q,
+            k,
+            v,
+            attn,
+            context,
+        });
         y
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let c = self.cache.pop_front().expect("Attention::backward without forward");
+        let c = self
+            .cache
+            .pop_front()
+            .expect("Attention::backward without forward");
         let n_seq = self.n_sequences(grad_out.rows());
         let l = self.seq_len;
         let dk = self.head_dim();
@@ -212,10 +226,26 @@ impl Layer for MultiHeadAttention {
 
     fn params(&mut self) -> Vec<ParamRef<'_>> {
         vec![
-            ParamRef { name: "attn.wq", value: &mut self.wq, grad: &mut self.grad_wq },
-            ParamRef { name: "attn.wk", value: &mut self.wk, grad: &mut self.grad_wk },
-            ParamRef { name: "attn.wv", value: &mut self.wv, grad: &mut self.grad_wv },
-            ParamRef { name: "attn.wo", value: &mut self.wo, grad: &mut self.grad_wo },
+            ParamRef {
+                name: "attn.wq",
+                value: &mut self.wq,
+                grad: &mut self.grad_wq,
+            },
+            ParamRef {
+                name: "attn.wk",
+                value: &mut self.wk,
+                grad: &mut self.grad_wk,
+            },
+            ParamRef {
+                name: "attn.wv",
+                value: &mut self.wv,
+                grad: &mut self.grad_wv,
+            },
+            ParamRef {
+                name: "attn.wo",
+                value: &mut self.wo,
+                grad: &mut self.grad_wo,
+            },
         ]
     }
 
@@ -301,7 +331,10 @@ mod tests {
         layer.forward(&x);
         layer.backward(&probe);
         // Check a few entries of each weight gradient.
-        for (pi, name) in ["attn.wq", "attn.wk", "attn.wv", "attn.wo"].iter().enumerate() {
+        for (pi, name) in ["attn.wq", "attn.wk", "attn.wv", "attn.wo"]
+            .iter()
+            .enumerate()
+        {
             let analytic = layer.params()[pi].grad.clone();
             for idx in [0usize, 7, 15] {
                 let perturb = |delta: f32| {

@@ -80,7 +80,9 @@ impl Layer for TransformerBlock {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        self.in_flight.pop_front().expect("TransformerBlock::backward without forward");
+        self.in_flight
+            .pop_front()
+            .expect("TransformerBlock::backward without forward");
         // y = x2 + drop2(fc2(gelu(fc1(ln2(x2)))))
         let dm = self.drop2.backward(grad_out);
         let dm = self.fc2.backward(&dm);

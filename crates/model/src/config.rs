@@ -122,7 +122,12 @@ impl GptConfig {
 
     /// The paper's evaluation zoo for the Fig. 16 scalability experiment.
     pub fn scalability_zoo() -> Vec<GptConfig> {
-        vec![Self::gpt_2_5b(), Self::gpt_8_3b(), Self::gpt_39b(), Self::gpt_175b()]
+        vec![
+            Self::gpt_2_5b(),
+            Self::gpt_8_3b(),
+            Self::gpt_39b(),
+            Self::gpt_175b(),
+        ]
     }
 
     /// Analytic parameter count using the standard Megatron accounting:
@@ -181,7 +186,11 @@ mod tests {
         for (cfg, nameplate) in cases {
             let count = cfg.param_count() as f64;
             let rel = (count - nameplate).abs() / nameplate;
-            assert!(rel < 0.10, "{}: {count:.3e} vs {nameplate:.3e} ({rel:.2})", cfg.name);
+            assert!(
+                rel < 0.10,
+                "{}: {count:.3e} vs {nameplate:.3e} ({rel:.2})",
+                cfg.name
+            );
         }
     }
 
@@ -196,7 +205,10 @@ mod tests {
 
     #[test]
     fn uneven_split_puts_extra_layers_up_front() {
-        let cfg = GptConfig { n_layers: 10, ..GptConfig::tiny() };
+        let cfg = GptConfig {
+            n_layers: 10,
+            ..GptConfig::tiny()
+        };
         let per: Vec<_> = (0..4).map(|s| cfg.layers_on_stage(s, 4)).collect();
         assert_eq!(per, vec![3, 3, 2, 2]);
     }

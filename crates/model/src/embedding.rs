@@ -75,7 +75,11 @@ impl Embedding {
     ///
     /// Panics if the shape differs from the table.
     pub fn set_grad(&mut self, grad: Matrix) {
-        assert_eq!(grad.shape(), self.table.shape(), "embedding grad shape mismatch");
+        assert_eq!(
+            grad.shape(),
+            self.table.shape(),
+            "embedding grad shape mismatch"
+        );
         self.grad_table = grad;
     }
 
@@ -93,9 +97,7 @@ impl Embedding {
     /// Needed when a caller must hold mutable references to both
     /// simultaneously (disjoint-field split).
     #[allow(clippy::type_complexity)]
-    pub fn both_params(
-        &mut self,
-    ) -> [(&mut Matrix, &mut Matrix); 2] {
+    pub fn both_params(&mut self) -> [(&mut Matrix, &mut Matrix); 2] {
         [
             (&mut self.table, &mut self.grad_table),
             (&mut self.pos, &mut self.grad_pos),
@@ -122,7 +124,7 @@ impl Embedding {
     /// id is out of range.
     pub fn lookup(&mut self, tokens: &[usize]) -> Matrix {
         assert!(
-            tokens.len() % self.seq_len == 0,
+            tokens.len().is_multiple_of(self.seq_len),
             "token count {} not a multiple of seq_len {}",
             tokens.len(),
             self.seq_len
@@ -146,8 +148,10 @@ impl Embedding {
     ///
     /// Panics if no lookup is cached.
     pub fn backward_lookup(&mut self, grad: &Matrix) {
-        let tokens =
-            self.lookup_cache.pop_front().expect("backward_lookup without lookup");
+        let tokens = self
+            .lookup_cache
+            .pop_front()
+            .expect("backward_lookup without lookup");
         assert_eq!(grad.rows(), tokens.len(), "lookup grad row mismatch");
         for (i, &t) in tokens.iter().enumerate() {
             let p = i % self.seq_len;
@@ -172,7 +176,10 @@ impl Embedding {
     ///
     /// Panics if no projection is cached.
     pub fn backward_project(&mut self, grad_logits: &Matrix) -> Matrix {
-        let h = self.project_cache.pop_front().expect("backward_project without project");
+        let h = self
+            .project_cache
+            .pop_front()
+            .expect("backward_project without project");
         // logits = h * T^T  =>  dT = dLogits^T * h, dh = dLogits * T.
         self.grad_table.add_assign(&grad_logits.t_matmul(&h));
         grad_logits.matmul(&self.table)

@@ -52,7 +52,10 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let x = self.cache.pop_front().expect("Linear::backward without forward");
+        let x = self
+            .cache
+            .pop_front()
+            .expect("Linear::backward without forward");
         self.grad_w.add_assign(&x.t_matmul(grad_out));
         self.grad_b.add_assign(&grad_out.col_sums());
         grad_out.matmul_t(&self.w)
@@ -60,8 +63,16 @@ impl Layer for Linear {
 
     fn params(&mut self) -> Vec<ParamRef<'_>> {
         vec![
-            ParamRef { name: "linear.w", value: &mut self.w, grad: &mut self.grad_w },
-            ParamRef { name: "linear.b", value: &mut self.b, grad: &mut self.grad_b },
+            ParamRef {
+                name: "linear.w",
+                value: &mut self.w,
+                grad: &mut self.grad_w,
+            },
+            ParamRef {
+                name: "linear.b",
+                value: &mut self.b,
+                grad: &mut self.grad_b,
+            },
         ]
     }
 
@@ -127,8 +138,10 @@ impl Layer for LayerNorm {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let (xhat, inv_stds) =
-            self.cache.pop_front().expect("LayerNorm::backward without forward");
+        let (xhat, inv_stds) = self
+            .cache
+            .pop_front()
+            .expect("LayerNorm::backward without forward");
         let (rows, cols) = grad_out.shape();
         let n = cols as f32;
         let mut dx = Matrix::zeros(rows, cols);
@@ -142,12 +155,11 @@ impl Layer for LayerNorm {
                 self.grad_beta[(0, c)] += g;
             }
             let sum_dxhat: f32 = dxhat.iter().sum();
-            let sum_dxhat_xhat: f32 =
-                dxhat.iter().zip(xhat.row(r)).map(|(&d, &h)| d * h).sum();
+            let sum_dxhat_xhat: f32 = dxhat.iter().zip(xhat.row(r)).map(|(&d, &h)| d * h).sum();
             let inv_std = inv_stds[r];
             for c in 0..cols {
-                dx[(r, c)] = inv_std / n
-                    * (n * dxhat[c] - sum_dxhat - xhat[(r, c)] * sum_dxhat_xhat);
+                dx[(r, c)] =
+                    inv_std / n * (n * dxhat[c] - sum_dxhat - xhat[(r, c)] * sum_dxhat_xhat);
             }
         }
         dx
@@ -155,8 +167,16 @@ impl Layer for LayerNorm {
 
     fn params(&mut self) -> Vec<ParamRef<'_>> {
         vec![
-            ParamRef { name: "ln.gamma", value: &mut self.gamma, grad: &mut self.grad_gamma },
-            ParamRef { name: "ln.beta", value: &mut self.beta, grad: &mut self.grad_beta },
+            ParamRef {
+                name: "ln.gamma",
+                value: &mut self.gamma,
+                grad: &mut self.grad_gamma,
+            },
+            ParamRef {
+                name: "ln.beta",
+                value: &mut self.beta,
+                grad: &mut self.grad_beta,
+            },
         ]
     }
 
@@ -202,7 +222,10 @@ impl Layer for Gelu {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let x = self.cache.pop_front().expect("Gelu::backward without forward");
+        let x = self
+            .cache
+            .pop_front()
+            .expect("Gelu::backward without forward");
         let dact = x.map(Self::dgelu);
         grad_out.hadamard(&dact)
     }
@@ -241,7 +264,12 @@ impl Dropout {
     /// Panics unless `0.0 <= p < 1.0`.
     pub fn new(p: f32, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1)");
-        Self { p, rng: SeedStream::new(seed), train: true, cache: VecDeque::new() }
+        Self {
+            p,
+            rng: SeedStream::new(seed),
+            train: true,
+            cache: VecDeque::new(),
+        }
     }
 
     /// Switches between training (masking) and evaluation (identity).
@@ -270,7 +298,10 @@ impl Layer for Dropout {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let mask = self.cache.pop_front().expect("Dropout::backward without forward");
+        let mask = self
+            .cache
+            .pop_front()
+            .expect("Dropout::backward without forward");
         grad_out.hadamard(&mask)
     }
 
@@ -328,7 +359,10 @@ mod tests {
             };
             let numeric = (perturb(eps) - perturb(-eps)) / (2.0 * eps);
             let got = analytic.as_slice()[idx];
-            assert!((numeric - got).abs() < 1e-2, "w grad {idx}: {numeric} vs {got}");
+            assert!(
+                (numeric - got).abs() < 1e-2,
+                "w grad {idx}: {numeric} vs {got}"
+            );
         }
     }
 
@@ -383,7 +417,7 @@ mod tests {
 
     #[test]
     fn gelu_input_gradient_matches_finite_difference() {
-        check_input_gradient(|| Gelu::new(), 2, 5, 1e-2);
+        check_input_gradient(Gelu::new, 2, 5, 1e-2);
     }
 
     #[test]

@@ -83,7 +83,11 @@ pub fn cross_entropy(logits: &Matrix, targets: &[usize]) -> LossOutput {
         }
     }
     grad.scale_assign(1.0 / n as f32);
-    LossOutput { loss: loss / n as f32, grad_logits: grad, correct }
+    LossOutput {
+        loss: loss / n as f32,
+        grad_logits: grad,
+        correct,
+    }
 }
 
 #[cfg(test)]
@@ -129,9 +133,8 @@ mod tests {
             lp.as_mut_slice()[idx] += eps;
             let mut lm = logits.clone();
             lm.as_mut_slice()[idx] -= eps;
-            let numeric =
-                (cross_entropy(&lp, &targets).loss - cross_entropy(&lm, &targets).loss)
-                    / (2.0 * eps);
+            let numeric = (cross_entropy(&lp, &targets).loss - cross_entropy(&lm, &targets).loss)
+                / (2.0 * eps);
             let got = out.grad_logits.as_slice()[idx];
             assert!((numeric - got).abs() < 1e-3, "{idx}: {numeric} vs {got}");
         }

@@ -47,7 +47,11 @@ impl Sgd {
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
-        Self { lr, momentum, velocity: HashMap::new() }
+        Self {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
     }
 }
 
@@ -98,7 +102,15 @@ impl Adam {
     /// Panics if `lr <= 0`.
     pub fn new(lr: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: HashMap::new(), v: HashMap::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
     }
 }
 
@@ -148,7 +160,11 @@ mod tests {
         let mut g = Matrix::zeros(1, 1);
         for _ in 0..steps {
             g[(0, 0)] = w[(0, 0)];
-            let mut params = vec![ParamRef { name: "w", value: &mut w, grad: &mut g }];
+            let mut params = vec![ParamRef {
+                name: "w",
+                value: &mut w,
+                grad: &mut g,
+            }];
             opt.step(&mut params);
         }
         w[(0, 0)]
@@ -177,7 +193,11 @@ mod tests {
         let mut opt = Sgd::new(0.5);
         let mut w = Matrix::full(1, 2, 1.0);
         let mut g = Matrix::from_rows(&[&[2.0, -4.0]]);
-        let mut params = vec![ParamRef { name: "w", value: &mut w, grad: &mut g }];
+        let mut params = vec![ParamRef {
+            name: "w",
+            value: &mut w,
+            grad: &mut g,
+        }];
         opt.step(&mut params);
         assert_eq!(w.as_slice(), &[0.0, 3.0]);
     }
@@ -188,7 +208,11 @@ mod tests {
         let mut opt = Adam::new(0.1);
         let mut w = Matrix::full(1, 1, 0.0);
         let mut g = Matrix::full(1, 1, 123.0);
-        let mut params = vec![ParamRef { name: "w", value: &mut w, grad: &mut g }];
+        let mut params = vec![ParamRef {
+            name: "w",
+            value: &mut w,
+            grad: &mut g,
+        }];
         opt.step(&mut params);
         assert!((w[(0, 0)] + 0.1).abs() < 1e-4, "w = {}", w[(0, 0)]);
     }

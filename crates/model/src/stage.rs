@@ -174,7 +174,11 @@ impl Stage {
         }
         if self.has_head() {
             h = self.final_ln.as_mut().unwrap().forward(&h);
-            h = self.head.as_mut().expect("last stage has head replica").project(&h);
+            h = self
+                .head
+                .as_mut()
+                .expect("last stage has head replica")
+                .project(&h);
         }
         h
     }
@@ -210,8 +214,16 @@ impl Stage {
         let mut out = Vec::new();
         if let Some(emb) = &mut self.embedding {
             let [(t, g), (p, gp)] = emb.both_params();
-            out.push(ParamRef { name: "embedding.table", value: t, grad: g });
-            out.push(ParamRef { name: "embedding.pos", value: p, grad: gp });
+            out.push(ParamRef {
+                name: "embedding.table",
+                value: t,
+                grad: g,
+            });
+            out.push(ParamRef {
+                name: "embedding.pos",
+                value: p,
+                grad: gp,
+            });
         }
         for b in &mut self.blocks {
             out.extend(b.params());
@@ -221,7 +233,11 @@ impl Stage {
         }
         if let Some(h) = &mut self.head {
             let (t, g) = h.table_param();
-            out.push(ParamRef { name: "head.table", value: t, grad: g });
+            out.push(ParamRef {
+                name: "head.table",
+                value: t,
+                grad: g,
+            });
         }
         out
     }
@@ -307,7 +323,11 @@ impl Stage {
         if let Some(e) = &self.embedding {
             n += e.pending_activations();
         }
-        n += self.blocks.iter().map(|b| b.pending_activations()).sum::<usize>();
+        n += self
+            .blocks
+            .iter()
+            .map(|b| b.pending_activations())
+            .sum::<usize>();
         if let Some(h) = &self.head {
             n += h.pending_activations();
         }
@@ -370,7 +390,9 @@ mod tests {
         };
         let targets: Vec<usize> = tokens.iter().map(|&t| (t + 1) % cfg.vocab).collect();
         let out = cross_entropy(&logits, &targets);
-        let g1 = stages[1].backward(&out.grad_logits).expect("grad to stage 0");
+        let g1 = stages[1]
+            .backward(&out.grad_logits)
+            .expect("grad to stage 0");
         assert_eq!(g1.shape(), h0.shape());
         assert!(stages[0].backward(&g1).is_none());
         for s in &stages {
@@ -430,12 +452,15 @@ mod tests {
     fn param_counts_are_consistent_across_splits() {
         let cfg = GptConfig::tiny();
         let count = |pp: usize| -> usize {
-            Stage::build_pipeline(&cfg, pp, 0).iter_mut().map(Stage::param_count).sum()
+            Stage::build_pipeline(&cfg, pp, 0)
+                .iter_mut()
+                .map(Stage::param_count)
+                .sum()
         };
         // pp=2..4 hold one extra vocab*hidden table (the head replica)
         // compared to pp=1 where the table is shared.
         let single = count(1);
-        let replica = (cfg.vocab * cfg.hidden) as usize;
+        let replica = cfg.vocab * cfg.hidden;
         for pp in [2usize, 4] {
             assert_eq!(count(pp), single + replica, "pp={pp}");
         }

@@ -52,7 +52,10 @@ fn tiny_gpt_learns_cyclic_language_with_adam() {
 #[test]
 fn tiny_gpt_learns_with_sgd_momentum() {
     let (first, last) = train_single_stage(&mut Sgd::with_momentum(0.05, 0.9), 150);
-    assert!(last < first * 0.8, "SGD failed to reduce loss: {first} -> {last}");
+    assert!(
+        last < first * 0.8,
+        "SGD failed to reduce loss: {first} -> {last}"
+    );
 }
 
 #[test]

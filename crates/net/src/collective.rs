@@ -99,7 +99,10 @@ impl CollectiveGroup {
         while st.result.is_some() && st.slots[pos].is_some() {
             cvar.wait(&mut st);
         }
-        assert!(st.slots[pos].is_none(), "rank {rank} deposited twice in one round");
+        assert!(
+            st.slots[pos].is_none(),
+            "rank {rank} deposited twice in one round"
+        );
         st.slots[pos] = Some(m);
         if st.slots.iter().all(Option::is_some) {
             // Last depositor reduces in member order (deterministic).
@@ -242,8 +245,7 @@ mod tests {
         let group = world.group(&[0, 1]);
         for round in 0..5 {
             let g1 = group.clone();
-            let h =
-                thread::spawn(move || g1.all_reduce_sum(1, Matrix::full(1, 1, round as f32)));
+            let h = thread::spawn(move || g1.all_reduce_sum(1, Matrix::full(1, 1, round as f32)));
             let got = group.all_reduce_sum(0, Matrix::full(1, 1, 1.0));
             assert_eq!(got[(0, 0)], 1.0 + round as f32);
             h.join().unwrap();

@@ -85,7 +85,12 @@ impl<T: Send> P2pMesh<T> {
             senders.push(s);
             receivers.push(r);
         }
-        Self { world, senders, receivers, timeout }
+        Self {
+            world,
+            senders,
+            receivers,
+            timeout,
+        }
     }
 
     /// Number of ranks in the mesh.

@@ -57,7 +57,10 @@ impl Topology {
     /// A cluster with the paper's per-node hardware but a different node
     /// count (used by the Fig. 16 scalability sweep).
     pub fn with_nodes(nodes: usize) -> Self {
-        Self { nodes, ..Self::paper_cluster() }
+        Self {
+            nodes,
+            ..Self::paper_cluster()
+        }
     }
 
     /// A TPU-pod-like cluster (paper §10.1): higher intra-node bandwidth,

@@ -120,7 +120,10 @@ impl TrafficLedger {
     /// Takes a consistent snapshot of all counters.
     pub fn snapshot(&self) -> TrafficSnapshot {
         let c = self.inner.lock();
-        TrafficSnapshot { bytes: c.bytes, messages: c.messages }
+        TrafficSnapshot {
+            bytes: c.bytes,
+            messages: c.messages,
+        }
     }
 
     /// Resets all counters to zero.

@@ -1,8 +1,8 @@
 //! Property-based tests for the communication substrate.
 
 use opt_net::{
-    all_reduce_time_s, p2p_time_s, ring_all_reduce_wire_bytes, CollectiveWorld, CostModel,
-    P2pMesh, Topology, TrafficClass, TrafficLedger,
+    all_reduce_time_s, p2p_time_s, ring_all_reduce_wire_bytes, CollectiveWorld, CostModel, P2pMesh,
+    Topology, TrafficClass, TrafficLedger,
 };
 use opt_tensor::{Matrix, SeedStream};
 use proptest::prelude::*;

@@ -17,7 +17,10 @@
 ///
 /// Panics if any argument is zero.
 pub fn interleaved_bubble_fraction(n_stages: usize, n_micro: usize, v: usize) -> f64 {
-    assert!(n_stages > 0 && n_micro > 0 && v > 0, "arguments must be positive");
+    assert!(
+        n_stages > 0 && n_micro > 0 && v > 0,
+        "arguments must be positive"
+    );
     let s = n_stages as f64 - 1.0;
     s / (v as f64 * n_micro as f64 + s)
 }
@@ -55,8 +58,7 @@ mod tests {
         for s in 1..6 {
             for m in 1..10 {
                 assert!(
-                    (interleaved_bubble_fraction(s, m, 1) - bubble_fraction(s, m)).abs()
-                        < 1e-12
+                    (interleaved_bubble_fraction(s, m, 1) - bubble_fraction(s, m)).abs() < 1e-12
                 );
             }
         }

@@ -61,7 +61,10 @@ impl PipelineSchedule {
 
     /// Iterates over `(stage, ops)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &[Op])> {
-        self.per_device.iter().enumerate().map(|(s, ops)| (s, ops.as_slice()))
+        self.per_device
+            .iter()
+            .enumerate()
+            .map(|(s, ops)| (s, ops.as_slice()))
     }
 
     /// Validates structural invariants; used by property tests and
@@ -123,7 +126,10 @@ impl PipelineSchedule {
 ///
 /// Panics if `n_stages == 0` or `n_micro == 0`.
 pub fn one_f_one_b(n_stages: usize, n_micro: usize) -> PipelineSchedule {
-    assert!(n_stages > 0 && n_micro > 0, "stages and micro-batches must be positive");
+    assert!(
+        n_stages > 0 && n_micro > 0,
+        "stages and micro-batches must be positive"
+    );
     let mut per_device = Vec::with_capacity(n_stages);
     for s in 0..n_stages {
         let warmup = (n_stages - s - 1).min(n_micro);
@@ -141,7 +147,11 @@ pub fn one_f_one_b(n_stages: usize, n_micro: usize) -> PipelineSchedule {
         }
         per_device.push(ops);
     }
-    let sched = PipelineSchedule { n_stages, n_micro, per_device };
+    let sched = PipelineSchedule {
+        n_stages,
+        n_micro,
+        per_device,
+    };
     debug_assert!(sched.validate().is_ok());
     sched
 }
@@ -152,7 +162,10 @@ pub fn one_f_one_b(n_stages: usize, n_micro: usize) -> PipelineSchedule {
 ///
 /// Panics if `n_stages == 0` or `n_micro == 0`.
 pub fn gpipe(n_stages: usize, n_micro: usize) -> PipelineSchedule {
-    assert!(n_stages > 0 && n_micro > 0, "stages and micro-batches must be positive");
+    assert!(
+        n_stages > 0 && n_micro > 0,
+        "stages and micro-batches must be positive"
+    );
     let mut per_device = Vec::with_capacity(n_stages);
     for _ in 0..n_stages {
         let mut ops = Vec::with_capacity(2 * n_micro);
@@ -164,7 +177,11 @@ pub fn gpipe(n_stages: usize, n_micro: usize) -> PipelineSchedule {
         }
         per_device.push(ops);
     }
-    PipelineSchedule { n_stages, n_micro, per_device }
+    PipelineSchedule {
+        n_stages,
+        n_micro,
+        per_device,
+    }
 }
 
 /// Ideal pipeline bubble fraction `(S - 1) / (M + S - 1)` for 1F1B with
@@ -192,11 +209,14 @@ mod tests {
     fn first_stage_warmup_depth_is_s_minus_1() {
         let s = one_f_one_b(4, 8);
         let ops = s.device_ops(0);
-        assert_eq!(&ops[..3], &[
-            Op::Forward { micro: 0 },
-            Op::Forward { micro: 1 },
-            Op::Forward { micro: 2 },
-        ]);
+        assert_eq!(
+            &ops[..3],
+            &[
+                Op::Forward { micro: 0 },
+                Op::Forward { micro: 1 },
+                Op::Forward { micro: 2 },
+            ]
+        );
         assert_eq!(ops[3], Op::Forward { micro: 3 });
         assert_eq!(ops[4], Op::Backward { micro: 0 });
     }
@@ -206,7 +226,9 @@ mod tests {
         for s in 1..=8 {
             for m in 1..=16 {
                 let sched = one_f_one_b(s, m);
-                sched.validate().unwrap_or_else(|e| panic!("S={s} M={m}: {e}"));
+                sched
+                    .validate()
+                    .unwrap_or_else(|e| panic!("S={s} M={m}: {e}"));
             }
         }
     }

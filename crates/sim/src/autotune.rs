@@ -103,7 +103,10 @@ mod tests {
         let cfg = SimConfig::paper_gpt_8_3b().with_plan(CompressionPlan::cb_fe());
         let strict = auto_tune(&cfg, 0.0).unwrap();
         let loose = auto_tune(&cfg, 0.9).unwrap();
-        assert!(loose.iteration_s < strict.iteration_s, "budget bought nothing");
+        assert!(
+            loose.iteration_s < strict.iteration_s,
+            "budget bought nothing"
+        );
         assert!(loose.fraction > 0.0);
     }
 

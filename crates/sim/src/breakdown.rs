@@ -78,7 +78,13 @@ pub fn breakdown(cfg: &SimConfig) -> Breakdown {
     let emb_exposed = (full - no_emb).max(0.0);
     let dp_exposed = ((full - no_dp_emb) - emb_exposed).max(0.0);
     let interstage_exposed = (full - no_interstage).max(0.0);
-    Breakdown { total: full, fwd_bwd, dp_exposed, interstage_exposed, emb_exposed }
+    Breakdown {
+        total: full,
+        fwd_bwd,
+        dp_exposed,
+        interstage_exposed,
+        emb_exposed,
+    }
 }
 
 /// Convenience: breakdown plus the `SimResult` of the full run.

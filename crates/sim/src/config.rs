@@ -17,7 +17,10 @@ pub struct CbPlan {
 impl CbPlan {
     /// The paper's setting: rank 16, epilogue-only.
     pub fn paper() -> Self {
-        Self { rank: 16, epilogue_only: true }
+        Self {
+            rank: 16,
+            epilogue_only: true,
+        }
     }
 }
 
@@ -34,7 +37,10 @@ pub struct ScPlan {
 impl ScPlan {
     /// The paper's setting: 75 % of stages at rank 128.
     pub fn paper() -> Self {
-        Self { fraction: 0.75, rank: 128 }
+        Self {
+            fraction: 0.75,
+            rank: 128,
+        }
     }
 }
 
@@ -63,29 +69,44 @@ impl CompressionPlan {
     /// CB only (lazy error propagation has no timing effect; it is a
     /// quality technique exercised in the numerical trainer).
     pub fn cb() -> Self {
-        Self { compressed_backprop: Some(CbPlan::paper()), ..Self::default() }
+        Self {
+            compressed_backprop: Some(CbPlan::paper()),
+            ..Self::default()
+        }
     }
 
     /// CB + fused embedding synchronization.
     pub fn cb_fe() -> Self {
-        Self { fused_embedding: true, ..Self::cb() }
+        Self {
+            fused_embedding: true,
+            ..Self::cb()
+        }
     }
 
     /// CB + FE + selective stage compression — full Optimus-CC.
     pub fn cb_fe_sc() -> Self {
-        Self { selective_stage: Some(ScPlan::paper()), ..Self::cb_fe() }
+        Self {
+            selective_stage: Some(ScPlan::paper()),
+            ..Self::cb_fe()
+        }
     }
 
     /// The Fig. 3 "naive DP" bar: compress all DP traffic, nothing else.
     pub fn naive_dp(rank: usize) -> Self {
-        Self { naive_dp_rank: Some(rank), ..Self::default() }
+        Self {
+            naive_dp_rank: Some(rank),
+            ..Self::default()
+        }
     }
 
     /// The Fig. 3 "naive CB" bar: compress every backward send (no
     /// epilogue restriction).
     pub fn naive_cb(rank: usize) -> Self {
         Self {
-            compressed_backprop: Some(CbPlan { rank, epilogue_only: false }),
+            compressed_backprop: Some(CbPlan {
+                rank,
+                epilogue_only: false,
+            }),
             ..Self::default()
         }
     }

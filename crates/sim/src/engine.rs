@@ -1,8 +1,8 @@
 //! The discrete-event iteration simulator.
 
 use crate::{KernelModel, SimConfig};
-use opt_schedule::{is_epilogue_send, one_f_one_b, Op};
 use opt_net::ring_all_reduce_wire_bytes;
+use opt_schedule::{is_epilogue_send, one_f_one_b, Op};
 use serde::{Deserialize, Serialize};
 
 /// What a trace event represents.
@@ -186,7 +186,13 @@ pub fn simulate(cfg: &SimConfig) -> SimResult {
                 };
                 let end = start + dur;
                 device_time[s] = end;
-                trace.push(TraceEvent { stage: s, kind, micro, start, end });
+                trace.push(TraceEvent {
+                    stage: s,
+                    kind,
+                    micro,
+                    start,
+                    end,
+                });
                 match op {
                     Op::Forward { micro } => {
                         if s + 1 < s_count {
@@ -215,9 +221,7 @@ pub fn simulate(cfg: &SimConfig) -> SimResult {
                             let compress = match cfg.plan.compressed_backprop {
                                 None => None,
                                 Some(cb) => {
-                                    let on_epilogue = is_epilogue_send(
-                                        s, micro, s_count, m_count,
-                                    );
+                                    let on_epilogue = is_epilogue_send(s, micro, s_count, m_count);
                                     (!cb.epilogue_only || on_epilogue).then_some(cb.rank)
                                 }
                             };
@@ -261,7 +265,13 @@ pub fn simulate(cfg: &SimConfig) -> SimResult {
         let (start, end) = dp_window[s].expect("DP window scheduled for every stage");
         dp_done[s] = end;
         dp_bytes_total += dp_cost(s).1;
-        trace.push(TraceEvent { stage: s, kind: TraceKind::DpComm, micro: 0, start, end });
+        trace.push(TraceEvent {
+            stage: s,
+            kind: TraceKind::DpComm,
+            micro: 0,
+            start,
+            end,
+        });
     }
 
     // --- Embedding synchronization ------------------------------------
@@ -278,7 +288,13 @@ pub fn simulate(cfg: &SimConfig) -> SimResult {
         let start = dp_done[0];
         let end = start + dur;
         emb_bytes += wire;
-        trace.push(TraceEvent { stage: 0, kind: TraceKind::EmbDp, micro: 0, start, end });
+        trace.push(TraceEvent {
+            stage: 0,
+            kind: TraceKind::EmbDp,
+            micro: 0,
+            start,
+            end,
+        });
         iteration_end = end;
     } else if cfg.plan.fused_embedding {
         // One (2*dp)-way all-reduce across both replicas' DP groups,
@@ -290,7 +306,13 @@ pub fn simulate(cfg: &SimConfig) -> SimResult {
         let end = start + dur;
         emb_bytes += wire;
         for &s in &[first, last] {
-            trace.push(TraceEvent { stage: s, kind: TraceKind::EmbSync, micro: 0, start, end });
+            trace.push(TraceEvent {
+                stage: s,
+                kind: TraceKind::EmbSync,
+                micro: 0,
+                start,
+                end,
+            });
             dp_done[s] = dp_done[s].max(end);
         }
         iteration_end = effective_end(cfg, &backward_done, &dp_done);
@@ -304,7 +326,13 @@ pub fn simulate(cfg: &SimConfig) -> SimResult {
         for &s in &[first, last] {
             let start = dp_done[s];
             let end = start + dur_dp;
-            trace.push(TraceEvent { stage: s, kind: TraceKind::EmbDp, micro: 0, start, end });
+            trace.push(TraceEvent {
+                stage: s,
+                kind: TraceKind::EmbDp,
+                micro: 0,
+                start,
+                end,
+            });
             dp_done[s] = end;
         }
         let wire_sync = ring_all_reduce_wire_bytes(emb_v, 2);
@@ -313,7 +341,13 @@ pub fn simulate(cfg: &SimConfig) -> SimResult {
         let end = start + dur_sync;
         emb_bytes += wire_sync;
         for &s in &[first, last] {
-            trace.push(TraceEvent { stage: s, kind: TraceKind::EmbSync, micro: 0, start, end });
+            trace.push(TraceEvent {
+                stage: s,
+                kind: TraceKind::EmbSync,
+                micro: 0,
+                start,
+                end,
+            });
             dp_done[s] = end;
         }
         iteration_end = effective_end(cfg, &backward_done, &dp_done);
@@ -372,8 +406,7 @@ mod tests {
     fn sc_gain_larger_on_bigger_model() {
         // Table 2: SC adds much more on GPT-8.3B than on GPT-2.5B.
         let gain = |cfg: SimConfig| {
-            let fe = simulate(&cfg.clone().with_plan(CompressionPlan::cb_fe()))
-                .iteration_time_s;
+            let fe = simulate(&cfg.clone().with_plan(CompressionPlan::cb_fe())).iteration_time_s;
             let sc = simulate(&cfg.with_plan(CompressionPlan::cb_fe_sc())).iteration_time_s;
             fe / sc - 1.0
         };
@@ -387,7 +420,11 @@ mod tests {
         // 1F1B drain: earlier stages retire their final backward later.
         let r = simulate(&SimConfig::paper_gpt_2_5b());
         for w in r.backward_done_s.windows(2) {
-            assert!(w[0] > w[1], "backward finish not decreasing: {:?}", r.backward_done_s);
+            assert!(
+                w[0] > w[1],
+                "backward finish not decreasing: {:?}",
+                r.backward_done_s
+            );
         }
     }
 
@@ -401,7 +438,10 @@ mod tests {
         assert!(r1.iteration_time_s < r0.iteration_time_s);
         // Eq. 15/16: bytes ratio (2D-1)/(3D-2) at D=4 -> 7/10.
         let ratio = r1.emb_bytes / r0.emb_bytes;
-        assert!((ratio - 0.7).abs() < 0.05, "fused/baseline emb bytes {ratio}");
+        assert!(
+            (ratio - 0.7).abs() < 0.05,
+            "fused/baseline emb bytes {ratio}"
+        );
     }
 
     #[test]
@@ -410,8 +450,7 @@ mod tests {
         let cb = simulate(&SimConfig::paper_gpt_2_5b().with_plan(CompressionPlan::cb()));
         // Epilogue-only: backward volume drops by the epilogue fraction.
         assert!(cb.interstage_bytes < base.interstage_bytes);
-        let naive =
-            simulate(&SimConfig::paper_gpt_2_5b().with_plan(CompressionPlan::naive_cb(16)));
+        let naive = simulate(&SimConfig::paper_gpt_2_5b().with_plan(CompressionPlan::naive_cb(16)));
         // Naive CB compresses every backward send -> even fewer bytes.
         assert!(naive.interstage_bytes < cb.interstage_bytes);
     }
@@ -422,8 +461,16 @@ mod tests {
         let cfg = SimConfig::paper_gpt_2_5b();
         // Every stage runs n_micro forwards and backwards.
         for s in 0..cfg.pp {
-            let f = r.trace.iter().filter(|e| e.stage == s && e.kind == TraceKind::Forward).count();
-            let b = r.trace.iter().filter(|e| e.stage == s && e.kind == TraceKind::Backward).count();
+            let f = r
+                .trace
+                .iter()
+                .filter(|e| e.stage == s && e.kind == TraceKind::Forward)
+                .count();
+            let b = r
+                .trace
+                .iter()
+                .filter(|e| e.stage == s && e.kind == TraceKind::Backward)
+                .count();
             assert_eq!(f, cfg.n_micro);
             assert_eq!(b, cfg.n_micro);
         }
@@ -437,8 +484,7 @@ mod tests {
                 .trace
                 .iter()
                 .filter(|e| {
-                    e.stage == s
-                        && matches!(e.kind, TraceKind::Forward | TraceKind::Backward)
+                    e.stage == s && matches!(e.kind, TraceKind::Forward | TraceKind::Backward)
                 })
                 .collect();
             evs.sort_by(|a, b| a.start.partial_cmp(&b.start).unwrap());

@@ -74,15 +74,31 @@ impl KernelModel {
     /// transformer layers, each with weight matrices `(h,3h)`, `(h,h)`,
     /// `(h,4h)`, `(4h,h)`, compressed independently at rank `r`.
     pub fn dp_compress_time(&self, layers: usize, hidden: usize, r: usize) -> f64 {
-        let shapes = [(hidden, 3 * hidden), (hidden, hidden), (hidden, 4 * hidden), (4 * hidden, hidden)];
-        let per_layer: f64 = shapes.iter().map(|&(n, m)| self.compress_time(n, m, r)).sum();
+        let shapes = [
+            (hidden, 3 * hidden),
+            (hidden, hidden),
+            (hidden, 4 * hidden),
+            (4 * hidden, hidden),
+        ];
+        let per_layer: f64 = shapes
+            .iter()
+            .map(|&(n, m)| self.compress_time(n, m, r))
+            .sum();
         layers as f64 * per_layer
     }
 
     /// Decompression time counterpart of [`KernelModel::dp_compress_time`].
     pub fn dp_decompress_time(&self, layers: usize, hidden: usize, r: usize) -> f64 {
-        let shapes = [(hidden, 3 * hidden), (hidden, hidden), (hidden, 4 * hidden), (4 * hidden, hidden)];
-        let per_layer: f64 = shapes.iter().map(|&(n, m)| self.decompress_time(n, m, r)).sum();
+        let shapes = [
+            (hidden, 3 * hidden),
+            (hidden, hidden),
+            (hidden, 4 * hidden),
+            (4 * hidden, hidden),
+        ];
+        let per_layer: f64 = shapes
+            .iter()
+            .map(|&(n, m)| self.decompress_time(n, m, r))
+            .sum();
         layers as f64 * per_layer
     }
 }

@@ -23,7 +23,9 @@ pub struct SeedStream {
 impl SeedStream {
     /// Creates a stream from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: ChaCha8Rng::seed_from_u64(seed) }
+        Self {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
     }
 
     /// Derives an independent child stream; used to give each pipeline

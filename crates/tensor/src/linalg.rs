@@ -148,6 +148,10 @@ mod tests {
         orthonormalize_columns(&mut q);
         let proj = q.matmul(&q.t_matmul(&a));
         let resid = a.sub(&proj);
-        assert!(resid.norm() < 1e-3 * a.norm().max(1.0), "residual {}", resid.norm());
+        assert!(
+            resid.norm() < 1e-3 * a.norm().max(1.0),
+            "residual {}",
+            resid.norm()
+        );
     }
 }

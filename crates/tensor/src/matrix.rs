@@ -68,12 +68,20 @@ impl Matrix {
     /// assert_eq!(z.sum(), 0.0);
     /// ```
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -109,7 +117,11 @@ impl Matrix {
             assert_eq!(row.len(), ncols, "all rows must have equal length");
             data.extend_from_slice(row);
         }
-        Self { rows: nrows, cols: ncols, data }
+        Self {
+            rows: nrows,
+            cols: ncols,
+            data,
+        }
     }
 
     /// Creates a matrix from a flat row-major vector.
@@ -206,7 +218,11 @@ impl Matrix {
         let mut data = Vec::with_capacity(self.data.len() + other.data.len());
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
-        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Returns a new matrix containing columns `[start, end)`.
@@ -215,7 +231,10 @@ impl Matrix {
     ///
     /// Panics if `start > end` or `end > self.cols()`.
     pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.cols, "column slice out of bounds");
+        assert!(
+            start <= end && end <= self.cols,
+            "column slice out of bounds"
+        );
         let mut out = Matrix::zeros(self.rows, end - start);
         for r in 0..self.rows {
             let src = &self.data[r * self.cols + start..r * self.cols + end];
@@ -232,7 +251,10 @@ impl Matrix {
     /// overflow).
     pub fn paste_cols(&mut self, start: usize, block: &Matrix) {
         assert_eq!(self.rows, block.rows, "paste_cols row mismatch");
-        assert!(start + block.cols <= self.cols, "paste_cols overflows columns");
+        assert!(
+            start + block.cols <= self.cols,
+            "paste_cols overflows columns"
+        );
         for r in 0..self.rows {
             let dst_start = r * self.cols + start;
             self.data[dst_start..dst_start + block.cols].copy_from_slice(block.row(r));
@@ -353,14 +375,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }

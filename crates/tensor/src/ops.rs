@@ -117,7 +117,11 @@ impl Matrix {
     /// Panics if element counts differ.
     pub fn dot(&self, rhs: &Matrix) -> f32 {
         assert_eq!(self.len(), rhs.len(), "dot length mismatch");
-        self.as_slice().iter().zip(rhs.as_slice()).map(|(&a, &b)| a * b).sum()
+        self.as_slice()
+            .iter()
+            .zip(rhs.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum()
     }
 
     /// Squared Frobenius norm.

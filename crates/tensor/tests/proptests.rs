@@ -96,6 +96,13 @@ proptest! {
     }
 
     #[test]
+    fn add_has_zero_identity_and_sub_inverts(m in matrix(5, 3)) {
+        let zero = Matrix::zeros(5, 3);
+        prop_assert_eq!(m.add(&zero), m.clone());
+        prop_assert!(m.sub(&m).max_abs() == 0.0);
+    }
+
+    #[test]
     fn vcat_then_slice_roundtrip(seed in 0u64..500) {
         let mut rng = SeedStream::new(seed);
         let a = rng.uniform_matrix(3, 4, 1.0);

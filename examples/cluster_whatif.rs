@@ -9,7 +9,9 @@ use optimus::model::GptConfig;
 use optimus::sim::{breakdown, simulate, CompressionPlan, SimConfig};
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "8.3b".to_string());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "8.3b".to_string());
     let model = match arg.as_str() {
         "2.5b" => GptConfig::gpt_2_5b(),
         "8.3b" => GptConfig::gpt_8_3b(),
@@ -22,7 +24,7 @@ fn main() {
         }
     };
     let mut cfg = SimConfig::paper_defaults(model);
-    if cfg.model.n_layers % cfg.pp != 0 {
+    if !cfg.model.n_layers.is_multiple_of(cfg.pp) {
         cfg.pp = 4;
     }
     if arg == "175b" {

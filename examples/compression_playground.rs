@@ -45,13 +45,23 @@ fn main() {
         for _ in 0..50 {
             let g = base.add(&noise_rng.uniform_matrix(64, 64, 0.2));
             truth.add_assign(&g);
-            let payload = if ef { with_ef.compress(&g) } else { plain.compress(&g) };
+            let payload = if ef {
+                with_ef.compress(&g)
+            } else {
+                plain.compress(&g)
+            };
             delivered.add_assign(&payload.decompress());
         }
         delivered.sub(&truth).norm() / truth.norm()
     };
-    println!("  without error feedback: cumulative rel. error {:.4}", run(false));
-    println!("  with error feedback:    cumulative rel. error {:.4}", run(true));
+    println!(
+        "  without error feedback: cumulative rel. error {:.4}",
+        run(false)
+    );
+    println!(
+        "  with error feedback:    cumulative rel. error {:.4}",
+        run(true)
+    );
     println!("\nEF recovers the mass lossy compression drops — the same mechanism lazy");
     println!("error propagation applies within an iteration (Optimus-CC §5.1).");
 }

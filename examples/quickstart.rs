@@ -26,7 +26,11 @@ fn main() {
         base_report.final_val_ppl(),
         opt_report.final_val_ppl()
     );
-    for class in [TrafficClass::InterStage, TrafficClass::DataParallel, TrafficClass::Embedding] {
+    for class in [
+        TrafficClass::InterStage,
+        TrafficClass::DataParallel,
+        TrafficClass::Embedding,
+    ] {
         let b = base_report.traffic.bytes(class);
         let o = opt_report.traffic.bytes(class);
         println!(

@@ -13,9 +13,7 @@ fn simulator_and_trainer_agree_on_technique_direction() {
     // Both substrates must agree: full Optimus-CC reduces total bytes on
     // the wire vs the baseline.
     let sim_base = simulate(&SimConfig::paper_gpt_2_5b());
-    let sim_opt = simulate(
-        &SimConfig::paper_gpt_2_5b().with_plan(CompressionPlan::cb_fe_sc()),
-    );
+    let sim_opt = simulate(&SimConfig::paper_gpt_2_5b().with_plan(CompressionPlan::cb_fe_sc()));
     assert!(sim_opt.iteration_time_s < sim_base.iteration_time_s);
     assert!(sim_opt.dp_bytes < sim_base.dp_bytes);
     assert!(sim_opt.emb_bytes < sim_base.emb_bytes);
@@ -30,9 +28,7 @@ fn simulator_and_trainer_agree_on_technique_direction() {
     let tr_base = run(QualityConfig::baseline());
     let tr_opt = run(QualityConfig::cb_fe_sc());
     assert!(tr_opt.total_bytes() < tr_base.total_bytes());
-    assert!(
-        tr_opt.bytes(TrafficClass::Embedding) < tr_base.bytes(TrafficClass::Embedding)
-    );
+    assert!(tr_opt.bytes(TrafficClass::Embedding) < tr_base.bytes(TrafficClass::Embedding));
 }
 
 #[test]

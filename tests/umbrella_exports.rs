@@ -1,0 +1,40 @@
+//! Guards the umbrella crate's re-export wiring: if a workspace manifest or
+//! a `pub use` in `src/lib.rs` regresses, these paths stop resolving and
+//! `cargo test` fails at compile time, before any behavioral test runs.
+
+use optimus::compress::{Compressor, PowerSgd};
+use optimus::core::{QualityConfig, Trainer, TrainerConfig};
+use optimus::tensor::Matrix;
+
+#[test]
+fn tensor_reexport_resolves() {
+    let m = Matrix::zeros(3, 2);
+    assert_eq!(m.rows(), 3);
+}
+
+#[test]
+fn compress_reexport_resolves() {
+    let mut comp = PowerSgd::new(2, 7);
+    let grad = Matrix::zeros(8, 4);
+    let payload = comp.compress(&grad);
+    let restored = payload.decompress();
+    assert_eq!(restored.rows(), 8);
+}
+
+#[test]
+fn core_reexport_resolves() {
+    let mut trainer = Trainer::launch(TrainerConfig::tiny_test(QualityConfig::baseline(), 1));
+    trainer.train_more(0);
+    trainer.shutdown();
+}
+
+#[test]
+fn remaining_subsystem_reexports_resolve() {
+    // One symbol per remaining re-exported crate, so a dropped `pub use`
+    // or manifest edge is caught no matter which subsystem it touches.
+    let _ = optimus::data::ZeroShotTask::ALL;
+    let _ = optimus::model::GptConfig::gpt_2_5b();
+    let _ = optimus::net::CollectiveWorld::new(1);
+    let _ = optimus::schedule::one_f_one_b;
+    let _ = optimus::sim::SimConfig::paper_gpt_2_5b();
+}

@@ -1,0 +1,266 @@
+//! Vendored stand-in for the `criterion` benchmark harness.
+//!
+//! The workspace builds offline, so this crate reimplements the subset of
+//! the Criterion 0.5 API the `opt-bench` benches use: [`Criterion`],
+//! benchmark groups with [`Throughput`] annotations and per-group
+//! `sample_size`, [`BenchmarkId`], `bench_function` / `bench_with_input`,
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Statistical rigor is *not* a goal — CI just needs the benches to compile
+//! and run quickly. Each benchmark warms up once, then runs batches of
+//! doubling size until a small wall-clock budget is spent, and reports the
+//! mean time per iteration (plus derived throughput when annotated).
+//! Set `OPT_BENCH_MIN_TIME_MS` to raise the per-benchmark budget when you
+//! want steadier numbers locally.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-iteration budget floor, overridable via `OPT_BENCH_MIN_TIME_MS`.
+fn min_time() -> Duration {
+    let ms = std::env::var("OPT_BENCH_MIN_TIME_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20u64);
+    Duration::from_millis(ms)
+}
+
+/// Entry point handed to each `criterion_group!` target function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group; results print as `group/id`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 0,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().label, None, 0, &mut f);
+        self
+    }
+}
+
+/// Identifies a benchmark within a group, e.g. `from_parameter(rank)`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from the parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// Units for derived-rate reporting on a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A named set of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a per-iteration work volume.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Caps measured iterations (Criterion's sample count; here a cap on
+    /// timed iterations so slow benches stay cheap in CI).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.throughput, self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`, passing `input` through.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(
+            &label,
+            self.throughput,
+            self.sample_size,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        budget: min_time(),
+        max_iters: if sample_size == 0 {
+            u64::MAX
+        } else {
+            sample_size as u64
+        },
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = if b.iters == 0 {
+        Duration::ZERO
+    } else {
+        b.elapsed / b.iters as u32
+    };
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(bytes) => format!("  {:.3} GiB/s", gib_per_s(bytes, per_iter)),
+        Throughput::Elements(n) => format!("  {:.3} Melem/s", melem_per_s(n, per_iter)),
+    });
+    println!(
+        "bench: {:<44} {:>12}/iter ({} iters){}",
+        label,
+        format_duration(per_iter),
+        b.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+fn gib_per_s(bytes: u64, per_iter: Duration) -> f64 {
+    if per_iter.is_zero() {
+        return f64::INFINITY;
+    }
+    bytes as f64 / per_iter.as_secs_f64() / (1u64 << 30) as f64
+}
+
+fn melem_per_s(elems: u64, per_iter: Duration) -> f64 {
+    if per_iter.is_zero() {
+        return f64::INFINITY;
+    }
+    elems as f64 / per_iter.as_secs_f64() / 1e6
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{} ns", ns)
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    budget: Duration,
+    max_iters: u64,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`: one warmup call, then doubling batches until the
+    /// wall-clock budget (or the group's `sample_size` cap) is reached.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        let mut batch: u64 = 1;
+        let mut total_iters: u64 = 0;
+        let mut total = Duration::ZERO;
+        while total < self.budget && total_iters < self.max_iters {
+            let batch_now = batch.min(self.max_iters - total_iters);
+            let start = Instant::now();
+            for _ in 0..batch_now {
+                std::hint::black_box(f());
+            }
+            total += start.elapsed();
+            total_iters += batch_now;
+            batch = batch.saturating_mul(2);
+        }
+        self.iters = total_iters;
+        self.elapsed = total;
+    }
+}
+
+/// Re-export so `criterion::black_box` call sites resolve.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function list, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring Criterion's macro. Cargo passes
+/// `--bench` (and possibly a filter) to the binary; the shim ignores them.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,323 @@
+//! Vendored minimal property-testing runner exposing the subset of the
+//! `proptest` API the reproduction's test suites use.
+//!
+//! The workspace builds offline, so the real `proptest` is unavailable.
+//! This shim keeps the same source syntax — `proptest! { #[test] fn f(x in
+//! strategy) { .. } }`, `prop_assert*!`, `prop_assume!`, `ProptestConfig`,
+//! `Strategy`/`prop_map`, `proptest::collection::vec` — backed by a small
+//! deterministic runner:
+//!
+//! * Each test case draws its inputs from a ChaCha8 stream seeded by the
+//!   test's `module_path!()::name` and the case index, so failures are
+//!   reproducible run-to-run and across machines.
+//! * No shrinking: a failing case reports the case index and the failed
+//!   assertion instead of a minimized input. (Re-run under the real
+//!   proptest if minimization is ever needed.)
+//! * `prop_assume!` rejections skip the case; a test aborts if rejections
+//!   exceed 16× the requested case count, like proptest's global reject cap.
+
+// The `#[test]` tokens inside the `proptest!` doc example below are the
+// macro's documented surface syntax, not unit tests mistakenly placed in a
+// doctest; the example itself runs under `cargo test --doc`.
+#![allow(clippy::test_attr_in_doctest)]
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+pub mod strategy;
+
+pub mod test_runner {
+    use super::*;
+
+    /// Per-test configuration; only `cases` is honored by the shim.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real proptest defaults to 256; keep that so coverage is
+            // comparable when the shim is swapped out.
+            Self { cases: 256 }
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed; the property is violated.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; draw another case.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds the failure variant.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds the rejection variant.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Deterministic per-case RNG handed to strategies.
+    pub struct TestRng {
+        pub(crate) rng: ChaCha8Rng,
+    }
+
+    impl TestRng {
+        /// Derives the RNG for `(test, case)`. FNV-1a over the test path
+        /// keeps seeds stable across runs and platforms.
+        pub fn for_case(test_path: &str, case: u64) -> Self {
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in test_path.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self {
+                rng: ChaCha8Rng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            }
+        }
+    }
+
+    /// Drives one property: draws cases, counts rejections, panics on the
+    /// first failure. Called by the expansion of [`crate::proptest!`].
+    pub fn run_cases(
+        config: &ProptestConfig,
+        test_path: &str,
+        mut one_case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    ) {
+        let mut accepted: u32 = 0;
+        let mut attempts: u64 = 0;
+        let max_attempts = (config.cases as u64).saturating_mul(16).max(16);
+        while accepted < config.cases {
+            if attempts >= max_attempts {
+                panic!(
+                    "{test_path}: too many prop_assume! rejections \
+                     ({attempts} attempts for {accepted} accepted cases)"
+                );
+            }
+            let mut rng = TestRng::for_case(test_path, attempts);
+            attempts += 1;
+            match one_case(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "{test_path}: property failed at deterministic case #{}: {msg}",
+                        attempts - 1
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for a `Vec` of `len` elements drawn from `element`.
+    ///
+    /// The real proptest accepts a size *range* here; the reproduction only
+    /// passes exact lengths, so the shim takes `usize`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (0..self.len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a `proptest!`-based test file needs in scope.
+pub mod prelude {
+    /// Alias matching `proptest::prelude::prop`.
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests. Mirrors proptest's surface syntax:
+///
+/// ```
+/// use proptest::prelude::*;
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    // Internal @munch arms must precede the public catch-all arm: macro_rules
+    // tries arms top-to-bottom, and the catch-all matches `@munch ...` too
+    // (matching it there would recurse forever).
+    (@munch ($config:expr)) => {};
+    (@munch ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let path = concat!(module_path!(), "::", stringify!($name));
+            $crate::test_runner::run_cases(&config, path, |rng| {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                #[allow(unreachable_code)]
+                {
+                    $body
+                    ::std::result::Result::Ok(())
+                }
+            });
+        }
+        $crate::proptest!(@munch ($config) $($rest)*);
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)*);
+    }};
+}
+
+/// Rejects the current case, drawing a fresh one instead.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, f in -2.0f32..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_assume((a, b) in (0u64..100, 0u64..100)) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_header_parses(x in 0i32..5) {
+            prop_assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_and_prop_map() {
+        let strat = crate::collection::vec(0.0f32..1.0, 12).prop_map(|v| v.len());
+        let mut rng = TestRng::for_case("shim::vec", 0);
+        assert_eq!(strat.generate(&mut rng), 12);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let strat = 0u64..1_000_000;
+        let a = strat.generate(&mut TestRng::for_case("shim::det", 3));
+        let b = (0u64..1_000_000).generate(&mut TestRng::for_case("shim::det", 3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics() {
+        crate::test_runner::run_cases(&ProptestConfig::with_cases(4), "shim::fail", |_rng| {
+            Err(crate::test_runner::TestCaseError::fail("boom"))
+        });
+    }
+}

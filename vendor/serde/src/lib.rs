@@ -1,0 +1,31 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The workspace builds offline and only ever uses
+//! `#[derive(Serialize, Deserialize)]` as a forward-compatibility marker on
+//! config/result structs — no code path serializes anything yet. This crate
+//! provides the two trait names (with blanket impls so bounds are always
+//! satisfiable) and re-exports the no-op derive macros, mirroring how the
+//! real `serde` crate exposes `serde_derive` under the `derive` feature.
+//!
+//! When a future PR needs real (de)serialization, replace this shim with the
+//! real crates.io `serde` and the derive bodies get generated for the exact
+//! same source annotations.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirrors `serde::de` far enough for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}
