@@ -1,0 +1,58 @@
+//! `opt-ckpt` — deterministic checkpoint/restore and fault injection for
+//! the Optimus-CC reproduction.
+//!
+//! A practical large-scale training run must survive preemption and worker
+//! failure, and in this reproduction the *compression state itself* is
+//! training state: PowerSGD warm-start factors, lazy-error-propagation
+//! residuals, and data-parallel error-feedback buffers all influence every
+//! subsequent gradient. Dropping them on restart silently degrades quality.
+//! This crate therefore treats "resume" as a bit-exactness contract:
+//!
+//! > train `N` iterations straight, versus train `k`, snapshot, kill,
+//! > restore, train `N - k` — the two runs must produce **identical**
+//! > per-iteration losses and identical post-restore traffic-ledger deltas.
+//!
+//! Three pieces:
+//!
+//! * [`Snapshot`] — the versioned on-disk format: a header
+//!   ([`SnapshotMeta`]: world shape, completed iterations, config
+//!   fingerprint) plus one [`RankSection`] per `(stage, dp)` worker, all
+//!   encoded with the byte codec from `opt_tensor::{Persist, Writer,
+//!   Reader}` and guarded by a length header and FNV-1a checksum. A
+//!   truncated or bit-flipped file is rejected at load, never half-applied.
+//! * [`CkptError`] — why a snapshot was rejected.
+//! * [`FaultPlan`] — a scripted failure (kill rank *r* after iteration
+//!   *k*, snapshot every *n*) interpreted by both the numerical trainer
+//!   (`optimus_cc::run_with_faults`) and the event simulator
+//!   (`opt_sim::simulate_with_faults`).
+//!
+//! The save/load drivers live in `optimus-cc` (`Trainer::save_snapshot`,
+//! `Trainer::restore_from_file`), which owns the worker protocol; this
+//! crate owns the format and the failure vocabulary.
+//!
+//! # Example
+//!
+//! ```
+//! use opt_ckpt::{CkptError, Snapshot, SnapshotMeta};
+//!
+//! let snap = Snapshot {
+//!     meta: SnapshotMeta { pp: 1, dp: 1, seed: 0, iter: 3, config_fingerprint: 1 },
+//!     ranks: vec![opt_ckpt::RankSection {
+//!         stage: 0, dp: 0, params: vec![], optimizer: vec![], cb_link: vec![], dp_state: vec![],
+//!     }],
+//! };
+//! let mut bytes = snap.encode();
+//! assert_eq!(Snapshot::decode(&bytes).unwrap(), snap);
+//! // One flipped bit in the body -> checksum rejection.
+//! let n = bytes.len();
+//! bytes[n - 12] ^= 1;
+//! assert!(matches!(Snapshot::decode(&bytes), Err(CkptError::ChecksumMismatch { .. })));
+//! ```
+
+mod error;
+mod fault;
+mod snapshot;
+
+pub use error::CkptError;
+pub use fault::FaultPlan;
+pub use snapshot::{fnv1a64, RankSection, Snapshot, SnapshotMeta, FORMAT_VERSION, MAGIC};

@@ -1,0 +1,405 @@
+//! The versioned on-disk snapshot format.
+
+use crate::CkptError;
+use opt_tensor::{Matrix, Persist, PersistError, Reader, Writer};
+use std::path::Path;
+
+/// Magic bytes opening every snapshot file.
+pub const MAGIC: &[u8; 8] = b"OPTCKPT\0";
+
+/// Current snapshot format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit hash, used both as the snapshot body checksum and (by
+/// `optimus-cc`) as the config fingerprint. Not cryptographic — it guards
+/// against truncation, bit rot, and accidental config drift, which is the
+/// threat model of a training checkpoint on a trusted filesystem.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Snapshot header: who took it, when (in iterations), and under what
+/// configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Pipeline stages of the run.
+    pub pp: usize,
+    /// Data-parallel ways of the run.
+    pub dp: usize,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Training iterations completed when the snapshot was taken.
+    pub iter: u64,
+    /// Fingerprint over every state-affecting configuration field
+    /// (model shape, parallelism, batching, compression plan, seed, lr).
+    pub config_fingerprint: u64,
+}
+
+impl Persist for SnapshotMeta {
+    fn persist(&self, w: &mut Writer) {
+        w.usize(self.pp);
+        w.usize(self.dp);
+        w.u64(self.seed);
+        w.u64(self.iter);
+        w.u64(self.config_fingerprint);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            pp: r.usize()?,
+            dp: r.usize()?,
+            seed: r.u64()?,
+            iter: r.u64()?,
+            config_fingerprint: r.u64()?,
+        })
+    }
+}
+
+/// One worker's slice of the training state.
+///
+/// Parameter tensors are stored structurally (the restoring trainer needs
+/// their shapes); optimizer and compressor state are opaque [`Persist`]
+/// blobs encoded and decoded by the crates that own those types — the
+/// snapshot container does not need to know what a warm-start factor is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankSection {
+    /// Pipeline stage index.
+    pub stage: usize,
+    /// Data-parallel rank.
+    pub dp: usize,
+    /// Every parameter tensor of the stage, in `Stage::params` order.
+    pub params: Vec<Matrix>,
+    /// Optimizer state (Adam moments + step counter).
+    pub optimizer: Vec<u8>,
+    /// Inter-stage compressed-backpropagation link state (PowerSGD
+    /// warm-start factors + RNG, lazy-error residual), if the worker has
+    /// an upstream link.
+    pub cb_link: Vec<u8>,
+    /// Data-parallel distributed-PowerSGD state (per-slot warm starts +
+    /// error-feedback residuals), if the stage's DP traffic is compressed.
+    pub dp_state: Vec<u8>,
+}
+
+impl Persist for RankSection {
+    fn persist(&self, w: &mut Writer) {
+        w.usize(self.stage);
+        w.usize(self.dp);
+        self.params.persist(w);
+        w.bytes(&self.optimizer);
+        w.bytes(&self.cb_link);
+        w.bytes(&self.dp_state);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            stage: r.usize()?,
+            dp: r.usize()?,
+            params: Vec::restore(r)?,
+            optimizer: r.bytes()?,
+            cb_link: r.bytes()?,
+            dp_state: r.bytes()?,
+        })
+    }
+}
+
+/// A complete, self-validating training snapshot: header plus one
+/// [`RankSection`] per `(stage, dp)` worker.
+///
+/// # On-disk layout
+///
+/// ```text
+/// magic    8 bytes   "OPTCKPT\0"
+/// version  u32 LE
+/// body_len u64 LE
+/// body     body_len  SnapshotMeta + Vec<RankSection> (Persist codec)
+/// checksum u64 LE    FNV-1a over body
+/// ```
+///
+/// [`Snapshot::decode`] rejects bad magic, unknown versions, truncation,
+/// checksum mismatches, and structurally invalid bodies — a snapshot that
+/// loads is a snapshot that was written completely and has not rotted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Header.
+    pub meta: SnapshotMeta,
+    /// Per-worker sections, ordered by `dp * pp + stage`.
+    pub ranks: Vec<RankSection>,
+}
+
+impl Snapshot {
+    /// Number of worker sections this snapshot should contain.
+    pub fn world_size(&self) -> usize {
+        self.meta.pp * self.meta.dp
+    }
+
+    /// The section for `(stage, dp)`, if present.
+    pub fn section(&self, stage: usize, dp: usize) -> Option<&RankSection> {
+        self.ranks.iter().find(|s| s.stage == stage && s.dp == dp)
+    }
+
+    /// Verifies that exactly one section exists per `(stage, dp)` pair and
+    /// nothing else (a stray out-of-world section would index out of
+    /// bounds during restore).
+    pub fn validate_complete(&self) -> Result<(), CkptError> {
+        if self.ranks.len() != self.world_size() {
+            return Err(CkptError::Decode(PersistError::Invalid {
+                what: "snapshot section count does not match its world size",
+            }));
+        }
+        for d in 0..self.meta.dp {
+            for s in 0..self.meta.pp {
+                let n = self
+                    .ranks
+                    .iter()
+                    .filter(|sec| sec.stage == s && sec.dp == d)
+                    .count();
+                if n != 1 {
+                    return Err(CkptError::MissingRank { stage: s, dp: d });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to the on-disk byte format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Writer::new();
+        self.meta.persist(&mut body);
+        self.ranks.persist(&mut body);
+        let body = body.into_bytes();
+
+        let mut out = Vec::with_capacity(MAGIC.len() + 12 + body.len() + 8);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        let checksum = fnv1a64(&body);
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Parses and validates the on-disk byte format.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CkptError> {
+        let header_len = MAGIC.len() + 4 + 8;
+        if bytes.len() < header_len {
+            return Err(CkptError::Truncated {
+                expected: header_len,
+                actual: bytes.len(),
+            });
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(CkptError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(CkptError::UnsupportedVersion(version));
+        }
+        let body_len64 = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+        // Checked arithmetic: a corrupt length field must surface as
+        // Truncated, not as an overflow panic or a wrapped-slice panic.
+        let total = usize::try_from(body_len64)
+            .ok()
+            .and_then(|b| header_len.checked_add(b))
+            .and_then(|t| t.checked_add(8));
+        let total = match total {
+            Some(t) if t <= bytes.len() => t,
+            _ => {
+                return Err(CkptError::Truncated {
+                    expected: total.unwrap_or(usize::MAX),
+                    actual: bytes.len(),
+                })
+            }
+        };
+        let body_len = body_len64 as usize;
+        let body = &bytes[header_len..header_len + body_len];
+        let stored = u64::from_le_bytes(bytes[header_len + body_len..total].try_into().unwrap());
+        let computed = fnv1a64(body);
+        if stored != computed {
+            return Err(CkptError::ChecksumMismatch { stored, computed });
+        }
+        let mut r = Reader::new(body);
+        let meta = SnapshotMeta::restore(&mut r)?;
+        let ranks = Vec::<RankSection>::restore(&mut r)?;
+        r.finish().map_err(CkptError::Decode)?;
+        let snap = Snapshot { meta, ranks };
+        snap.validate_complete()?;
+        Ok(snap)
+    }
+
+    /// Writes the snapshot to `path` via a sibling temp file and an atomic
+    /// rename, so a crash mid-save can never destroy the previous good
+    /// snapshot at that path — the overwrite happens only after the new
+    /// bytes are fully on disk.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CkptError> {
+        let path = path.as_ref();
+        let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+        tmp_name.push(".partial");
+        let tmp = path.with_file_name(tmp_name);
+        std::fs::write(&tmp, self.encode())?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    /// Reads and validates a snapshot from `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CkptError> {
+        let bytes = std::fs::read(path)?;
+        Self::decode(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let section = |stage: usize, dp: usize| RankSection {
+            stage,
+            dp,
+            params: vec![Matrix::full(2, 3, 1.5), Matrix::zeros(1, 4)],
+            optimizer: vec![1, 2, 3],
+            cb_link: vec![],
+            dp_state: vec![9; 5],
+        };
+        Snapshot {
+            meta: SnapshotMeta {
+                pp: 2,
+                dp: 1,
+                seed: 7,
+                iter: 42,
+                config_fingerprint: 0xABCD,
+            },
+            ranks: vec![section(0, 0), section(1, 0)],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let snap = sample();
+        let back = Snapshot::decode(&snap.encode()).expect("roundtrip");
+        assert_eq!(back, snap);
+        assert_eq!(back.world_size(), 2);
+        assert!(back.section(1, 0).is_some());
+        assert!(back.section(2, 0).is_none());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().encode();
+        bytes[0] = b'X';
+        assert!(matches!(Snapshot::decode(&bytes), Err(CkptError::BadMagic)));
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let mut bytes = sample().encode();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            Snapshot::decode(&bytes),
+            Err(CkptError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_cut() {
+        let bytes = sample().encode();
+        for cut in [1, 10, 21, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                Snapshot::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_rejected_everywhere_in_body() {
+        let clean = sample().encode();
+        let body_start = MAGIC.len() + 12;
+        for pos in (body_start..clean.len() - 8).step_by(7) {
+            let mut bytes = clean.clone();
+            bytes[pos] ^= 0xFF;
+            assert!(
+                matches!(
+                    Snapshot::decode(&bytes),
+                    Err(CkptError::ChecksumMismatch { .. })
+                ),
+                "flip at {pos} not caught by checksum"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_rank_rejected() {
+        let mut snap = sample();
+        snap.ranks.pop();
+        let err = Snapshot::decode(&snap.encode()).unwrap_err();
+        assert!(matches!(
+            err,
+            CkptError::Decode(PersistError::Invalid { .. })
+        ));
+        // Right count but a duplicated section: caught per-pair.
+        let mut dup = sample();
+        dup.ranks[1] = dup.ranks[0].clone();
+        let err = Snapshot::decode(&dup.encode()).unwrap_err();
+        assert!(matches!(err, CkptError::MissingRank { .. }));
+    }
+
+    #[test]
+    fn huge_length_field_is_truncation_not_panic() {
+        let mut bytes = sample().encode();
+        // Length field with the top bit set: must report Truncated, not
+        // overflow or slice out of range.
+        bytes[12..20].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            Snapshot::decode(&bytes),
+            Err(CkptError::Truncated { .. })
+        ));
+        let mut bytes2 = sample().encode();
+        bytes2[12..20].copy_from_slice(&(1u64 << 62).to_le_bytes());
+        assert!(matches!(
+            Snapshot::decode(&bytes2),
+            Err(CkptError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn save_leaves_no_partial_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("optckpt-atomic-{}.snap", std::process::id()));
+        let snap = sample();
+        snap.save(&path).expect("first save");
+        snap.save(&path).expect("overwrite save");
+        let partial = dir.join(format!(
+            "optckpt-atomic-{}.snap.partial",
+            std::process::id()
+        ));
+        assert!(!partial.exists(), "temp file left behind");
+        assert_eq!(Snapshot::load(&path).expect("load"), snap);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn save_load_file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("optckpt-test-{}.snap", std::process::id()));
+        let snap = sample();
+        snap.save(&path).expect("save");
+        let back = Snapshot::load(&path).expect("load");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pin the hash so old snapshots stay loadable across refactors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,7 +1,7 @@
 //! Classic error feedback (EF) for across-iteration gradient compression.
 
 use crate::{Compressed, Compressor};
-use opt_tensor::Matrix;
+use opt_tensor::{Matrix, Persist, PersistError, Reader, Writer};
 
 /// Wraps a compressor with classic error feedback: the residual of this
 /// iteration's compression is added to the *next iteration's* gradient
@@ -60,6 +60,20 @@ impl<C: Compressor> ErrorFeedback<C> {
     /// Consumes the wrapper, returning the wrapped compressor.
     pub fn into_inner(self) -> C {
         self.inner
+    }
+}
+
+impl<C: Compressor + Persist> Persist for ErrorFeedback<C> {
+    fn persist(&self, w: &mut Writer) {
+        self.inner.persist(w);
+        self.residual.persist(w);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(Self {
+            inner: C::restore(r)?,
+            residual: Option::restore(r)?,
+        })
     }
 }
 
@@ -125,6 +139,20 @@ mod tests {
         // Different shape: residual must be ignored, not panic.
         let payload = ef.compress(&rng.uniform_matrix(4, 12, 1.0));
         assert_eq!(payload.dense_shape(), (4, 12));
+    }
+
+    #[test]
+    fn persisted_ef_resumes_bit_exactly() {
+        let mut rng = SeedStream::new(9);
+        let mut ef = ErrorFeedback::new(PowerSgd::new(2, 4));
+        ef.compress(&rng.uniform_matrix(10, 6, 1.0));
+        let mut restored: ErrorFeedback<PowerSgd> =
+            ErrorFeedback::from_bytes(&ef.to_bytes()).expect("roundtrip");
+        for _ in 0..3 {
+            let g = rng.uniform_matrix(10, 6, 1.0);
+            assert_eq!(ef.compress(&g), restored.compress(&g));
+            assert_eq!(ef.residual_norm(), restored.residual_norm());
+        }
     }
 
     #[test]

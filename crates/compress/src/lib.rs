@@ -50,7 +50,7 @@ mod topk;
 
 pub use error_feedback::ErrorFeedback;
 pub use lazy::{LazyErrorPropagator, LinkErrorStats};
-pub use payload::{Compressed, FP16_BYTES};
+pub use payload::{Compressed, PayloadKind, PayloadKindError, FP16_BYTES};
 pub use powersgd::PowerSgd;
 pub use quant::{SignQuantizer, TernaryQuantizer};
 pub use topk::TopK;

@@ -1,6 +1,7 @@
 //! Self-describing compressed payloads and their wire-size accounting.
 
-use opt_tensor::Matrix;
+use opt_tensor::{Matrix, Persist, PersistError, Reader, Writer};
+use std::fmt;
 
 /// Bytes per floating-point element on the wire.
 ///
@@ -11,6 +12,68 @@ pub const FP16_BYTES: usize = 2;
 
 /// Bytes per sparse index on the wire (top-k sends 32-bit indices).
 const INDEX_BYTES: usize = 4;
+
+/// The discriminant of a [`Compressed`] payload, without its data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PayloadKind {
+    /// [`Compressed::Dense`].
+    Dense,
+    /// [`Compressed::LowRank`].
+    LowRank,
+    /// [`Compressed::Sparse`].
+    Sparse,
+    /// [`Compressed::Sign`].
+    Sign,
+    /// [`Compressed::Ternary`].
+    Ternary,
+}
+
+impl fmt::Display for PayloadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PayloadKind::Dense => "dense",
+            PayloadKind::LowRank => "low-rank",
+            PayloadKind::Sparse => "sparse",
+            PayloadKind::Sign => "sign",
+            PayloadKind::Ternary => "ternary",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error returned by the `try_*` payload accessors when the payload holds a
+/// different variant than the caller expected.
+///
+/// # Example
+///
+/// ```
+/// use opt_compress::{Compressed, PayloadKind};
+/// use opt_tensor::Matrix;
+///
+/// let payload = Compressed::Dense { matrix: Matrix::zeros(2, 2) };
+/// let err = payload.try_low_rank().unwrap_err();
+/// assert_eq!(err.expected, PayloadKind::LowRank);
+/// assert_eq!(err.found, PayloadKind::Dense);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PayloadKindError {
+    /// The variant the accessor was asked for.
+    pub expected: PayloadKind,
+    /// The variant the payload actually holds.
+    pub found: PayloadKind,
+}
+
+impl fmt::Display for PayloadKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "expected {} payload, found {}",
+            self.expected, self.found
+        )
+    }
+}
+
+impl std::error::Error for PayloadKindError {}
 
 /// A compressed gradient payload.
 ///
@@ -157,6 +220,231 @@ impl Compressed {
         let dense = (r * c * FP16_BYTES) as f64;
         dense / self.wire_bytes().max(1) as f64
     }
+
+    /// The variant this payload holds.
+    pub fn kind(&self) -> PayloadKind {
+        match self {
+            Compressed::Dense { .. } => PayloadKind::Dense,
+            Compressed::LowRank { .. } => PayloadKind::LowRank,
+            Compressed::Sparse { .. } => PayloadKind::Sparse,
+            Compressed::Sign { .. } => PayloadKind::Sign,
+            Compressed::Ternary { .. } => PayloadKind::Ternary,
+        }
+    }
+
+    /// The dense matrix, if this is a [`Compressed::Dense`] payload.
+    pub fn try_dense(&self) -> Result<&Matrix, PayloadKindError> {
+        match self {
+            Compressed::Dense { matrix } => Ok(matrix),
+            other => Err(PayloadKindError {
+                expected: PayloadKind::Dense,
+                found: other.kind(),
+            }),
+        }
+    }
+
+    /// The `(P, Q)` factors, if this is a [`Compressed::LowRank`] payload.
+    pub fn try_low_rank(&self) -> Result<(&Matrix, &Matrix), PayloadKindError> {
+        match self {
+            Compressed::LowRank { p, q } => Ok((p, q)),
+            other => Err(PayloadKindError {
+                expected: PayloadKind::LowRank,
+                found: other.kind(),
+            }),
+        }
+    }
+
+    /// The `(indices, values)` pair, if this is a [`Compressed::Sparse`]
+    /// payload.
+    pub fn try_sparse(&self) -> Result<(&[u32], &[f32]), PayloadKindError> {
+        match self {
+            Compressed::Sparse {
+                indices, values, ..
+            } => Ok((indices, values)),
+            other => Err(PayloadKindError {
+                expected: PayloadKind::Sparse,
+                found: other.kind(),
+            }),
+        }
+    }
+
+    /// The `(scale, bit words)` pair, if this is a [`Compressed::Sign`]
+    /// payload.
+    pub fn try_sign(&self) -> Result<(f32, &[u64]), PayloadKindError> {
+        match self {
+            Compressed::Sign { scale, bits, .. } => Ok((*scale, bits)),
+            other => Err(PayloadKindError {
+                expected: PayloadKind::Sign,
+                found: other.kind(),
+            }),
+        }
+    }
+
+    /// The `(scale, trits)` pair, if this is a [`Compressed::Ternary`]
+    /// payload.
+    pub fn try_ternary(&self) -> Result<(f32, &[i8]), PayloadKindError> {
+        match self {
+            Compressed::Ternary { scale, trits, .. } => Ok((*scale, trits)),
+            other => Err(PayloadKindError {
+                expected: PayloadKind::Ternary,
+                found: other.kind(),
+            }),
+        }
+    }
+}
+
+impl Persist for Compressed {
+    fn persist(&self, w: &mut Writer) {
+        match self {
+            Compressed::Dense { matrix } => {
+                w.u8(0);
+                matrix.persist(w);
+            }
+            Compressed::LowRank { p, q } => {
+                w.u8(1);
+                p.persist(w);
+                q.persist(w);
+            }
+            Compressed::Sparse {
+                rows,
+                cols,
+                indices,
+                values,
+            } => {
+                w.u8(2);
+                w.usize(*rows);
+                w.usize(*cols);
+                w.usize(indices.len());
+                for &i in indices {
+                    w.u32(i);
+                }
+                for &v in values {
+                    w.f32(v);
+                }
+            }
+            Compressed::Sign {
+                rows,
+                cols,
+                scale,
+                bits,
+            } => {
+                w.u8(3);
+                w.usize(*rows);
+                w.usize(*cols);
+                w.f32(*scale);
+                w.usize(bits.len());
+                for &b in bits {
+                    w.u64(b);
+                }
+            }
+            Compressed::Ternary {
+                rows,
+                cols,
+                scale,
+                trits,
+            } => {
+                w.u8(4);
+                w.usize(*rows);
+                w.usize(*cols);
+                w.f32(*scale);
+                w.usize(trits.len());
+                for &t in trits {
+                    w.u8(t as u8);
+                }
+            }
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        match r.u8()? {
+            0 => Ok(Compressed::Dense {
+                matrix: Matrix::restore(r)?,
+            }),
+            1 => Ok(Compressed::LowRank {
+                p: Matrix::restore(r)?,
+                q: Matrix::restore(r)?,
+            }),
+            2 => {
+                let rows = r.usize()?;
+                let cols = r.usize()?;
+                let len = rows.checked_mul(cols).ok_or(PersistError::Invalid {
+                    what: "sparse shape overflows",
+                })?;
+                let n = r.checked_len(4 + 4)?;
+                let mut indices = Vec::with_capacity(n);
+                for _ in 0..n {
+                    indices.push(r.u32()?);
+                }
+                let mut values = Vec::with_capacity(n);
+                for _ in 0..n {
+                    values.push(r.f32()?);
+                }
+                if indices.iter().any(|&i| i as usize >= len) {
+                    return Err(PersistError::Invalid {
+                        what: "sparse index out of bounds",
+                    });
+                }
+                Ok(Compressed::Sparse {
+                    rows,
+                    cols,
+                    indices,
+                    values,
+                })
+            }
+            3 => {
+                let rows = r.usize()?;
+                let cols = r.usize()?;
+                let len = rows.checked_mul(cols).ok_or(PersistError::Invalid {
+                    what: "sign shape overflows",
+                })?;
+                let scale = r.f32()?;
+                let n = r.checked_len(8)?;
+                if n < len.div_ceil(64) {
+                    return Err(PersistError::Invalid {
+                        what: "sign payload has too few bit words",
+                    });
+                }
+                let mut bits = Vec::with_capacity(n);
+                for _ in 0..n {
+                    bits.push(r.u64()?);
+                }
+                Ok(Compressed::Sign {
+                    rows,
+                    cols,
+                    scale,
+                    bits,
+                })
+            }
+            4 => {
+                let rows = r.usize()?;
+                let cols = r.usize()?;
+                let len = rows.checked_mul(cols).ok_or(PersistError::Invalid {
+                    what: "ternary shape overflows",
+                })?;
+                let scale = r.f32()?;
+                let n = r.checked_len(1)?;
+                if n != len {
+                    return Err(PersistError::Invalid {
+                        what: "ternary payload length mismatch",
+                    });
+                }
+                let mut trits = Vec::with_capacity(n);
+                for _ in 0..n {
+                    trits.push(r.u8()? as i8);
+                }
+                Ok(Compressed::Ternary {
+                    rows,
+                    cols,
+                    scale,
+                    trits,
+                })
+            }
+            tag => Err(PersistError::BadTag {
+                what: "Compressed",
+                tag,
+            }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +511,87 @@ mod tests {
         };
         assert_eq!(c.decompress().as_slice(), &[-2.0, 0.0, 2.0, 0.0]);
         assert_eq!(c.wire_bytes(), 1 + 4); // 8 bits -> 1 byte + scale
+    }
+
+    #[test]
+    fn try_accessors_match_kind() {
+        let dense = Compressed::Dense {
+            matrix: Matrix::zeros(2, 2),
+        };
+        assert_eq!(dense.kind(), PayloadKind::Dense);
+        assert!(dense.try_dense().is_ok());
+        let err = dense.try_sparse().unwrap_err();
+        assert_eq!(err.expected, PayloadKind::Sparse);
+        assert_eq!(err.found, PayloadKind::Dense);
+        assert_eq!(err.to_string(), "expected sparse payload, found dense");
+
+        let sign = Compressed::Sign {
+            rows: 1,
+            cols: 2,
+            scale: 0.5,
+            bits: vec![0b10],
+        };
+        let (scale, bits) = sign.try_sign().expect("sign payload");
+        assert_eq!(scale, 0.5);
+        assert_eq!(bits, &[0b10]);
+        assert!(sign.try_low_rank().is_err());
+
+        let tern = Compressed::Ternary {
+            rows: 1,
+            cols: 2,
+            scale: 1.0,
+            trits: vec![-1, 1],
+        };
+        let (_, trits) = tern.try_ternary().expect("ternary payload");
+        assert_eq!(trits, &[-1, 1]);
+    }
+
+    #[test]
+    fn persist_roundtrip_every_variant() {
+        use opt_tensor::Persist;
+        let payloads = vec![
+            Compressed::Dense {
+                matrix: Matrix::from_rows(&[&[1.0, -2.0]]),
+            },
+            Compressed::LowRank {
+                p: Matrix::full(3, 2, 0.5),
+                q: Matrix::full(4, 2, -1.5),
+            },
+            Compressed::Sparse {
+                rows: 2,
+                cols: 3,
+                indices: vec![0, 5],
+                values: vec![7.0, -1.0],
+            },
+            Compressed::Sign {
+                rows: 2,
+                cols: 2,
+                scale: 0.25,
+                bits: vec![0b1001],
+            },
+            Compressed::Ternary {
+                rows: 1,
+                cols: 4,
+                scale: 2.0,
+                trits: vec![-1, 0, 1, 0],
+            },
+        ];
+        for p in payloads {
+            let back = Compressed::from_bytes(&p.to_bytes()).expect("roundtrip");
+            assert_eq!(back, p);
+        }
+    }
+
+    #[test]
+    fn persist_rejects_out_of_bounds_sparse_index() {
+        use opt_tensor::Persist;
+        let bad = Compressed::Sparse {
+            rows: 2,
+            cols: 2,
+            indices: vec![9],
+            values: vec![1.0],
+        };
+        assert!(Compressed::from_bytes(&bad.to_bytes()).is_err());
     }
 
     #[test]

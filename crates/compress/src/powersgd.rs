@@ -5,7 +5,9 @@
 //! factor, with Gram–Schmidt orthogonalization of the left factor.
 
 use crate::{Compressed, Compressor};
-use opt_tensor::{orthonormalize_columns, Matrix, SeedStream};
+use opt_tensor::{
+    orthonormalize_columns, Matrix, Persist, PersistError, Reader, SeedStream, Writer,
+};
 
 /// PowerSGD compressor with warm-started single power iteration.
 ///
@@ -78,6 +80,28 @@ impl PowerSgd {
 
     fn effective_rank(&self, rows: usize, cols: usize) -> usize {
         self.rank.min(rows).min(cols).max(1)
+    }
+}
+
+impl Persist for PowerSgd {
+    fn persist(&self, w: &mut Writer) {
+        w.usize(self.rank);
+        self.rng.persist(w);
+        self.q_prev.persist(w);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let rank = r.usize()?;
+        if rank == 0 {
+            return Err(PersistError::Invalid {
+                what: "PowerSGD rank must be positive",
+            });
+        }
+        Ok(Self {
+            rank,
+            rng: SeedStream::restore(r)?,
+            q_prev: Option::restore(r)?,
+        })
     }
 }
 
@@ -187,12 +211,9 @@ mod tests {
         let mut c = PowerSgd::new(64, 0);
         let grad = Matrix::full(4, 3, 1.0);
         let payload = c.compress(&grad);
-        if let Compressed::LowRank { p, q } = &payload {
-            assert_eq!(p.shape(), (4, 3));
-            assert_eq!(q.shape(), (3, 3));
-        } else {
-            panic!("expected LowRank payload");
-        }
+        let (p, q) = payload.try_low_rank().expect("low-rank payload");
+        assert_eq!(p.shape(), (4, 3));
+        assert_eq!(q.shape(), (3, 3));
         // Full-rank clamp recovers the matrix.
         assert!(relative_error(&grad, &payload.decompress()) < 1e-3);
     }
@@ -207,6 +228,30 @@ mod tests {
         // Must not panic on shape change; q_prev is discarded.
         let payload = c.compress(&b);
         assert_eq!(payload.dense_shape(), (6, 12));
+    }
+
+    #[test]
+    fn persisted_state_continues_bit_exactly() {
+        // A restored compressor must produce bit-identical payloads to the
+        // original — warm-start factor *and* RNG position both matter.
+        let mut rng = SeedStream::new(8);
+        let mut c = PowerSgd::new(3, 11);
+        c.compress(&rng.uniform_matrix(12, 10, 1.0));
+        let mut restored = PowerSgd::from_bytes(&c.to_bytes()).expect("state roundtrip");
+        for _ in 0..4 {
+            let g = rng.uniform_matrix(12, 10, 1.0);
+            assert_eq!(c.compress(&g), restored.compress(&g));
+        }
+        // Force both back onto the cold-start path: RNG streams must agree.
+        let small = rng.uniform_matrix(2, 2, 1.0);
+        assert_eq!(c.compress(&small), restored.compress(&small));
+    }
+
+    #[test]
+    fn restore_rejects_zero_rank() {
+        let mut bytes = PowerSgd::new(1, 0).to_bytes();
+        bytes[..8].copy_from_slice(&0u64.to_le_bytes());
+        assert!(PowerSgd::from_bytes(&bytes).is_err());
     }
 
     #[test]

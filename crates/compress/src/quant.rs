@@ -126,11 +126,9 @@ mod tests {
     #[test]
     fn sign_scale_is_mean_abs() {
         let g = Matrix::from_rows(&[&[1.0, -3.0]]);
-        if let Compressed::Sign { scale, .. } = SignQuantizer::new().compress(&g) {
-            assert_eq!(scale, 2.0);
-        } else {
-            panic!("expected sign payload");
-        }
+        let payload = SignQuantizer::new().compress(&g);
+        let (scale, _bits) = payload.try_sign().expect("sign payload");
+        assert_eq!(scale, 2.0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Top-k sparsification (Deep Gradient Compression style).
 
 use crate::{Compressed, Compressor};
-use opt_tensor::Matrix;
+use opt_tensor::{Matrix, Persist, PersistError, Reader, Writer};
 
 /// Keeps the `k` largest-magnitude elements of each gradient.
 ///
@@ -48,6 +48,22 @@ impl TopK {
     /// Number of elements kept for a gradient with `len` elements.
     pub fn k_for_len(&self, len: usize) -> usize {
         ((self.density * len as f64).ceil() as usize).clamp(1, len.max(1))
+    }
+}
+
+impl Persist for TopK {
+    fn persist(&self, w: &mut Writer) {
+        w.f64(self.density);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let density = r.f64()?;
+        if !(density > 0.0 && density <= 1.0) {
+            return Err(PersistError::Invalid {
+                what: "top-k density must be in (0, 1]",
+            });
+        }
+        Ok(Self { density })
     }
 }
 
@@ -144,12 +160,20 @@ mod tests {
         let mut rng = SeedStream::new(5);
         let g = rng.uniform_matrix(16, 16, 1.0);
         let mut c = TopK::new(0.3);
-        if let Compressed::Sparse { indices, .. } = c.compress(&g) {
-            for w in indices.windows(2) {
-                assert!(w[0] < w[1], "indices not strictly increasing");
-            }
-        } else {
-            panic!("expected sparse payload");
+        let payload = c.compress(&g);
+        let (indices, _values) = payload.try_sparse().expect("sparse payload");
+        for w in indices.windows(2) {
+            assert!(w[0] < w[1], "indices not strictly increasing");
         }
+    }
+
+    #[test]
+    fn persist_roundtrip_preserves_density() {
+        let c = TopK::new(0.37);
+        let back = TopK::from_bytes(&c.to_bytes()).expect("roundtrip");
+        assert_eq!(back.density(), 0.37);
+        let mut bytes = c.to_bytes();
+        bytes[..8].copy_from_slice(&2.0f64.to_bits().to_le_bytes());
+        assert!(TopK::from_bytes(&bytes).is_err(), "density > 1 rejected");
     }
 }

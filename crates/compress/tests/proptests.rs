@@ -1,9 +1,10 @@
 //! Property-based tests on compression invariants.
 
 use opt_compress::{
-    Compressor, ErrorFeedback, Identity, LazyErrorPropagator, PowerSgd, SignQuantizer, TopK,
+    Compressed, Compressor, ErrorFeedback, Identity, LazyErrorPropagator, PowerSgd, SignQuantizer,
+    TernaryQuantizer, TopK,
 };
-use opt_tensor::{Matrix, SeedStream};
+use opt_tensor::{Matrix, Persist, SeedStream};
 use proptest::prelude::*;
 
 proptest! {
@@ -92,6 +93,59 @@ proptest! {
         let mut rng = SeedStream::new(seed);
         let g = rng.uniform_matrix(rows, cols, 10.0);
         prop_assert_eq!(Identity.round_trip(&g), g);
+    }
+
+    #[test]
+    fn payload_codec_roundtrip_is_identity(rows in 1usize..16, cols in 1usize..16, seed in 0u64..200) {
+        // The on-disk codec and the in-memory payloads share one invariant:
+        // encode/decode is the identity on every payload family the
+        // compressors can emit (dense, low-rank, top-k sparse, sign,
+        // ternary). Equality on `Compressed` is exact (bit-level floats).
+        let mut rng = SeedStream::new(seed);
+        let g = rng.uniform_matrix(rows, cols, 2.0);
+        let payloads = vec![
+            Identity.compress(&g),
+            PowerSgd::new(1 + (seed as usize % 4), seed).compress(&g),
+            TopK::new(0.25).compress(&g),
+            SignQuantizer::new().compress(&g),
+            TernaryQuantizer::new(seed).compress(&g),
+        ];
+        for p in payloads {
+            let back = Compressed::from_bytes(&p.to_bytes());
+            prop_assert_eq!(back.as_ref(), Ok(&p));
+            // Decoded payloads reconstruct the same dense matrix.
+            prop_assert_eq!(back.unwrap().decompress(), p.decompress());
+        }
+    }
+
+    #[test]
+    fn payload_codec_rejects_truncation(seed in 0u64..100, cut in 1usize..12) {
+        let mut rng = SeedStream::new(seed);
+        let g = rng.uniform_matrix(6, 5, 1.0);
+        let bytes = TopK::new(0.4).compress(&g).to_bytes();
+        let cut = cut.min(bytes.len() - 1);
+        prop_assert!(Compressed::from_bytes(&bytes[..bytes.len() - cut]).is_err());
+    }
+
+    #[test]
+    fn compressor_state_codec_roundtrip(seed in 0u64..100, rank in 1usize..5) {
+        // Stateful compressor checkpointing: a restored PowerSGD (alone or
+        // wrapped in LEP / EF) continues bit-exactly.
+        let mut rng = SeedStream::new(seed);
+        let mut c = PowerSgd::new(rank, seed ^ 1);
+        c.compress(&rng.uniform_matrix(9, 7, 1.0));
+        let mut c2 = PowerSgd::from_bytes(&c.to_bytes()).unwrap();
+        let g = rng.uniform_matrix(9, 7, 1.0);
+        prop_assert_eq!(c.compress(&g), c2.compress(&g));
+
+        let mut lep = LazyErrorPropagator::new(PowerSgd::new(rank, seed ^ 2), true);
+        lep.process(&rng.uniform_matrix(9, 7, 1.0), true);
+        let mut lep2: LazyErrorPropagator<PowerSgd> =
+            LazyErrorPropagator::from_bytes(&lep.to_bytes()).unwrap();
+        let g = rng.uniform_matrix(9, 7, 1.0);
+        let (pa, _) = lep.process(&g, true);
+        let (pb, _) = lep2.process(&g, true);
+        prop_assert_eq!(pa, pb);
     }
 
     #[test]

@@ -256,6 +256,67 @@ impl TrainerConfig {
             .map(|s| s.rank)
             .or(self.quality.naive_dp_rank)
     }
+
+    /// Fingerprint over every *state-affecting* configuration field, used
+    /// to refuse restoring a snapshot into an incompatible run.
+    ///
+    /// Fields that change what training state means (model shape,
+    /// parallelism, batching, seed, learning rate, compression plan, data
+    /// mix) are hashed; fields that only change observation (`iters`,
+    /// `validate_every`, `val_sequences`, `collect_error_stats`) are not —
+    /// resuming a snapshot to train *longer* or validate *more often* is
+    /// legitimate.
+    pub fn fingerprint(&self) -> u64 {
+        use opt_tensor::Writer;
+        let mut w = Writer::new();
+        w.usize(self.model.n_layers);
+        w.usize(self.model.hidden);
+        w.usize(self.model.heads);
+        w.usize(self.model.vocab);
+        w.usize(self.model.seq_len);
+        w.usize(self.pp);
+        w.usize(self.dp);
+        w.usize(self.micro_batch);
+        w.usize(self.n_micro);
+        w.f32(self.lr);
+        w.u64(self.seed);
+        w.f64(self.repeat_fraction);
+        match self.quality.cb {
+            None => w.u8(0),
+            Some(cb) => {
+                w.u8(1);
+                match cb.method {
+                    CbMethod::LowRank(rank) => {
+                        w.u8(0);
+                        w.usize(rank);
+                    }
+                    CbMethod::TopK(density) => {
+                        w.u8(1);
+                        w.f64(density);
+                    }
+                }
+                w.u8(cb.epilogue_only as u8);
+                w.u8(cb.lazy_error as u8);
+            }
+        }
+        w.u8(self.quality.fused_embedding as u8);
+        match self.quality.sc {
+            None => w.u8(0),
+            Some(sc) => {
+                w.u8(1);
+                w.f64(sc.fraction);
+                w.usize(sc.rank);
+            }
+        }
+        match self.quality.naive_dp_rank {
+            None => w.u8(0),
+            Some(rank) => {
+                w.u8(1);
+                w.usize(rank);
+            }
+        }
+        opt_ckpt::fnv1a64(&w.into_bytes())
+    }
 }
 
 #[cfg(test)]
@@ -284,6 +345,32 @@ mod tests {
         assert_eq!(cfg.sc_stage_count(), 4);
         cfg.quality = QualityConfig::baseline();
         assert_eq!(cfg.sc_stage_count(), 0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_state_affecting_fields_only() {
+        let base = TrainerConfig::small_test(QualityConfig::cb_fe_sc(), 10);
+        let fp = base.fingerprint();
+        assert_eq!(fp, base.clone().fingerprint(), "fingerprint is stable");
+
+        // Observation-only fields do not change the fingerprint.
+        let mut obs = base.clone();
+        obs.iters = 999;
+        obs.validate_every = 1;
+        obs.val_sequences = 4;
+        obs.collect_error_stats = true;
+        assert_eq!(obs.fingerprint(), fp);
+
+        // State-affecting fields do.
+        let mut seed = base.clone();
+        seed.seed ^= 1;
+        assert_ne!(seed.fingerprint(), fp);
+        let mut quality = base.clone();
+        quality.quality = QualityConfig::baseline();
+        assert_ne!(quality.fingerprint(), fp);
+        let mut shape = base;
+        shape.n_micro += 1;
+        assert_ne!(shape.fingerprint(), fp);
     }
 
     #[test]

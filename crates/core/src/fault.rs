@@ -1,0 +1,146 @@
+//! Fault-injection harness: scripted worker failures with elastic restart
+//! from the newest snapshot.
+
+use crate::{TrainReport, Trainer, TrainerConfig};
+use opt_ckpt::{CkptError, FaultPlan, Snapshot};
+
+/// What a faulted run went through, alongside its final metrics.
+#[derive(Debug, Clone)]
+pub struct FaultOutcome {
+    /// Metrics of the run that reached the configured iteration count.
+    /// Iterations executed only by a killed incarnation show up as `NaN`
+    /// in `report.train_loss`; everything from the resume point onward is
+    /// recorded (and, per the bit-exact-resume guarantee, identical to an
+    /// uninterrupted run).
+    pub report: TrainReport,
+    /// Snapshots taken across all incarnations.
+    pub snapshots_taken: u64,
+    /// Elastic restarts performed.
+    pub restarts: u64,
+    /// Iterations that had to be re-executed after failures.
+    pub lost_iters: u64,
+    /// Iteration the final incarnation resumed from (`None` if the run
+    /// never failed).
+    pub resumed_from: Option<u64>,
+}
+
+/// Trains `cfg.iters` iterations under a scripted [`FaultPlan`]: snapshot
+/// every `plan.snapshot_every` iterations, kill worker `plan.kill_rank`
+/// once `plan.kill_at_iter` iterations complete, and elastically restart
+/// from the newest snapshot (or from scratch if none exists yet).
+///
+/// In this in-process runtime a single worker death tears down the whole
+/// job — the collective world cannot make progress minus one member, which
+/// mirrors a real 3D-parallel job losing a GPU. The "kill" therefore
+/// quiesces and drops every worker thread without the clean `Stop`
+/// handshake, and the restart relaunches all of them before overwriting
+/// their state from the snapshot.
+///
+/// # Example
+///
+/// ```no_run
+/// use opt_ckpt::FaultPlan;
+/// use optimus_cc::{run_with_faults, QualityConfig, TrainerConfig};
+///
+/// let cfg = TrainerConfig::tiny_test(QualityConfig::cb_fe_sc(), 12);
+/// let outcome = run_with_faults(&cfg, &FaultPlan::new(1, 10, 4)).unwrap();
+/// assert_eq!(outcome.restarts, 1);
+/// assert_eq!(outcome.lost_iters, 2); // killed at 10, snapshot at 8
+/// ```
+pub fn run_with_faults(cfg: &TrainerConfig, plan: &FaultPlan) -> Result<FaultOutcome, CkptError> {
+    assert!(
+        plan.kill_rank < cfg.pp * cfg.dp,
+        "kill_rank {} outside the {}x{} world",
+        plan.kill_rank,
+        cfg.pp,
+        cfg.dp
+    );
+    let total = cfg.iters;
+    let mut trainer = Trainer::launch(cfg.clone());
+    let mut newest: Option<Snapshot> = None;
+    let mut snapshots_taken = 0;
+    let mut restarts = 0;
+    let mut lost_iters = 0;
+    let mut resumed_from = None;
+    let mut failed = false;
+
+    let mut completed: u64 = 0;
+    while completed < total {
+        trainer.train_more(1);
+        completed += 1;
+        if plan.snapshot_due(completed) && completed < total {
+            newest = Some(trainer.snapshot());
+            snapshots_taken += 1;
+        }
+        if !failed && completed == plan.kill_at_iter {
+            failed = true;
+            restarts += 1;
+            trainer.kill();
+            match &newest {
+                Some(snap) => {
+                    lost_iters += completed - snap.meta.iter;
+                    resumed_from = Some(snap.meta.iter);
+                    trainer = Trainer::restore(cfg.clone(), snap)?;
+                    completed = snap.meta.iter;
+                }
+                None => {
+                    // No snapshot yet: restart from scratch.
+                    lost_iters += completed;
+                    resumed_from = Some(0);
+                    trainer = Trainer::launch(cfg.clone());
+                    completed = 0;
+                }
+            }
+        }
+    }
+    let report = trainer.report();
+    trainer.shutdown();
+    Ok(FaultOutcome {
+        report,
+        snapshots_taken,
+        restarts,
+        lost_iters,
+        resumed_from,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QualityConfig;
+
+    #[test]
+    fn faulted_run_completes_and_accounts_for_lost_work() {
+        let cfg = TrainerConfig::tiny_test(QualityConfig::cb(), 9);
+        let outcome = run_with_faults(&cfg, &FaultPlan::new(2, 7, 3)).expect("faulted run");
+        assert_eq!(outcome.restarts, 1);
+        assert_eq!(outcome.snapshots_taken, 2); // iters 3 and 6
+        assert_eq!(outcome.lost_iters, 1); // killed at 7, resumed from 6
+        assert_eq!(outcome.resumed_from, Some(6));
+        assert_eq!(outcome.report.train_loss.len(), 9);
+        // Post-resume iterations all have recorded losses.
+        for (i, l) in outcome.report.train_loss[6..].iter().enumerate() {
+            assert!(l.is_finite(), "iteration {} lost its loss", 6 + i);
+        }
+    }
+
+    #[test]
+    fn failure_before_first_snapshot_restarts_from_scratch() {
+        let cfg = TrainerConfig::tiny_test(QualityConfig::baseline(), 5);
+        let outcome = run_with_faults(&cfg, &FaultPlan::new(0, 2, 4)).expect("faulted run");
+        assert_eq!(outcome.restarts, 1);
+        assert_eq!(outcome.lost_iters, 2);
+        assert_eq!(outcome.resumed_from, Some(0));
+        // From-scratch restart re-executes everything: full loss curve.
+        assert!(outcome.report.train_loss.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn run_without_reaching_kill_iter_never_restarts() {
+        let cfg = TrainerConfig::tiny_test(QualityConfig::baseline(), 3);
+        let outcome = run_with_faults(&cfg, &FaultPlan::new(0, 100, 2)).expect("run");
+        assert_eq!(outcome.restarts, 0);
+        assert_eq!(outcome.resumed_from, None);
+        assert_eq!(outcome.snapshots_taken, 1); // iter 2
+    }
+}

@@ -24,6 +24,16 @@
 //! lazy-error statistics (Fig. 11), memory overhead (Fig. 12), and
 //! per-class wire traffic.
 //!
+//! It is also **fault tolerant**: [`Trainer::snapshot`] serializes every
+//! worker's parameters, optimizer moments, and compression state (PowerSGD
+//! warm starts, lazy-error residuals, DP error feedback) into an
+//! `opt-ckpt` snapshot with barrier semantics; [`Trainer::restore`] brings
+//! a fresh world back to that exact point. The guarantee is bit-exact
+//! resume — train `N` straight vs. train `k`, snapshot, [`Trainer::kill`],
+//! restore, train `N - k` produce identical losses and identical wire
+//! traffic — and [`run_with_faults`] scripts whole kill/restart scenarios
+//! from an `opt_ckpt::FaultPlan`.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -38,6 +48,7 @@
 
 mod config;
 mod dp_compress;
+mod fault;
 mod memory;
 mod stats;
 mod trainer;
@@ -45,6 +56,7 @@ mod worker;
 
 pub use config::{CbMethod, CbQuality, QualityConfig, ScQuality, TrainerConfig};
 pub use dp_compress::DistPowerSgd;
+pub use fault::{run_with_faults, FaultOutcome};
 pub use memory::MemoryReport;
 pub use stats::{ErrorStatPoint, TrainReport, ValPoint};
 pub use trainer::Trainer;

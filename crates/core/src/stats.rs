@@ -104,6 +104,14 @@ impl Collector {
                     error_stats: guard.error_stats.clone(),
                 }
             });
+        // Samples arrive in thread-scheduling order; sort before summing
+        // so the floating-point reduction is identical across runs. This
+        // is what lets the checkpoint tests assert *bit-equal* losses
+        // between a straight run and a kill/restore run.
+        let mean_sorted = |mut ls: Vec<f32>| -> f32 {
+            ls.sort_unstable_by(f32::total_cmp);
+            ls.iter().sum::<f32>() / ls.len() as f32
+        };
         let mut train_loss = Vec::with_capacity(iters as usize);
         for it in 0..iters {
             let samples: Vec<f32> = inner
@@ -115,10 +123,9 @@ impl Collector {
             if samples.is_empty() {
                 train_loss.push(f32::NAN);
             } else {
-                train_loss.push(samples.iter().sum::<f32>() / samples.len() as f32);
+                train_loss.push(mean_sorted(samples));
             }
         }
-        // Validation: average samples per iteration tag, sorted.
         let mut val_iters: Vec<u64> = inner.val_samples.iter().map(|(i, _)| *i).collect();
         val_iters.sort_unstable();
         val_iters.dedup();
@@ -133,7 +140,7 @@ impl Collector {
                     .collect();
                 ValPoint {
                     iter: it,
-                    loss: ls.iter().sum::<f32>() / ls.len() as f32,
+                    loss: mean_sorted(ls),
                 }
             })
             .collect();

@@ -2,12 +2,15 @@
 
 use crate::config::TrainerConfig;
 use crate::stats::{Collector, TrainReport};
-use crate::worker::{run_worker, Cmd, WorkerAck, WorkerCtx};
+use crate::worker::{decode_cb_link, decode_dp_state, run_worker, Cmd, WorkerAck, WorkerCtx};
 use crate::MemoryReport;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use opt_ckpt::{CkptError, RankSection, Snapshot, SnapshotMeta};
 use opt_data::{TaskScore, ZeroShotTask};
-use opt_model::Stage;
-use opt_net::{CollectiveWorld, P2pMesh, TrafficLedger};
+use opt_model::{Adam, Stage};
+use opt_net::{CollectiveWorld, P2pMesh, TrafficLedger, TrafficSnapshot};
+use opt_tensor::Persist;
+use std::path::Path;
 use std::thread::JoinHandle;
 
 /// A running 3D-parallel training job: `pp x dp` worker threads, each
@@ -19,8 +22,10 @@ use std::thread::JoinHandle;
 /// model, and [`Trainer::shutdown`] joins all threads.
 pub struct Trainer {
     cfg: TrainerConfig,
+    /// Command channel per worker, indexed by global rank `d * pp + s`.
     cmd_txs: Vec<Sender<Cmd>>,
     ack_rx: Receiver<WorkerAck>,
+    snap_rx: Receiver<(u64, RankSection)>,
     predict_rx: Receiver<(u64, Vec<usize>)>,
     handles: Vec<JoinHandle<()>>,
     collector: Collector,
@@ -58,6 +63,7 @@ impl Trainer {
         let collector = Collector::default();
         let ledger = TrafficLedger::new();
         let (ack_tx, ack_rx) = unbounded();
+        let (snap_tx, snap_rx) = unbounded();
         let (predict_tx, predict_rx) = unbounded();
 
         // Shared groups: one DP group per stage, one 2-way embedding pair
@@ -88,9 +94,8 @@ impl Trainer {
         let mut cmd_txs = Vec::with_capacity(world_size);
         for d in 0..dp {
             // Every dp rank builds the identical pipeline (same seed).
-            let mut stages = Stage::build_pipeline(&cfg.model, pp, cfg.seed);
-            for s in (0..pp).rev() {
-                let stage = stages.pop().expect("stage built");
+            let stages = Stage::build_pipeline(&cfg.model, pp, cfg.seed);
+            for (s, stage) in stages.into_iter().enumerate() {
                 let (cmd_tx, cmd_rx) = unbounded();
                 let ctx = WorkerCtx {
                     cfg: cfg.clone(),
@@ -113,6 +118,7 @@ impl Trainer {
                     },
                     cmds: cmd_rx,
                     acks: ack_tx.clone(),
+                    snap_out: snap_tx.clone(),
                     predict_out: predict_tx.clone(),
                     collector: collector.clone(),
                     ledger: ledger.clone(),
@@ -127,12 +133,13 @@ impl Trainer {
                 cmd_txs.push(cmd_tx);
             }
         }
-        // cmd_txs were pushed in reverse stage order per dp rank; order is
-        // irrelevant (commands are broadcast), but keep deterministic.
+        // cmd_txs[d * pp + s] drives worker (stage s, dp rank d) — the
+        // targeted Cmd::Restore sends rely on this indexing.
         Trainer {
             cfg,
             cmd_txs,
             ack_rx,
+            snap_rx,
             predict_rx,
             handles,
             collector,
@@ -167,11 +174,13 @@ impl Trainer {
         acks
     }
 
-    /// Runs the configured number of training iterations with periodic
-    /// validation, returning the aggregated report.
+    /// Runs training up to the configured iteration count with periodic
+    /// validation, returning the aggregated report. A freshly launched
+    /// trainer starts at iteration 0; a [`Trainer::restore`]d one resumes
+    /// where its snapshot left off.
     pub fn train(&mut self) -> TrainReport {
         let iters = self.cfg.iters;
-        for iter in 0..iters {
+        for iter in self.trained_iters..iters {
             self.broadcast(Cmd::TrainIter { iter });
             let validate_now =
                 self.cfg.validate_every > 0 && (iter + 1) % self.cfg.validate_every == 0;
@@ -190,10 +199,10 @@ impl Trainer {
             n_seq: self.cfg.val_sequences,
         });
         self.barrier();
-        self.trained_iters = iters;
+        self.trained_iters = iters.max(self.trained_iters);
         self.collector
             .clone()
-            .into_report(iters, self.ledger.snapshot())
+            .into_report(self.trained_iters, self.ledger.snapshot())
     }
 
     /// Runs extra training iterations beyond `cfg.iters` (used by
@@ -204,6 +213,168 @@ impl Trainer {
         }
         self.trained_iters += extra;
         self.barrier();
+    }
+
+    /// Iterations completed so far (includes iterations inherited from a
+    /// restored snapshot).
+    pub fn trained_iters(&self) -> u64 {
+        self.trained_iters
+    }
+
+    /// Quiesces the workers and returns the traffic counters so far.
+    pub fn traffic(&mut self) -> TrafficSnapshot {
+        self.barrier();
+        self.ledger.snapshot()
+    }
+
+    /// Quiesces the workers and aggregates the metrics recorded so far
+    /// into a report (iterations executed before a restore belong to the
+    /// killed trainer and appear as `NaN` entries here).
+    pub fn report(&mut self) -> TrainReport {
+        self.barrier();
+        self.collector
+            .clone()
+            .into_report(self.trained_iters, self.ledger.snapshot())
+    }
+
+    /// Captures a complete training snapshot: every worker serializes its
+    /// parameters, optimizer moments, and compression state behind barrier
+    /// semantics (commands are ordered per worker, and the collection
+    /// blocks until all `pp * dp` sections arrive).
+    pub fn snapshot(&mut self) -> Snapshot {
+        self.next_id += 1;
+        let id = self.next_id;
+        self.broadcast(Cmd::Snapshot { id });
+        let world = self.cmd_txs.len();
+        let pp = self.cfg.pp;
+        let mut sections: Vec<Option<RankSection>> = vec![None; world];
+        let mut got = 0;
+        while got < world {
+            let (sid, section) = self
+                .snap_rx
+                .recv()
+                .expect("worker dropped snapshot channel");
+            if sid != id {
+                continue; // stale section from an abandoned snapshot
+            }
+            let idx = section.dp * pp + section.stage;
+            assert!(sections[idx].is_none(), "duplicate snapshot section");
+            sections[idx] = Some(section);
+            got += 1;
+        }
+        Snapshot {
+            meta: SnapshotMeta {
+                pp,
+                dp: self.cfg.dp,
+                seed: self.cfg.seed,
+                iter: self.trained_iters,
+                config_fingerprint: self.cfg.fingerprint(),
+            },
+            ranks: sections.into_iter().map(|s| s.expect("filled")).collect(),
+        }
+    }
+
+    /// Takes a snapshot and writes it to `path`.
+    pub fn save_snapshot(&mut self, path: impl AsRef<Path>) -> Result<(), CkptError> {
+        self.snapshot().save(path)
+    }
+
+    /// Relaunches a training job from a snapshot: fresh workers are
+    /// spawned under `cfg`, then every worker's state is overwritten from
+    /// its snapshot section. The resumed trainer continues at the
+    /// snapshot's iteration and — by the bit-exact-resume guarantee —
+    /// reproduces exactly the losses and wire traffic the uninterrupted
+    /// run would have produced from that point.
+    ///
+    /// Fails without spawning anything if the snapshot's world shape or
+    /// config fingerprint does not match `cfg`, or if any section fails to
+    /// decode.
+    pub fn restore(cfg: TrainerConfig, snapshot: &Snapshot) -> Result<Trainer, CkptError> {
+        let meta = &snapshot.meta;
+        if (meta.pp, meta.dp) != (cfg.pp, cfg.dp) {
+            return Err(CkptError::WorldMismatch {
+                snapshot: (meta.pp, meta.dp),
+                config: (cfg.pp, cfg.dp),
+            });
+        }
+        let fingerprint = cfg.fingerprint();
+        if meta.config_fingerprint != fingerprint {
+            return Err(CkptError::ConfigMismatch {
+                snapshot: meta.config_fingerprint,
+                config: fingerprint,
+            });
+        }
+        snapshot.validate_complete()?;
+        // Pre-validate every section — opaque blobs and parameter shapes —
+        // so workers never see state they cannot apply (a worker panic
+        // during Cmd::Restore would hang the ack loop and poison the job).
+        let mut reference = Stage::build_pipeline(&cfg.model, cfg.pp, cfg.seed);
+        let expected_shapes: Vec<Vec<(usize, usize)>> = reference
+            .iter_mut()
+            .map(|st| st.params().iter().map(|p| p.value.shape()).collect())
+            .collect();
+        for section in &snapshot.ranks {
+            let expected = &expected_shapes[section.stage];
+            let shapes_match = section.params.len() == expected.len()
+                && section
+                    .params
+                    .iter()
+                    .zip(expected)
+                    .all(|(m, &s)| m.shape() == s);
+            if !shapes_match {
+                return Err(CkptError::Decode(opt_tensor::PersistError::Invalid {
+                    what: "rank section parameter shapes do not match the config",
+                }));
+            }
+            Adam::from_bytes(&section.optimizer)?;
+            decode_cb_link(&section.cb_link)?;
+            decode_dp_state(&section.dp_state)?;
+        }
+
+        let mut trainer = Trainer::launch(cfg);
+        trainer.next_id += 1;
+        let id = trainer.next_id;
+        let pp = trainer.cfg.pp;
+        for section in &snapshot.ranks {
+            let idx = section.dp * pp + section.stage;
+            trainer.cmd_txs[idx]
+                .send(Cmd::Restore {
+                    id,
+                    section: Box::new(section.clone()),
+                })
+                .expect("worker channel closed");
+        }
+        let mut acked = 0;
+        while acked < trainer.cmd_txs.len() {
+            let ack = trainer.ack_rx.recv().expect("worker dropped ack channel");
+            if ack.id == id {
+                acked += 1;
+            }
+        }
+        trainer.trained_iters = meta.iter;
+        Ok(trainer)
+    }
+
+    /// [`Trainer::restore`] from a snapshot file.
+    pub fn restore_from_file(
+        cfg: TrainerConfig,
+        path: impl AsRef<Path>,
+    ) -> Result<Trainer, CkptError> {
+        let snapshot = Snapshot::load(path)?;
+        Self::restore(cfg, &snapshot)
+    }
+
+    /// Tears the job down the way a worker failure does: no `Stop`
+    /// handshake — command channels are dropped and every worker exits on
+    /// the closed channel, exactly as when a real rank disappears and the
+    /// collective world cannot make progress. Call at an iteration
+    /// boundary (all `train*` methods leave the job quiesced).
+    pub fn kill(mut self) {
+        self.barrier(); // drain in-flight commands so joins cannot hang
+        self.cmd_txs.clear();
+        for h in self.handles.drain(..) {
+            h.join().expect("worker panicked");
+        }
     }
 
     /// Predicts the next token at the final position of each sequence in

@@ -4,12 +4,13 @@ use crate::config::{CbMethod, TrainerConfig};
 use crate::dp_compress::DistPowerSgd;
 use crate::stats::{Collector, ErrorStatPoint};
 use crossbeam::channel::{Receiver, Sender};
+use opt_ckpt::RankSection;
 use opt_compress::{Compressed, LazyErrorPropagator, PowerSgd, TopK, FP16_BYTES};
 use opt_data::SyntheticCorpus;
 use opt_model::{cross_entropy, Adam, Optimizer, Stage};
 use opt_net::{CollectiveGroup, P2pMesh, TrafficClass, TrafficLedger};
 use opt_schedule::{is_epilogue_send, one_f_one_b, Op};
-use opt_tensor::{cosine_similarity, Matrix};
+use opt_tensor::{cosine_similarity, Matrix, Persist, PersistError, Reader, Writer};
 use std::collections::{HashMap, VecDeque};
 
 /// Commands broadcast from the trainer to every worker.
@@ -24,6 +25,16 @@ pub(crate) enum Cmd {
     Predict { id: u64, tokens: Vec<usize> },
     /// Acknowledge via the ack channel once all prior commands finished.
     Barrier { id: u64 },
+    /// Serialize all training state (parameters, optimizer moments,
+    /// compressor warm starts, lazy-error residuals) into a
+    /// [`RankSection`] and send it on the snapshot channel. Commands are
+    /// processed in order, so every prior iteration has fully retired —
+    /// snapshot semantics are a barrier.
+    Snapshot { id: u64 },
+    /// Overwrite all training state from a snapshot section, then ack.
+    /// Sent point-to-point (each worker gets its own section), unlike the
+    /// broadcast commands above.
+    Restore { id: u64, section: Box<RankSection> },
     /// Exit the worker loop.
     Stop,
 }
@@ -63,13 +74,14 @@ pub(crate) struct WorkerCtx {
     pub fused_group: Option<CollectiveGroup>,
     pub cmds: Receiver<Cmd>,
     pub acks: Sender<WorkerAck>,
+    pub snap_out: Sender<(u64, RankSection)>,
     pub predict_out: Sender<(u64, Vec<usize>)>,
     pub collector: Collector,
     pub ledger: TrafficLedger,
 }
 
 /// The inter-stage compressor variant for compressed backpropagation.
-enum CbLink {
+pub(crate) enum CbLink {
     LowRank(LazyErrorPropagator<PowerSgd>),
     TopK(LazyErrorPropagator<TopK>),
 }
@@ -106,6 +118,52 @@ impl CbLink {
             CbLink::TopK(_) => 0,
         }
     }
+}
+
+/// Encodes the optional inter-stage link state for a snapshot section.
+pub(crate) fn encode_cb_link(link: &Option<CbLink>) -> Vec<u8> {
+    let mut w = Writer::new();
+    match link {
+        None => w.u8(0),
+        Some(CbLink::LowRank(l)) => {
+            w.u8(1);
+            l.persist(&mut w);
+        }
+        Some(CbLink::TopK(l)) => {
+            w.u8(2);
+            l.persist(&mut w);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes an [`encode_cb_link`] blob. Also used by the trainer to
+/// pre-validate snapshot sections before handing them to workers.
+pub(crate) fn decode_cb_link(bytes: &[u8]) -> Result<Option<CbLink>, PersistError> {
+    let mut r = Reader::new(bytes);
+    let link = match r.u8()? {
+        0 => None,
+        1 => Some(CbLink::LowRank(LazyErrorPropagator::restore(&mut r)?)),
+        2 => Some(CbLink::TopK(LazyErrorPropagator::restore(&mut r)?)),
+        tag => {
+            return Err(PersistError::BadTag {
+                what: "CbLink",
+                tag,
+            })
+        }
+    };
+    r.finish()?;
+    Ok(link)
+}
+
+/// Encodes the optional data-parallel compression state.
+pub(crate) fn encode_dp_state(state: &Option<DistPowerSgd>) -> Vec<u8> {
+    state.to_bytes()
+}
+
+/// Decodes an [`encode_dp_state`] blob.
+pub(crate) fn decode_dp_state(bytes: &[u8]) -> Result<Option<DistPowerSgd>, PersistError> {
+    Option::from_bytes(bytes)
 }
 
 /// Runs the worker loop until [`Cmd::Stop`].
@@ -176,6 +234,37 @@ pub(crate) fn run_worker(mut ctx: WorkerCtx) {
                 }
             }
             Cmd::Barrier { id } => {
+                let ack = WorkerAck {
+                    id,
+                    stage: s,
+                    dp: d,
+                    param_elems: ctx.stage.param_count(),
+                    lazy_error_elems: cb_link.as_ref().map_or(0, CbLink::error_elems),
+                    compressor_elems: cb_link.as_ref().map_or(0, CbLink::warm_start_elems)
+                        + dp_state.as_ref().map_or(0, DistPowerSgd::buffer_elems),
+                };
+                ctx.acks.send(ack).expect("trainer dropped ack channel");
+            }
+            Cmd::Snapshot { id } => {
+                let section = RankSection {
+                    stage: s,
+                    dp: d,
+                    params: ctx.stage.export_state(),
+                    optimizer: optimizer.to_bytes(),
+                    cb_link: encode_cb_link(&cb_link),
+                    dp_state: encode_dp_state(&dp_state),
+                };
+                ctx.snap_out
+                    .send((id, section))
+                    .expect("trainer dropped snapshot channel");
+            }
+            Cmd::Restore { id, section } => {
+                // Sections were pre-validated by Trainer::restore; a decode
+                // failure here means the trainer handed out the wrong blob.
+                ctx.stage.import_state(&section.params);
+                optimizer = Adam::from_bytes(&section.optimizer).expect("validated section");
+                cb_link = decode_cb_link(&section.cb_link).expect("validated section");
+                dp_state = decode_dp_state(&section.dp_state).expect("validated section");
                 let ack = WorkerAck {
                     id,
                     stage: s,

@@ -298,6 +298,45 @@ impl Stage {
         self.params().iter().map(|p| p.value.len()).sum()
     }
 
+    /// Clones every parameter tensor in [`Stage::params`] order — the
+    /// stage's contribution to a training checkpoint. Gradients are not
+    /// exported: snapshots are taken at iteration boundaries, where every
+    /// gradient accumulator is zero.
+    pub fn export_state(&mut self) -> Vec<Matrix> {
+        self.params().iter().map(|p| p.value.clone()).collect()
+    }
+
+    /// Overwrites every parameter tensor from a [`Stage::export_state`]
+    /// vector and zeroes the gradient accumulators, restoring the stage to
+    /// an iteration boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not match this stage's parameter list in
+    /// length or shapes (checkpoint/config mismatch — callers validate
+    /// snapshot integrity and config fingerprints before getting here).
+    pub fn import_state(&mut self, values: &[Matrix]) {
+        let mut params = self.params();
+        assert_eq!(
+            params.len(),
+            values.len(),
+            "checkpoint has {} parameter tensors, stage expects {}",
+            values.len(),
+            params.len()
+        );
+        for (p, v) in params.iter_mut().zip(values) {
+            assert_eq!(
+                p.value.shape(),
+                v.shape(),
+                "checkpoint shape mismatch on {}",
+                p.name
+            );
+            *p.value = v.clone();
+        }
+        drop(params);
+        self.zero_grad();
+    }
+
     /// Drops every cached activation on this stage. Call after an
     /// evaluation-only forward pass (validation / zero-shot probes) so the
     /// FIFO caches stay aligned for training.
@@ -473,6 +512,40 @@ mod tests {
         let g = Matrix::full(cfg.vocab, cfg.hidden, 0.5);
         stages[0].set_embedding_grad(g.clone());
         assert_eq!(stages[0].embedding_grad().unwrap(), &g);
+    }
+
+    #[test]
+    fn export_import_state_roundtrip() {
+        let cfg = GptConfig::tiny();
+        let mut a = Stage::build_pipeline(&cfg, 2, 0);
+        let mut b = Stage::build_pipeline(&cfg, 2, 99); // different weights
+        let tokens = tokens_for(&cfg, 1);
+        let la = {
+            let h = a[0].forward_tokens(&tokens);
+            let l = a[1].forward_hidden(&h);
+            a.iter_mut().for_each(Stage::clear_caches);
+            l
+        };
+        for (src, dst) in a.iter_mut().zip(b.iter_mut()) {
+            dst.import_state(&src.export_state());
+        }
+        let lb = {
+            let h = b[0].forward_tokens(&tokens);
+            let l = b[1].forward_hidden(&h);
+            b.iter_mut().for_each(Stage::clear_caches);
+            l
+        };
+        assert_eq!(la, lb, "imported stage computes a different function");
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint shape mismatch")]
+    fn import_state_rejects_wrong_shapes() {
+        let cfg = GptConfig::tiny();
+        let mut stages = Stage::build_pipeline(&cfg, 1, 0);
+        let mut state = stages[0].export_state();
+        state[0] = Matrix::zeros(1, 1);
+        stages[0].import_state(&state);
     }
 
     #[test]

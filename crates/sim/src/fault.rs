@@ -1,0 +1,285 @@
+//! Failure events and restart-cost accounting for simulated training runs.
+//!
+//! The event engine (`simulate`) prices one iteration; this module prices
+//! a *run*: `iters` iterations with a snapshot cadence, one scripted
+//! failure ([`opt_ckpt::FaultPlan`], the same plan the numerical trainer
+//! replays), and an elastic restart — detection, relaunch, snapshot read,
+//! and replay of every iteration since the newest snapshot. The output is
+//! the checkpoint-cadence trade-off the `exp_fault_tolerance` experiment
+//! sweeps: frequent snapshots cost steady-state write time, rare snapshots
+//! cost replay time after a failure.
+
+use crate::{simulate, SimConfig};
+use opt_ckpt::FaultPlan;
+use serde::{Deserialize, Serialize};
+
+/// Cost model for checkpoint I/O and failure handling.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CkptCostModel {
+    /// Seconds from the failure to the job being torn down (NCCL timeout +
+    /// watchdog detection).
+    pub detection_s: f64,
+    /// Seconds for the scheduler to relaunch and rendezvous the world.
+    pub relaunch_s: f64,
+    /// Aggregate snapshot read/write bandwidth in bytes/s (parallel file
+    /// system, shared by all ranks).
+    pub disk_bw: f64,
+}
+
+impl CkptCostModel {
+    /// Defaults in the spirit of the paper's 128×A100 cluster: a 30 s
+    /// NCCL-timeout detection, 60 s relaunch, 10 GB/s aggregate burst
+    /// buffer bandwidth.
+    pub fn paper_cluster() -> Self {
+        Self {
+            detection_s: 30.0,
+            relaunch_s: 60.0,
+            disk_bw: 10e9,
+        }
+    }
+}
+
+/// One timestamped event in a simulated faulted run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// A snapshot finished writing after `iter` completed iterations.
+    SnapshotWrite {
+        /// Completed iterations at snapshot time.
+        iter: u64,
+        /// Time the write completed, seconds from run start.
+        at_s: f64,
+    },
+    /// Worker `rank` died after `iter` completed iterations.
+    Failure {
+        /// The rank that died.
+        rank: usize,
+        /// Completed iterations when the failure struck.
+        iter: u64,
+        /// Failure instant, seconds from run start.
+        at_s: f64,
+    },
+    /// The job restarted from the snapshot taken at `from_iter`
+    /// (`None` = cold restart from scratch).
+    Restore {
+        /// Snapshot iteration resumed from.
+        from_iter: Option<u64>,
+        /// Time the restore (detection + relaunch + read) completed.
+        at_s: f64,
+    },
+}
+
+/// Wall-clock accounting of a simulated faulted run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSimResult {
+    /// Failure-free, snapshot-free run time: `iters * t_iter`.
+    pub ideal_time_s: f64,
+    /// Actual end-to-end run time.
+    pub total_time_s: f64,
+    /// Time spent writing snapshots.
+    pub snapshot_overhead_s: f64,
+    /// Detection + relaunch + snapshot-read time.
+    pub restart_overhead_s: f64,
+    /// Time spent re-executing iterations lost to the failure.
+    pub replay_time_s: f64,
+    /// Bytes of one snapshot (all ranks).
+    pub snapshot_bytes: f64,
+    /// Timeline of snapshot/failure/restore events.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultSimResult {
+    /// Fractional slowdown over the ideal run (`0.0` = free fault
+    /// tolerance).
+    pub fn overhead_fraction(&self) -> f64 {
+        self.total_time_s / self.ideal_time_s - 1.0
+    }
+}
+
+/// Bytes a full training snapshot occupies: fp32 weights plus the two
+/// fp32 Adam moments for every parameter (transformer stages + both
+/// embedding replicas), the dominant state. Compression state (warm-start
+/// factors, residuals) adds a few percent and is folded into the same
+/// per-parameter constant.
+pub fn snapshot_bytes(cfg: &SimConfig) -> f64 {
+    let stage_params: u64 = (0..cfg.pp).map(|s| cfg.stage_params(s)).sum();
+    let emb_params = 2 * cfg.model.embedding_params();
+    ((stage_params + emb_params) * 12) as f64
+}
+
+/// Simulates `iters` training iterations under `plan`, pricing snapshot
+/// writes and the elastic restart with `costs`.
+///
+/// Mirrors `optimus_cc::run_with_faults` event for event: snapshot after
+/// every `snapshot_every`-th iteration (except the last), one failure once
+/// `kill_at_iter` iterations complete, restart from the newest snapshot
+/// (or from scratch), replay the lost iterations, finish the run.
+///
+/// # Example
+///
+/// ```
+/// use opt_ckpt::FaultPlan;
+/// use opt_sim::{simulate_with_faults, CkptCostModel, SimConfig};
+///
+/// let cfg = SimConfig::paper_gpt_2_5b();
+/// let costs = CkptCostModel::paper_cluster();
+/// let r = simulate_with_faults(&cfg, 100, &FaultPlan::new(3, 55, 10), &costs);
+/// assert!(r.total_time_s > r.ideal_time_s);
+/// assert!(r.replay_time_s > 0.0);
+/// ```
+pub fn simulate_with_faults(
+    cfg: &SimConfig,
+    iters: u64,
+    plan: &FaultPlan,
+    costs: &CkptCostModel,
+) -> FaultSimResult {
+    let t_iter = simulate(cfg).iteration_time_s;
+    let bytes = snapshot_bytes(cfg);
+    let t_snap = bytes / costs.disk_bw;
+    let ideal_time_s = t_iter * iters as f64;
+
+    let mut now = 0.0;
+    let mut snapshot_overhead_s = 0.0;
+    let mut restart_overhead_s = 0.0;
+    let mut replay_time_s = 0.0;
+    let mut events = Vec::new();
+    let mut completed: u64 = 0;
+    let mut failed = false;
+
+    while completed < iters {
+        now += t_iter;
+        completed += 1;
+        if plan.snapshot_due(completed) && completed < iters {
+            now += t_snap;
+            snapshot_overhead_s += t_snap;
+            events.push(FaultEvent::SnapshotWrite {
+                iter: completed,
+                at_s: now,
+            });
+        }
+        if !failed && completed == plan.kill_at_iter {
+            failed = true;
+            events.push(FaultEvent::Failure {
+                rank: plan.kill_rank,
+                iter: completed,
+                at_s: now,
+            });
+            let from_iter = plan.last_snapshot_before(completed);
+            // Detection + relaunch always; snapshot read only if one exists.
+            let read_s = if from_iter.is_some() {
+                bytes / costs.disk_bw
+            } else {
+                0.0
+            };
+            let restart = costs.detection_s + costs.relaunch_s + read_s;
+            now += restart;
+            restart_overhead_s += restart;
+            events.push(FaultEvent::Restore {
+                from_iter,
+                at_s: now,
+            });
+            let resume_at = from_iter.unwrap_or(0);
+            replay_time_s += (completed - resume_at) as f64 * t_iter;
+            completed = resume_at;
+        }
+    }
+
+    FaultSimResult {
+        ideal_time_s,
+        total_time_s: now,
+        snapshot_overhead_s,
+        restart_overhead_s,
+        replay_time_s,
+        snapshot_bytes: bytes,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> (SimConfig, CkptCostModel) {
+        (SimConfig::paper_gpt_2_5b(), CkptCostModel::paper_cluster())
+    }
+
+    #[test]
+    fn accounting_adds_up() {
+        let (cfg, costs) = base();
+        let r = simulate_with_faults(&cfg, 60, &FaultPlan::new(2, 45, 10), &costs);
+        let sum = r.ideal_time_s + r.snapshot_overhead_s + r.restart_overhead_s + r.replay_time_s;
+        assert!(
+            (r.total_time_s - sum).abs() < 1e-6 * r.total_time_s,
+            "total {} != parts {}",
+            r.total_time_s,
+            sum
+        );
+        assert!(r.overhead_fraction() > 0.0);
+    }
+
+    #[test]
+    fn no_failure_means_only_snapshot_overhead() {
+        let (cfg, costs) = base();
+        let r = simulate_with_faults(&cfg, 20, &FaultPlan::new(0, 1000, 5), &costs);
+        assert_eq!(r.restart_overhead_s, 0.0);
+        assert_eq!(r.replay_time_s, 0.0);
+        // Snapshots after iters 5, 10, 15 (20 is the final iteration).
+        assert!(r.snapshot_overhead_s > 0.0);
+        assert_eq!(
+            r.events
+                .iter()
+                .filter(|e| matches!(e, FaultEvent::SnapshotWrite { .. }))
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn rarer_snapshots_trade_write_time_for_replay_time() {
+        let (cfg, costs) = base();
+        let frequent = simulate_with_faults(&cfg, 100, &FaultPlan::new(1, 99, 5), &costs);
+        let rare = simulate_with_faults(&cfg, 100, &FaultPlan::new(1, 99, 50), &costs);
+        assert!(frequent.snapshot_overhead_s > rare.snapshot_overhead_s);
+        assert!(frequent.replay_time_s < rare.replay_time_s);
+    }
+
+    #[test]
+    fn failure_without_snapshot_replays_everything() {
+        let (cfg, costs) = base();
+        let r = simulate_with_faults(&cfg, 10, &FaultPlan::new(0, 4, 0), &costs);
+        assert!((r.replay_time_s - 4.0 * r.ideal_time_s / 10.0).abs() < 1e-9);
+        assert!(r.events.iter().any(|e| matches!(
+            e,
+            FaultEvent::Restore {
+                from_iter: None,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let (cfg, costs) = base();
+        let r = simulate_with_faults(&cfg, 40, &FaultPlan::new(0, 33, 8), &costs);
+        let times: Vec<f64> = r
+            .events
+            .iter()
+            .map(|e| match e {
+                FaultEvent::SnapshotWrite { at_s, .. }
+                | FaultEvent::Failure { at_s, .. }
+                | FaultEvent::Restore { at_s, .. } => *at_s,
+            })
+            .collect();
+        for w in times.windows(2) {
+            assert!(w[1] >= w[0], "events out of order: {times:?}");
+        }
+    }
+
+    #[test]
+    fn snapshot_bytes_scale_with_model() {
+        let small = snapshot_bytes(&SimConfig::paper_gpt_2_5b());
+        let large = snapshot_bytes(&SimConfig::paper_gpt_8_3b());
+        assert!(large > 2.0 * small);
+        // GPT-2.5B at 12 bytes/param is in the tens of GB.
+        assert!(small > 1e10 && small < 1e11, "snapshot {small:.3e} B");
+    }
+}

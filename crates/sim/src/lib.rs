@@ -13,7 +13,11 @@
 //!   stage's last backward finishes (the structural fact selective stage
 //!   compression exploits, §7),
 //! * embedding synchronization — separate (EMB DP + 2-way sync) or fused
-//!   (single 2D-way all-reduce, §6).
+//!   (single 2D-way all-reduce, §6),
+//! * scripted worker failures with checkpoint/restart cost accounting
+//!   ([`simulate_with_faults`]): snapshot-write overhead, failure
+//!   detection, relaunch, snapshot read, and lost-work replay, driven by
+//!   the same `opt_ckpt::FaultPlan` the numerical trainer executes.
 //!
 //! Communication volumes are derived from the *paper-scale* model configs
 //! (`opt-model::GptConfig`) and the paper's cluster parameters
@@ -40,10 +44,12 @@ mod autotune;
 mod breakdown;
 mod config;
 mod engine;
+mod fault;
 mod kernel;
 
 pub use autotune::{auto_tune, error_pressure, sweep, TunePoint};
 pub use breakdown::{breakdown, breakdown_with_result, Breakdown};
 pub use config::{CbPlan, CompressionPlan, ScPlan, SimConfig};
 pub use engine::{simulate, SimResult, TraceEvent, TraceKind};
+pub use fault::{simulate_with_faults, snapshot_bytes, CkptCostModel, FaultEvent, FaultSimResult};
 pub use kernel::KernelModel;

@@ -1,5 +1,6 @@
 //! Deterministic random initialization.
 
+use crate::persist::{Persist, PersistError, Reader, Writer};
 use crate::Matrix;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -70,6 +71,25 @@ impl SeedStream {
     /// A matrix with standard-normal entries scaled by `std`.
     pub fn normal_matrix(&mut self, rows: usize, cols: usize, std: f32) -> Matrix {
         Matrix::from_fn(rows, cols, |_, _| self.normal() * std)
+    }
+}
+
+impl Persist for SeedStream {
+    fn persist(&self, w: &mut Writer) {
+        for word in self.rng.state_words() {
+            w.u32(word);
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let mut words = [0u32; ChaCha8Rng::STATE_WORDS];
+        for word in &mut words {
+            *word = r.u32()?;
+        }
+        let rng = ChaCha8Rng::from_state_words(words).ok_or(PersistError::Invalid {
+            what: "ChaCha8 word position out of range",
+        })?;
+        Ok(SeedStream { rng })
     }
 }
 

@@ -22,9 +22,11 @@ mod init;
 mod linalg;
 mod matrix;
 mod ops;
+mod persist;
 mod stats;
 
 pub use init::{xavier_uniform, SeedStream};
 pub use linalg::orthonormalize_columns;
 pub use matrix::{Matrix, ShapeError};
+pub use persist::{Persist, PersistError, Reader, Writer};
 pub use stats::{cosine_similarity, frobenius_norm, mean, relative_error};

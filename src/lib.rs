@@ -2,13 +2,15 @@
 //!
 //! The reproduction is organized as a Cargo workspace; this crate exists so
 //! that examples and integration tests can reach every subsystem through a
-//! single dependency.
+//! single dependency (`optimus::tensor`, `optimus::ckpt`, `optimus::core`,
+//! ...).
 //!
 //! ```
 //! use optimus::tensor::Matrix;
 //! let m = Matrix::zeros(2, 2);
 //! assert_eq!(m.rows(), 2);
 //! ```
+pub use opt_ckpt as ckpt;
 pub use opt_compress as compress;
 pub use opt_data as data;
 pub use opt_model as model;

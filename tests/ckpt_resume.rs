@@ -1,0 +1,215 @@
+//! The checkpoint subsystem's headline guarantee, exercised end to end:
+//! train N iterations straight versus train k, snapshot, kill, restore,
+//! train N−k — identical per-iteration losses and identical post-restore
+//! traffic-ledger deltas, with every compression state object (PowerSGD
+//! warm starts, LEP residuals, DP error feedback) round-tripping through
+//! the on-disk format.
+
+use optimus::ckpt::{CkptError, FaultPlan, Snapshot};
+use optimus::core::{run_with_faults, QualityConfig, Trainer, TrainerConfig};
+use optimus::net::TrafficClass;
+
+fn snap_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("optimus-{tag}-{}.ckpt", std::process::id()))
+}
+
+/// Full Optimus-CC stack: CB (PowerSGD + LEP), fused embedding, selective
+/// stage compression — the configuration with the most state to lose.
+fn full_stack_cfg(iters: u64) -> TrainerConfig {
+    TrainerConfig::tiny_test(QualityConfig::cb_fe_sc(), iters)
+}
+
+#[test]
+fn resume_is_bit_exact_including_compression_state() {
+    const TOTAL: u64 = 12;
+    const SNAP_AT: u64 = 6;
+
+    // Straight run, with a mid-run traffic mark at the snapshot point.
+    let mut straight = Trainer::launch(full_stack_cfg(TOTAL));
+    straight.train_more(SNAP_AT);
+    let traffic_mid = straight.traffic();
+    straight.train_more(TOTAL - SNAP_AT);
+    let straight_report = straight.report();
+    let traffic_end = straight.traffic();
+    straight.shutdown();
+
+    // Faulted run: snapshot at k, do some doomed extra work, kill, restore
+    // from disk, finish.
+    let path = snap_path("resume");
+    let mut victim = Trainer::launch(full_stack_cfg(TOTAL));
+    victim.train_more(SNAP_AT);
+    victim.save_snapshot(&path).expect("snapshot saved");
+    victim.train_more(2); // work that the failure will destroy
+    victim.kill();
+
+    let mut resumed =
+        Trainer::restore_from_file(full_stack_cfg(TOTAL), &path).expect("snapshot restores");
+    assert_eq!(resumed.trained_iters(), SNAP_AT);
+    resumed.train_more(TOTAL - SNAP_AT);
+    let resumed_report = resumed.report();
+    let resumed_traffic = resumed.traffic();
+    resumed.shutdown();
+    let _ = std::fs::remove_file(&path);
+
+    // Losses after the restore point must match the straight run *bit for
+    // bit* — any forgotten state (an RNG counter, a residual, a warm-start
+    // factor, an Adam moment) shows up here.
+    for iter in SNAP_AT as usize..TOTAL as usize {
+        let a = straight_report.train_loss[iter];
+        let b = resumed_report.train_loss[iter];
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "iteration {iter}: straight {a} != resumed {b}"
+        );
+    }
+    // Pre-restore iterations belong to the killed incarnation.
+    for iter in 0..SNAP_AT as usize {
+        assert!(resumed_report.train_loss[iter].is_nan());
+    }
+
+    // Post-restore wire traffic must also be identical, class by class:
+    // the resumed ledger (which starts at zero) equals the straight run's
+    // delta over the same iterations.
+    for class in TrafficClass::ALL {
+        assert_eq!(
+            traffic_end.bytes(class) - traffic_mid.bytes(class),
+            resumed_traffic.bytes(class),
+            "byte delta mismatch for {class}"
+        );
+        assert_eq!(
+            traffic_end.messages(class) - traffic_mid.messages(class),
+            resumed_traffic.messages(class),
+            "message delta mismatch for {class}"
+        );
+    }
+}
+
+#[test]
+fn fault_harness_reproduces_the_straight_run() {
+    // The scripted-failure driver must land on the same trajectory.
+    const TOTAL: u64 = 9;
+    let cfg = full_stack_cfg(TOTAL);
+
+    let mut straight = Trainer::launch(cfg.clone());
+    let straight_report = straight.train();
+    straight.shutdown();
+
+    let plan = FaultPlan::new(1, 5, 3); // snapshot at 3 & 6, die at 5
+    let outcome = run_with_faults(&cfg, &plan).expect("faulted run completes");
+    assert_eq!(outcome.restarts, 1);
+    assert_eq!(outcome.resumed_from, Some(3));
+    assert_eq!(outcome.lost_iters, 2);
+    for iter in 3..TOTAL as usize {
+        assert_eq!(
+            straight_report.train_loss[iter].to_bits(),
+            outcome.report.train_loss[iter].to_bits(),
+            "iteration {iter} diverged after elastic restart"
+        );
+    }
+}
+
+#[test]
+fn corrupted_and_truncated_snapshots_are_rejected() {
+    let path = snap_path("corrupt");
+    let mut t = Trainer::launch(full_stack_cfg(4));
+    t.train_more(2);
+    t.save_snapshot(&path).expect("snapshot saved");
+    t.shutdown();
+    let clean = std::fs::read(&path).expect("snapshot bytes");
+    let _ = std::fs::remove_file(&path);
+
+    // Sanity: the pristine bytes load.
+    Snapshot::decode(&clean).expect("clean snapshot decodes");
+
+    // A single flipped bit anywhere in the body is caught by the checksum.
+    let mut flipped = clean.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x01;
+    assert!(
+        matches!(
+            Snapshot::decode(&flipped),
+            Err(CkptError::ChecksumMismatch { .. })
+        ),
+        "bit flip at byte {mid} was accepted"
+    );
+
+    // Truncation (a crash mid-save) is caught by the length header.
+    assert!(matches!(
+        Snapshot::decode(&clean[..clean.len() / 2]),
+        Err(CkptError::Truncated { .. })
+    ));
+
+    // A foreign file is rejected before any state is parsed.
+    assert!(matches!(
+        Snapshot::decode(b"definitely not a snapshot"),
+        Err(CkptError::BadMagic)
+    ));
+
+    // And a truncated file on disk fails through the file API too.
+    let half_path = snap_path("truncated");
+    std::fs::write(&half_path, &clean[..clean.len() - 7]).expect("write half");
+    let err = Trainer::restore_from_file(full_stack_cfg(4), &half_path);
+    let _ = std::fs::remove_file(&half_path);
+    assert!(matches!(err, Err(CkptError::Truncated { .. })));
+}
+
+#[test]
+fn snapshot_refuses_to_restore_into_a_different_run() {
+    let mut t = Trainer::launch(full_stack_cfg(4));
+    t.train_more(1);
+    let snap = t.snapshot();
+    t.shutdown();
+
+    // Different seed => different training state semantics.
+    let mut other = full_stack_cfg(4);
+    other.seed ^= 0xBAD;
+    assert!(matches!(
+        Trainer::restore(other, &snap),
+        Err(CkptError::ConfigMismatch { .. })
+    ));
+
+    // Different compression plan.
+    let baseline = TrainerConfig::tiny_test(QualityConfig::baseline(), 4);
+    assert!(matches!(
+        Trainer::restore(baseline, &snap),
+        Err(CkptError::ConfigMismatch { .. })
+    ));
+
+    // Different world shape fails on the world check (fingerprint would
+    // catch it too, but the world error is the actionable one).
+    let mut wide = full_stack_cfg(4);
+    wide.dp = 1;
+    assert!(matches!(
+        Trainer::restore(wide, &snap),
+        Err(CkptError::WorldMismatch { .. })
+    ));
+
+    // A section with the wrong parameter shapes is rejected up front —
+    // never handed to a worker where it would panic mid-restore.
+    let mut bad = snap.clone();
+    bad.ranks[0].params[0] = optimus::tensor::Matrix::zeros(1, 1);
+    assert!(matches!(
+        Trainer::restore(full_stack_cfg(4), &bad),
+        Err(CkptError::Decode(_))
+    ));
+}
+
+#[test]
+fn resume_extends_beyond_original_horizon() {
+    // Restoring into a config with more iterations is legitimate: train 3,
+    // snapshot, and resume to 6 — Trainer::train picks up at the snapshot.
+    let mut t = Trainer::launch(full_stack_cfg(3));
+    t.train();
+    let snap = t.snapshot();
+    t.shutdown();
+
+    let longer = full_stack_cfg(6);
+    let mut resumed = Trainer::restore(longer, &snap).expect("longer horizon restores");
+    let report = resumed.train();
+    resumed.shutdown();
+    assert_eq!(report.train_loss.len(), 6);
+    for (iter, loss) in report.train_loss[3..].iter().enumerate() {
+        assert!(loss.is_finite(), "iteration {} missing", iter + 3);
+    }
+}

@@ -32,6 +32,7 @@ fn core_reexport_resolves() {
 fn remaining_subsystem_reexports_resolve() {
     // One symbol per remaining re-exported crate, so a dropped `pub use`
     // or manifest edge is caught no matter which subsystem it touches.
+    let _ = optimus::ckpt::FaultPlan::new(0, 1, 1);
     let _ = optimus::data::ZeroShotTask::ALL;
     let _ = optimus::model::GptConfig::gpt_2_5b();
     let _ = optimus::net::CollectiveWorld::new(1);

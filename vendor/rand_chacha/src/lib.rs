@@ -81,6 +81,45 @@ impl ChaCha8Rng {
         self.word_pos += 1;
         w
     }
+
+    /// Number of `u32` words in a serialized RNG state
+    /// (key 8 + counter 2 + nonce 2 + block 16 + word position 1).
+    pub const STATE_WORDS: usize = 29;
+
+    /// Exports the complete generator state as a flat word array, suitable
+    /// for checkpointing. [`ChaCha8Rng::from_state_words`] restores a
+    /// generator that continues the keystream bit-exactly.
+    pub fn state_words(&self) -> [u32; Self::STATE_WORDS] {
+        let mut out = [0u32; Self::STATE_WORDS];
+        out[..8].copy_from_slice(&self.key);
+        out[8] = self.counter as u32;
+        out[9] = (self.counter >> 32) as u32;
+        out[10] = self.nonce[0];
+        out[11] = self.nonce[1];
+        out[12..28].copy_from_slice(&self.block);
+        out[28] = self.word_pos as u32;
+        out
+    }
+
+    /// Rebuilds a generator from [`ChaCha8Rng::state_words`] output.
+    /// Returns `None` if the word position is out of range (corrupt state).
+    pub fn from_state_words(words: [u32; Self::STATE_WORDS]) -> Option<Self> {
+        let word_pos = words[28] as usize;
+        if word_pos > BLOCK_WORDS {
+            return None;
+        }
+        let mut key = [0u32; 8];
+        key.copy_from_slice(&words[..8]);
+        let mut block = [0u32; BLOCK_WORDS];
+        block.copy_from_slice(&words[12..28]);
+        Some(Self {
+            key,
+            counter: (words[8] as u64) | ((words[9] as u64) << 32),
+            nonce: [words[10], words[11]],
+            block,
+            word_pos,
+        })
+    }
 }
 
 impl SeedableRng for ChaCha8Rng {
@@ -150,6 +189,25 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
         }
+    }
+
+    #[test]
+    fn state_roundtrip_continues_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..23 {
+            a.next_u32(); // land mid-block
+        }
+        let mut b = ChaCha8Rng::from_state_words(a.state_words()).expect("valid state");
+        for _ in 0..200 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn corrupt_word_pos_is_rejected() {
+        let mut words = ChaCha8Rng::seed_from_u64(1).state_words();
+        words[28] = 17; // > BLOCK_WORDS
+        assert!(ChaCha8Rng::from_state_words(words).is_none());
     }
 
     #[test]
