@@ -1,0 +1,377 @@
+//! Kernel-trajectory benchmark: seed-naive vs blocked vs blocked+parallel
+//! tensor kernels on the GEMM/PowerSGD hot path, emitting
+//! `BENCH_kernels.json` (the first entry in the repo's perf trajectory).
+//!
+//! The PowerSGD shapes mirror the paper's compression kernel: a
+//! `grad x grad` gradient against rank-`r` factors, whose
+//! orthonormalization step §9.6 identifies as ~80 % of compression time.
+//! Square shapes stand in for the transformer forward/backward GEMMs.
+//!
+//! Modes:
+//! * default — paper-relevant shapes (4096x4096 gradients, rank-4/8
+//!   factors, 512-square model GEMMs);
+//! * `--smoke` — small shapes for CI; exits non-zero if the blocked
+//!   kernels regress below the seed-naive reference.
+//!
+//! Every op is checked for bit-identity against the naive reference before
+//! timing, so the benchmark doubles as an end-to-end determinism probe.
+
+use opt_tensor::{
+    naive, orthonormalize_columns, set_kernel_threads, set_parallel_flop_threshold, Matrix,
+    SeedStream,
+};
+use std::time::Instant;
+
+/// One timed kernel variant.
+struct Sample {
+    ns_per_op: f64,
+    gflops: f64,
+}
+
+/// One benchmarked operation across the three kernel variants.
+struct OpResult {
+    op: &'static str,
+    shape: String,
+    flops: f64,
+    seed_naive: Sample,
+    blocked: Sample,
+    blocked_parallel: Sample,
+}
+
+impl OpResult {
+    fn speedup_blocked(&self) -> f64 {
+        self.seed_naive.ns_per_op / self.blocked.ns_per_op
+    }
+
+    fn speedup_parallel(&self) -> f64 {
+        self.seed_naive.ns_per_op / self.blocked_parallel.ns_per_op
+    }
+}
+
+/// Best-of-N wall time in nanoseconds, running at least `min_ms` total.
+fn time_ns(min_ms: f64, mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    let mut spent = 0.0;
+    let mut reps = 0u32;
+    while spent < min_ms * 1e6 && reps < 1000 {
+        let t = Instant::now();
+        f();
+        let dt = t.elapsed().as_secs_f64() * 1e9;
+        best = best.min(dt);
+        spent += dt;
+        reps += 1;
+    }
+    best
+}
+
+fn sample(flops: f64, ns: f64) -> Sample {
+    Sample {
+        ns_per_op: ns,
+        gflops: flops / ns, // flops / ns == Gflop/s
+    }
+}
+
+fn assert_bits_equal(label: &str, a: &Matrix, b: &Matrix) {
+    assert_eq!(a.shape(), b.shape(), "{label}: shape mismatch");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{label}: element {i} differs ({x} vs {y}) — determinism contract broken"
+        );
+    }
+}
+
+/// Benchmarks one op given closures producing the naive and optimized
+/// results; the optimized closure is timed at 1 thread and again at
+/// `par_threads` with the parallel threshold forced to zero.
+fn bench_op(
+    op: &'static str,
+    shape: String,
+    flops: f64,
+    min_ms: f64,
+    par_threads: usize,
+    mut naive_run: impl FnMut() -> Matrix,
+    mut opt_run: impl FnMut() -> Matrix,
+) -> OpResult {
+    // Bit-identity probe before timing (single- and multi-threaded).
+    set_kernel_threads(1);
+    let reference = naive_run();
+    assert_bits_equal(op, &reference, &opt_run());
+    set_parallel_flop_threshold(0);
+    set_kernel_threads(par_threads);
+    assert_bits_equal(op, &reference, &opt_run());
+
+    set_kernel_threads(1);
+    set_parallel_flop_threshold(usize::MAX - 1);
+    let naive_ns = time_ns(min_ms, || {
+        let _ = naive_run();
+    });
+    let blocked_ns = time_ns(min_ms, || {
+        let _ = opt_run();
+    });
+    set_parallel_flop_threshold(0);
+    set_kernel_threads(par_threads);
+    let parallel_ns = time_ns(min_ms, || {
+        let _ = opt_run();
+    });
+    set_kernel_threads(1);
+
+    OpResult {
+        op,
+        shape,
+        flops,
+        seed_naive: sample(flops, naive_ns),
+        blocked: sample(flops, blocked_ns),
+        blocked_parallel: sample(flops, parallel_ns),
+    }
+}
+
+fn powersgd_ops(
+    grad_dim: usize,
+    rank: usize,
+    min_ms: f64,
+    par_threads: usize,
+    rng: &mut SeedStream,
+    out: &mut Vec<OpResult>,
+) {
+    let grad = rng.uniform_matrix(grad_dim, grad_dim, 1.0);
+    let q = rng.normal_matrix(grad_dim, rank, 1.0);
+    let gemm_flops = 2.0 * (grad_dim * grad_dim * rank) as f64;
+
+    // P = G * Q (the power-iteration GEMM).
+    out.push(bench_op(
+        "powersgd_gemm_p",
+        format!("{grad_dim}x{grad_dim}*{grad_dim}x{rank}"),
+        gemm_flops,
+        min_ms,
+        par_threads,
+        || naive::matmul(&grad, &q),
+        || grad.matmul(&q),
+    ));
+
+    // Orthonormalize P (the §9.6 hot spot).
+    let p0 = grad.matmul(&q);
+    // 2 projection passes x c(c-1)/2 pairs x (dot + axpy) + normalization.
+    let ortho_flops =
+        (2 * 2 * rank * (rank - 1).max(1) / 2 * 2 * grad_dim + 3 * rank * grad_dim) as f64;
+    out.push(bench_op(
+        "powersgd_orthonormalize",
+        format!("{grad_dim}x{rank}"),
+        ortho_flops,
+        min_ms,
+        par_threads,
+        || {
+            let mut m = p0.clone();
+            naive::orthonormalize_columns(&mut m);
+            m
+        },
+        || {
+            let mut m = p0.clone();
+            orthonormalize_columns(&mut m);
+            m
+        },
+    ));
+
+    // Q = G^T * P (the warm-start update GEMM).
+    let mut p = p0.clone();
+    orthonormalize_columns(&mut p);
+    out.push(bench_op(
+        "powersgd_gemm_q",
+        format!("({grad_dim}x{grad_dim})^T*{grad_dim}x{rank}"),
+        gemm_flops,
+        min_ms,
+        par_threads,
+        || naive::t_matmul(&grad, &p),
+        || grad.t_matmul(&p),
+    ));
+
+    // The §9.6 pair — power-iteration GEMM + orthonormalization — timed
+    // as one op (the headline number of the kernel rewrite).
+    out.push(bench_op(
+        "powersgd_gemm_plus_ortho",
+        format!("{grad_dim}x{grad_dim}*{grad_dim}x{rank} + ortho"),
+        gemm_flops + ortho_flops,
+        min_ms,
+        par_threads,
+        || {
+            let mut m = naive::matmul(&grad, &q);
+            naive::orthonormalize_columns(&mut m);
+            m
+        },
+        || {
+            let mut m = grad.matmul(&q);
+            orthonormalize_columns(&mut m);
+            m
+        },
+    ));
+
+    // The full per-gradient compression kernel sequence (PowerSgd::compress
+    // without the payload plumbing).
+    out.push(bench_op(
+        "powersgd_compress_pipeline",
+        format!("{grad_dim}x{grad_dim} rank-{rank}"),
+        2.0 * gemm_flops + ortho_flops,
+        min_ms,
+        par_threads,
+        || {
+            let mut m = naive::matmul(&grad, &q);
+            naive::orthonormalize_columns(&mut m);
+            naive::t_matmul(&grad, &m)
+        },
+        || {
+            let mut m = grad.matmul(&q);
+            orthonormalize_columns(&mut m);
+            grad.t_matmul(&m)
+        },
+    ));
+}
+
+fn model_ops(
+    h: usize,
+    min_ms: f64,
+    par_threads: usize,
+    rng: &mut SeedStream,
+    out: &mut Vec<OpResult>,
+) {
+    let a = rng.uniform_matrix(h, h, 1.0);
+    let b = rng.uniform_matrix(h, h, 1.0);
+    let flops = 2.0 * (h * h * h) as f64;
+    out.push(bench_op(
+        "model_gemm_square",
+        format!("{h}x{h}*{h}x{h}"),
+        flops,
+        min_ms,
+        par_threads,
+        || naive::matmul(&a, &b),
+        || a.matmul(&b),
+    ));
+    out.push(bench_op(
+        "model_gemm_nt",
+        format!("{h}x{h}*({h}x{h})^T"),
+        flops,
+        min_ms,
+        par_threads,
+        || naive::matmul_t(&a, &b),
+        || a.matmul_t(&b),
+    ));
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(!s.contains('"') && !s.contains('\\'));
+    s
+}
+
+fn write_json(path: &str, mode: &str, par_threads: usize, results: &[OpResult]) {
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str("  \"bench\": \"kernels\",\n");
+    body.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    body.push_str(&format!(
+        "  \"threads\": {{ \"single\": 1, \"parallel\": {par_threads} }},\n"
+    ));
+    body.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        body.push_str(&format!(
+            concat!(
+                "    {{ \"op\": \"{}\", \"shape\": \"{}\", \"flops\": {:.0},\n",
+                "      \"seed_naive\": {{ \"ns_per_op\": {:.0}, \"gflops\": {:.3} }},\n",
+                "      \"blocked\": {{ \"ns_per_op\": {:.0}, \"gflops\": {:.3} }},\n",
+                "      \"blocked_parallel\": {{ \"ns_per_op\": {:.0}, \"gflops\": {:.3} }},\n",
+                "      \"speedup_blocked\": {:.2}, \"speedup_parallel\": {:.2} }}{}\n",
+            ),
+            json_escape_free(r.op),
+            json_escape_free(&r.shape),
+            r.flops,
+            r.seed_naive.ns_per_op,
+            r.seed_naive.gflops,
+            r.blocked.ns_per_op,
+            r.blocked.gflops,
+            r.blocked_parallel.ns_per_op,
+            r.blocked_parallel.gflops,
+            r.speedup_blocked(),
+            r.speedup_parallel(),
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(path, body).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+
+    let par_threads: usize = std::env::var("OPT_KERNEL_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let (grad_dim, square_h, min_ms, mode) = if smoke {
+        (512usize, 128usize, 20.0, "smoke")
+    } else {
+        (4096usize, 512usize, 200.0, "full")
+    };
+
+    opt_bench::banner(&format!(
+        "Kernel benchmark ({mode}): seed-naive vs blocked vs blocked+{par_threads}-thread"
+    ));
+    let mut rng = SeedStream::new(0xBE7C);
+    let mut results = Vec::new();
+    for rank in [4usize, 8] {
+        powersgd_ops(grad_dim, rank, min_ms, par_threads, &mut rng, &mut results);
+    }
+    model_ops(square_h, min_ms, par_threads, &mut rng, &mut results);
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.op.to_string(),
+                r.shape.clone(),
+                format!("{:.2}", r.seed_naive.gflops),
+                format!("{:.2}", r.blocked.gflops),
+                format!("{:.2}", r.blocked_parallel.gflops),
+                format!("{:.2}x", r.speedup_blocked()),
+                format!("{:.2}x", r.speedup_parallel()),
+            ]
+        })
+        .collect();
+    opt_bench::print_table(
+        &[
+            "op",
+            "shape",
+            "naive GF/s",
+            "blocked GF/s",
+            "parallel GF/s",
+            "blocked x",
+            "parallel x",
+        ],
+        &rows,
+    );
+
+    write_json(&out_path, mode, par_threads, &results);
+    println!("wrote {out_path}");
+
+    // Regression gate (CI): blocked must never fall below seed-naive.
+    let mut regressed = false;
+    for r in &results {
+        if r.speedup_blocked() < 0.90 {
+            eprintln!(
+                "REGRESSION: {} {} blocked is {:.2}x the naive kernel (< 0.90x)",
+                r.op,
+                r.shape,
+                r.speedup_blocked()
+            );
+            regressed = true;
+        }
+    }
+    if regressed {
+        std::process::exit(1);
+    }
+}

@@ -79,13 +79,20 @@ impl<C: Compressor + Persist> Persist for ErrorFeedback<C> {
 
 impl<C: Compressor> Compressor for ErrorFeedback<C> {
     fn compress(&mut self, grad: &Matrix) -> Compressed {
-        let corrected = match &self.residual {
-            Some(r) if r.shape() == grad.shape() => grad.add(r),
+        // Fold the gradient into the retired residual buffer in place
+        // (IEEE addition commutes, so `r + g` is bit-identical to the seed
+        // code's `g + r`) instead of allocating a corrected copy.
+        let mut corrected = match self.residual.take() {
+            Some(mut r) if r.shape() == grad.shape() => {
+                r.add_assign(grad);
+                r
+            }
             _ => grad.clone(),
         };
         let payload = self.inner.compress(&corrected);
         let approx = payload.decompress();
-        self.residual = Some(corrected.sub(&approx));
+        corrected.sub_assign(&approx);
+        self.residual = Some(corrected);
         payload
     }
 

@@ -82,14 +82,22 @@ impl<C: Compressor> LazyErrorPropagator<C> {
     ///
     /// Returns the wire payload and the post-call error statistics.
     pub fn process(&mut self, grad: &Matrix, compress: bool) -> (Compressed, LinkErrorStats) {
-        let corrected = match (&self.error, self.lep_enabled) {
-            (Some(e), true) if e.shape() == grad.shape() => grad.add(e),
+        // Fold the gradient into the retired error buffer in place (IEEE
+        // addition commutes, so `e + g` is bit-identical to the seed
+        // code's `g + e`) instead of allocating a corrected copy.
+        let corrected = match (self.error.take(), self.lep_enabled) {
+            (Some(mut e), true) if e.shape() == grad.shape() => {
+                e.add_assign(grad);
+                e
+            }
             _ => grad.clone(),
         };
         let (payload, new_error) = if compress {
             let payload = self.inner.compress(&corrected);
             let approx = payload.decompress();
-            (payload, Some(corrected.sub(&approx)))
+            let mut residual = corrected;
+            residual.sub_assign(&approx);
+            (payload, Some(residual))
         } else {
             (Compressed::Dense { matrix: corrected }, None)
         };

@@ -109,14 +109,22 @@ impl Compressor for PowerSgd {
     fn compress(&mut self, grad: &Matrix) -> Compressed {
         let (n, m) = grad.shape();
         let r = self.effective_rank(n, m);
-        let q_start = match &self.q_prev {
-            Some(q) if q.shape() == (m, r) => q.clone(),
-            _ => self.rng.normal_matrix(m, r, 1.0),
+        // Warm start against the previous right factor by reference — no
+        // clone of the `m x r` factor on the hot path.
+        let cold_start;
+        let q_start: &Matrix = match &self.q_prev {
+            Some(q) if q.shape() == (m, r) => q,
+            _ => {
+                cold_start = self.rng.normal_matrix(m, r, 1.0);
+                &cold_start
+            }
         };
         // Single power iteration.
-        let mut p = grad.matmul(&q_start);
+        let mut p = grad.matmul(q_start);
         orthonormalize_columns(&mut p);
-        let q = grad.t_matmul(&p);
+        // Reuse the retired warm-start buffer for the new right factor.
+        let mut q = self.q_prev.take().unwrap_or_default();
+        grad.t_matmul_into(&p, &mut q);
         self.q_prev = Some(q.clone());
         Compressed::LowRank { p, q }
     }

@@ -4,6 +4,29 @@ use crate::{Layer, ParamRef};
 use opt_tensor::{xavier_uniform, Matrix, SeedStream};
 use std::collections::VecDeque;
 
+/// Reused scratch buffers for the per-head GEMMs; every matrix is fully
+/// overwritten before use, so nothing here is model state (checkpoints
+/// ignore it). Eliminates the per-step allocations the seed code made for
+/// head slices, score matrices, and gradient temporaries.
+#[derive(Default)]
+struct AttnScratch {
+    qh: Matrix,
+    kh: Matrix,
+    vh: Matrix,
+    scores: Matrix,
+    ctx_h: Matrix,
+    d_context: Matrix,
+    d_ctx_h: Matrix,
+    d_a: Matrix,
+    d_s: Matrix,
+    d_qh: Matrix,
+    d_kh: Matrix,
+    d_vh: Matrix,
+    /// `hidden x hidden` accumulation scratch for weight-gradient and
+    /// input-gradient GEMMs.
+    acc: Matrix,
+}
+
 /// Per-forward cached tensors needed by the backward pass.
 struct AttnCache {
     x: Matrix,
@@ -35,6 +58,7 @@ pub struct MultiHeadAttention {
     grad_wv: Matrix,
     grad_wo: Matrix,
     cache: VecDeque<AttnCache>,
+    scratch: AttnScratch,
 }
 
 impl std::fmt::Debug for MultiHeadAttention {
@@ -71,6 +95,7 @@ impl MultiHeadAttention {
             grad_wv: Matrix::zeros(hidden, hidden),
             grad_wo: Matrix::zeros(hidden, hidden),
             cache: VecDeque::new(),
+            scratch: AttnScratch::default(),
         }
     }
 
@@ -124,22 +149,25 @@ impl Layer for MultiHeadAttention {
 
         let mut context = Matrix::zeros(x.rows(), self.hidden);
         let mut attn = Vec::with_capacity(n_seq * self.heads);
+        let sc = &mut self.scratch;
         for s in 0..n_seq {
-            let qs = q.slice_rows(s * l, (s + 1) * l);
-            let ks = k.slice_rows(s * l, (s + 1) * l);
-            let vs = v.slice_rows(s * l, (s + 1) * l);
             for h in 0..self.heads {
-                let qh = qs.slice_cols(h * dk, (h + 1) * dk);
-                let kh = ks.slice_cols(h * dk, (h + 1) * dk);
-                let vh = vs.slice_cols(h * dk, (h + 1) * dk);
-                let scores = qh.matmul_t(&kh).scale(scale);
-                let a = Self::causal_softmax(&scores);
+                let (r0, r1) = (s * l, (s + 1) * l);
+                let (c0, c1) = (h * dk, (h + 1) * dk);
+                q.slice_block_into(r0, r1, c0, c1, &mut sc.qh);
+                k.slice_block_into(r0, r1, c0, c1, &mut sc.kh);
+                v.slice_block_into(r0, r1, c0, c1, &mut sc.vh);
+                sc.qh.matmul_t_into(&sc.kh, &mut sc.scores);
+                sc.scores.scale_assign(scale);
+                // The softmax output is cached for backward, so it is the
+                // one per-head tensor that still allocates.
+                let a = Self::causal_softmax(&sc.scores);
                 // ctx_h is L x dk; paste it into the context block for
                 // this sequence.
-                let ctx_h = a.matmul(&vh);
-                for (i, row) in (s * l..(s + 1) * l).enumerate() {
+                a.matmul_into(&sc.vh, &mut sc.ctx_h);
+                for (i, row) in (r0..r1).enumerate() {
                     let dst = context.row_mut(row);
-                    dst[h * dk..(h + 1) * dk].copy_from_slice(ctx_h.row(i));
+                    dst[c0..c1].copy_from_slice(sc.ctx_h.row(i));
                 }
                 attn.push(a);
             }
@@ -167,60 +195,72 @@ impl Layer for MultiHeadAttention {
         let scale = 1.0 / (dk as f32).sqrt();
 
         // y = context * Wo
-        self.grad_wo.add_assign(&c.context.t_matmul(grad_out));
-        let d_context = grad_out.matmul_t(&self.wo);
+        let sc = &mut self.scratch;
+        c.context.t_matmul_into(grad_out, &mut sc.acc);
+        self.grad_wo.add_assign(&sc.acc);
+        grad_out.matmul_t_into(&self.wo, &mut sc.d_context);
 
         let mut dq = Matrix::zeros(grad_out.rows(), self.hidden);
         let mut dk_mat = Matrix::zeros(grad_out.rows(), self.hidden);
         let mut dv = Matrix::zeros(grad_out.rows(), self.hidden);
 
         for s in 0..n_seq {
-            let qs = c.q.slice_rows(s * l, (s + 1) * l);
-            let ks = c.k.slice_rows(s * l, (s + 1) * l);
-            let vs = c.v.slice_rows(s * l, (s + 1) * l);
-            let d_ctx_s = d_context.slice_rows(s * l, (s + 1) * l);
             for h in 0..self.heads {
                 let a = &c.attn[s * self.heads + h]; // L x L
-                let qh = qs.slice_cols(h * dk, (h + 1) * dk);
-                let kh = ks.slice_cols(h * dk, (h + 1) * dk);
-                let vh = vs.slice_cols(h * dk, (h + 1) * dk);
-                let d_ctx_h = d_ctx_s.slice_cols(h * dk, (h + 1) * dk); // L x dk
+                let (r0, r1) = (s * l, (s + 1) * l);
+                let (c0, c1) = (h * dk, (h + 1) * dk);
+                c.q.slice_block_into(r0, r1, c0, c1, &mut sc.qh);
+                c.k.slice_block_into(r0, r1, c0, c1, &mut sc.kh);
+                c.v.slice_block_into(r0, r1, c0, c1, &mut sc.vh);
+                sc.d_context
+                    .slice_block_into(r0, r1, c0, c1, &mut sc.d_ctx_h);
 
                 // ctx_h = A vh
-                let d_a = d_ctx_h.matmul_t(&vh); // L x L
-                let d_vh = a.t_matmul(&d_ctx_h); // L x dk
+                sc.d_ctx_h.matmul_t_into(&sc.vh, &mut sc.d_a); // L x L
+                a.t_matmul_into(&sc.d_ctx_h, &mut sc.d_vh); // L x dk
 
                 // Softmax backward per row: dS = A ⊙ (dA - rowsum(dA ⊙ A)).
-                let mut d_s = Matrix::zeros(l, l);
+                if sc.d_s.shape() == (l, l) {
+                    sc.d_s.fill_zero();
+                } else {
+                    sc.d_s = Matrix::zeros(l, l);
+                }
                 for i in 0..l {
                     let mut dot = 0.0;
                     for j in 0..=i {
-                        dot += d_a[(i, j)] * a[(i, j)];
+                        dot += sc.d_a[(i, j)] * a[(i, j)];
                     }
                     for j in 0..=i {
-                        d_s[(i, j)] = a[(i, j)] * (d_a[(i, j)] - dot);
+                        sc.d_s[(i, j)] = a[(i, j)] * (sc.d_a[(i, j)] - dot);
                     }
                 }
                 // scores = qh kh^T * scale
-                let d_qh = d_s.matmul(&kh).scale(scale);
-                let d_kh = d_s.t_matmul(&qh).scale(scale);
+                sc.d_s.matmul_into(&sc.kh, &mut sc.d_qh);
+                sc.d_qh.scale_assign(scale);
+                sc.d_s.t_matmul_into(&sc.qh, &mut sc.d_kh);
+                sc.d_kh.scale_assign(scale);
 
                 // Scatter head gradients back into full-width matrices.
-                for (i, row) in (s * l..(s + 1) * l).enumerate() {
-                    dq.row_mut(row)[h * dk..(h + 1) * dk].copy_from_slice(d_qh.row(i));
-                    dk_mat.row_mut(row)[h * dk..(h + 1) * dk].copy_from_slice(d_kh.row(i));
-                    dv.row_mut(row)[h * dk..(h + 1) * dk].copy_from_slice(d_vh.row(i));
+                for (i, row) in (r0..r1).enumerate() {
+                    dq.row_mut(row)[c0..c1].copy_from_slice(sc.d_qh.row(i));
+                    dk_mat.row_mut(row)[c0..c1].copy_from_slice(sc.d_kh.row(i));
+                    dv.row_mut(row)[c0..c1].copy_from_slice(sc.d_vh.row(i));
                 }
             }
         }
 
         // q = x Wq etc.
-        self.grad_wq.add_assign(&c.x.t_matmul(&dq));
-        self.grad_wk.add_assign(&c.x.t_matmul(&dk_mat));
-        self.grad_wv.add_assign(&c.x.t_matmul(&dv));
+        c.x.t_matmul_into(&dq, &mut sc.acc);
+        self.grad_wq.add_assign(&sc.acc);
+        c.x.t_matmul_into(&dk_mat, &mut sc.acc);
+        self.grad_wk.add_assign(&sc.acc);
+        c.x.t_matmul_into(&dv, &mut sc.acc);
+        self.grad_wv.add_assign(&sc.acc);
         let mut dx = dq.matmul_t(&self.wq);
-        dx.add_assign(&dk_mat.matmul_t(&self.wk));
-        dx.add_assign(&dv.matmul_t(&self.wv));
+        dk_mat.matmul_t_into(&self.wk, &mut sc.acc);
+        dx.add_assign(&sc.acc);
+        dv.matmul_t_into(&self.wv, &mut sc.acc);
+        dx.add_assign(&sc.acc);
         dx
     }
 

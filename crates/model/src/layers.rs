@@ -14,6 +14,8 @@ pub struct Linear {
     grad_w: Matrix,
     grad_b: Matrix,
     cache: VecDeque<Matrix>,
+    /// Weight-gradient GEMM scratch (fully overwritten each backward).
+    scratch_gw: Matrix,
 }
 
 impl Linear {
@@ -25,6 +27,7 @@ impl Linear {
             grad_w: Matrix::zeros(in_dim, out_dim),
             grad_b: Matrix::zeros(1, out_dim),
             cache: VecDeque::new(),
+            scratch_gw: Matrix::default(),
         }
     }
 
@@ -46,7 +49,8 @@ impl Linear {
 
 impl Layer for Linear {
     fn forward(&mut self, x: &Matrix) -> Matrix {
-        let y = x.matmul(&self.w).add_row_broadcast(&self.b);
+        let mut y = x.matmul(&self.w);
+        y.add_row_broadcast_assign(&self.b);
         self.cache.push_back(x.clone());
         y
     }
@@ -56,7 +60,8 @@ impl Layer for Linear {
             .cache
             .pop_front()
             .expect("Linear::backward without forward");
-        self.grad_w.add_assign(&x.t_matmul(grad_out));
+        x.t_matmul_into(grad_out, &mut self.scratch_gw);
+        self.grad_w.add_assign(&self.scratch_gw);
         self.grad_b.add_assign(&grad_out.col_sums());
         grad_out.matmul_t(&self.w)
     }

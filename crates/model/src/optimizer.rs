@@ -63,8 +63,14 @@ impl Optimizer for Sgd {
                     .velocity
                     .entry(slot)
                     .or_insert_with(|| Matrix::zeros(p.grad.rows(), p.grad.cols()));
-                v.scale_assign(self.momentum);
-                v.add_assign(p.grad);
+                // Fused `v = mu*v + g` (one pass instead of scale + add;
+                // same per-element operations, so bit-identical). The zip
+                // would silently truncate on a shape drift, hence the
+                // assert.
+                debug_assert_eq!(v.shape(), p.grad.shape(), "stale velocity shape");
+                for (vi, &g) in v.as_mut_slice().iter_mut().zip(p.grad.as_slice()) {
+                    *vi = *vi * self.momentum + g;
+                }
                 p.value.axpy(-self.lr, v);
             } else {
                 p.value.axpy(-self.lr, p.grad);
@@ -184,15 +190,22 @@ impl Optimizer for Adam {
                 .v
                 .entry(slot)
                 .or_insert_with(|| Matrix::zeros(p.grad.rows(), p.grad.cols()));
-            for i in 0..p.grad.len() {
-                let g = p.grad.as_slice()[i];
-                let mi = self.beta1 * m.as_slice()[i] + (1.0 - self.beta1) * g;
-                let vi = self.beta2 * v.as_slice()[i] + (1.0 - self.beta2) * g * g;
-                m.as_mut_slice()[i] = mi;
-                v.as_mut_slice()[i] = vi;
-                let mhat = mi / bc1;
-                let vhat = vi / bc2;
-                p.value.as_mut_slice()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            // One fused zipped pass (no per-element bounds checks); the
+            // per-element arithmetic is unchanged, so updates stay
+            // bit-identical to the seed implementation. The zips would
+            // silently truncate on a shape drift, hence the asserts.
+            debug_assert_eq!(m.shape(), p.grad.shape(), "stale Adam m shape");
+            debug_assert_eq!(v.shape(), p.grad.shape(), "stale Adam v shape");
+            let moments = m.as_mut_slice().iter_mut().zip(v.as_mut_slice());
+            let grads = p.value.as_mut_slice().iter_mut().zip(p.grad.as_slice());
+            for ((w, &g), (mi, vi)) in grads.zip(moments) {
+                let m_new = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                let v_new = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                *mi = m_new;
+                *vi = v_new;
+                let mhat = m_new / bc1;
+                let vhat = v_new / bc2;
+                *w -= self.lr * mhat / (vhat.sqrt() + self.eps);
             }
         }
     }

@@ -168,8 +168,14 @@ impl Stage {
     /// [`Stage::forward_tokens`]).
     pub fn forward_hidden(&mut self, x: &Matrix) -> Matrix {
         assert!(self.index > 0, "use forward_tokens on the first stage");
-        let mut h = x.clone();
-        for b in &mut self.blocks {
+        // The first block consumes `x` by reference, so the received
+        // activation is never copied.
+        let mut blocks = self.blocks.iter_mut();
+        let mut h = match blocks.next() {
+            Some(b) => b.forward(x),
+            None => x.clone(),
+        };
+        for b in blocks {
             h = b.forward(&h);
         }
         if self.has_head() {
@@ -188,17 +194,28 @@ impl Stage {
     /// stage. Returns the gradient to send to the previous stage, or
     /// `None` on the first stage.
     pub fn backward(&mut self, grad: &Matrix) -> Option<Matrix> {
-        let mut g = grad.clone();
+        // Feed `grad` by reference to the first consumer instead of
+        // cloning it up front.
+        let mut g;
         if self.has_head() {
             g = if self.n_stages == 1 {
-                self.embedding.as_mut().unwrap().backward_project(&g)
+                self.embedding.as_mut().unwrap().backward_project(grad)
             } else {
-                self.head.as_mut().unwrap().backward_project(&g)
+                self.head.as_mut().unwrap().backward_project(grad)
             };
             g = self.final_ln.as_mut().unwrap().backward(&g);
-        }
-        for b in self.blocks.iter_mut().rev() {
-            g = b.backward(&g);
+            for b in self.blocks.iter_mut().rev() {
+                g = b.backward(&g);
+            }
+        } else {
+            let mut blocks = self.blocks.iter_mut().rev();
+            g = match blocks.next() {
+                Some(b) => b.backward(grad),
+                None => grad.clone(),
+            };
+            for b in blocks {
+                g = b.backward(&g);
+            }
         }
         if let Some(emb) = &mut self.embedding {
             emb.backward_lookup(&g);

@@ -7,6 +7,15 @@
 //! gradient compression (Gram–Schmidt orthogonalization, products against
 //! tall/skinny factors), and deterministic random initialization.
 //!
+//! The matrix products run on a cache-blocked, register-tiled GEMM layer
+//! (see `gemm.rs`) that fans large outputs across a small deterministic
+//! worker pool (`OPT_KERNEL_THREADS`, see [`kernel_threads`]). Results
+//! are **bit-identical** to the retained seed-naive reference kernels
+//! ([`naive`]) at any thread count, so training determinism — including
+//! checkpoint/restore bit-exactness — survives the parallelism.
+//! Allocation-free `*_into` variants ([`Matrix::matmul_into`] and
+//! friends) back the model and compressor hot paths.
+//!
 //! # Example
 //!
 //! ```
@@ -18,15 +27,22 @@
 //! assert_eq!(c, a);
 //! ```
 
+mod gemm;
 mod init;
 mod linalg;
 mod matrix;
+pub mod naive;
 mod ops;
 mod persist;
+mod pool;
 mod stats;
 
 pub use init::{xavier_uniform, SeedStream};
 pub use linalg::orthonormalize_columns;
 pub use matrix::{Matrix, ShapeError};
 pub use persist::{Persist, PersistError, Reader, Writer};
+pub use pool::{
+    kernel_threads, parallel_flop_threshold, set_kernel_threads, set_parallel_flop_threshold,
+    MAX_KERNEL_THREADS,
+};
 pub use stats::{cosine_similarity, frobenius_norm, mean, relative_error};

@@ -26,64 +26,88 @@ use crate::Matrix;
 pub fn orthonormalize_columns(m: &mut Matrix) {
     let (rows, cols) = m.shape();
     const EPS: f32 = 1e-5;
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    // PowerSGD factors are tall and skinny (`rows >> cols`), so walking a
+    // column of the row-major input strides by `cols` on every element.
+    // Work on a row-major *transposed panel* instead: panel row `c` holds
+    // column `c` contiguously, turning every dot/AXPY below into a
+    // straight-line pass the compiler vectorizes. The floating-point
+    // operation order is unchanged (ascending `r`, one accumulator), so
+    // results are bit-identical to the seed-naive kernel
+    // ([`crate::naive::orthonormalize_columns`]).
+    let mut panel = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        for (c, &v) in m.row(r).iter().enumerate() {
+            panel[c * rows + r] = v;
+        }
+    }
+
+    /// `sum_r a[r] * b[r]` with a single ascending accumulator.
+    fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = 0.0;
+        for (&x, &y) in a.iter().zip(b) {
+            acc += x * y;
+        }
+        acc
+    }
+
     for c in 0..cols {
+        // `split_at_mut` gives the already-final columns `0..c` immutably
+        // alongside the in-progress column `c`.
+        let (done, rest) = panel.split_at_mut(c * rows);
+        let cur = &mut rest[..rows];
         // Subtract projections onto previous (already orthonormal) columns.
         // Two passes ("twice is enough") keep the result orthogonal even
         // when a column is nearly in the span of its predecessors.
         for _pass in 0..2 {
             for prev in 0..c {
-                let mut dot = 0.0;
-                for r in 0..rows {
-                    dot += m[(r, c)] * m[(r, prev)];
-                }
-                for r in 0..rows {
-                    let sub = dot * m[(r, prev)];
-                    m[(r, c)] -= sub;
+                let prev_col = &done[prev * rows..(prev + 1) * rows];
+                let d = dot(cur, prev_col);
+                for (x, &p) in cur.iter_mut().zip(prev_col) {
+                    *x -= d * p;
                 }
             }
         }
-        let mut norm_sq = 0.0;
-        for r in 0..rows {
-            norm_sq += m[(r, c)] * m[(r, c)];
-        }
-        let norm = norm_sq.sqrt();
+        let norm = dot(cur, cur).sqrt();
         if norm > EPS {
             let inv = 1.0 / norm;
-            for r in 0..rows {
-                m[(r, c)] *= inv;
+            for x in cur.iter_mut() {
+                *x *= inv;
             }
         } else {
             // Degenerate column: replace with a unit basis vector that is
             // not in the span of the previous columns, found by projecting
             // candidate basis vectors and keeping the first with a large
             // residual (always exists when cols <= rows).
-            'candidates: for t in 0..rows.max(1) {
-                let pick = (c + t) % rows.max(1);
-                for r in 0..rows {
-                    m[(r, c)] = if r == pick { 1.0 } else { 0.0 };
+            'candidates: for t in 0..rows {
+                let pick = (c + t) % rows;
+                for (r, x) in cur.iter_mut().enumerate() {
+                    *x = if r == pick { 1.0 } else { 0.0 };
                 }
                 for prev in 0..c {
-                    let mut dot = 0.0;
-                    for r in 0..rows {
-                        dot += m[(r, c)] * m[(r, prev)];
-                    }
-                    for r in 0..rows {
-                        let sub = dot * m[(r, prev)];
-                        m[(r, c)] -= sub;
+                    let prev_col = &done[prev * rows..(prev + 1) * rows];
+                    let d = dot(cur, prev_col);
+                    for (x, &p) in cur.iter_mut().zip(prev_col) {
+                        *x -= d * p;
                     }
                 }
-                let mut ns = 0.0;
-                for r in 0..rows {
-                    ns += m[(r, c)] * m[(r, c)];
-                }
+                let ns = dot(cur, cur);
                 if ns.sqrt() > 0.5 {
                     let inv = 1.0 / ns.sqrt();
-                    for r in 0..rows {
-                        m[(r, c)] *= inv;
+                    for x in cur.iter_mut() {
+                        *x *= inv;
                     }
                     break 'candidates;
                 }
             }
+        }
+    }
+
+    for r in 0..rows {
+        for (c, v) in m.row_mut(r).iter_mut().enumerate() {
+            *v = panel[c * rows + r];
         }
     }
 }

@@ -199,6 +199,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `start > end` or `end > self.rows()`.
+    #[must_use]
     pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
         assert!(start <= end && end <= self.rows, "row slice out of bounds");
         Matrix {
@@ -213,6 +214,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if the column counts differ.
+    #[must_use]
     pub fn vcat(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "vcat requires equal column counts");
         let mut data = Vec::with_capacity(self.data.len() + other.data.len());
@@ -230,6 +232,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `start > end` or `end > self.cols()`.
+    #[must_use]
     pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
         assert!(
             start <= end && end <= self.cols,
@@ -241,6 +244,33 @@ impl Matrix {
             out.row_mut(r).copy_from_slice(src);
         }
         out
+    }
+
+    /// No-allocation variant of [`Matrix::slice_cols`]: copies columns
+    /// `[start, end)` into `out`, reshaping it as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.cols()`.
+    pub fn slice_cols_into(&self, start: usize, end: usize, out: &mut Matrix) {
+        self.slice_block_into(0, self.rows, start, end, out);
+    }
+
+    /// Copies the sub-block of rows `[r0, r1)` x columns `[c0, c1)` into
+    /// `out` (reshaped as needed, buffer reused) — the no-allocation
+    /// workhorse behind per-head attention slicing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either range is out of bounds or reversed.
+    pub fn slice_block_into(&self, r0: usize, r1: usize, c0: usize, c1: usize, out: &mut Matrix) {
+        assert!(r0 <= r1 && r1 <= self.rows, "row slice out of bounds");
+        assert!(c0 <= c1 && c1 <= self.cols, "column slice out of bounds");
+        out.reshape_for_write(r1 - r0, c1 - c0);
+        for r in r0..r1 {
+            let src = &self.data[r * self.cols + c0..r * self.cols + c1];
+            out.row_mut(r - r0).copy_from_slice(src);
+        }
     }
 
     /// Copies `block` into `self` starting at column `start`.
@@ -262,6 +292,7 @@ impl Matrix {
     }
 
     /// Index of the maximum element in each row.
+    #[must_use]
     pub fn argmax_rows(&self) -> Vec<usize> {
         (0..self.rows)
             .map(|r| {
@@ -274,46 +305,63 @@ impl Matrix {
             .collect()
     }
 
-    /// Returns the transpose.
+    /// Returns the transpose (cache-blocked 32x32 tile walk).
+    #[must_use]
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
-            }
-        }
+        crate::gemm::transpose_into(&self.data, self.rows, self.cols, &mut out.data);
         out
+    }
+
+    /// Reshapes `self` to `rows x cols` for a full overwrite, reusing the
+    /// existing allocation whenever it is large enough. Contents are
+    /// unspecified afterwards; every `*_into` kernel overwrites all of
+    /// them.
+    pub(crate) fn reshape_for_write(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Matrix product `self * rhs`.
     ///
-    /// Uses an i-k-j loop order so the inner loop is a contiguous AXPY,
-    /// which the compiler auto-vectorizes.
+    /// Runs the cache-blocked, register-tiled kernel (see [`crate::gemm`]);
+    /// large products are fanned out over the deterministic worker pool.
+    /// Results are bit-identical to the naive reference kernels for finite
+    /// inputs at any thread count.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.rows()`.
+    #[must_use]
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// No-allocation variant of [`Matrix::matmul`]: reshapes `out` to
+    /// `self.rows() x rhs.cols()` (reusing its buffer) and fully
+    /// overwrites it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-            let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        out.reshape_for_write(self.rows, rhs.cols);
+        crate::gemm::gemm_into(
+            crate::gemm::Src::Normal(&self.data),
+            crate::gemm::Src::Normal(&rhs.data),
+            self.rows,
+            rhs.cols,
+            self.cols,
+            &mut out.data,
+        );
     }
 
     /// Matrix product `self^T * rhs` without materializing the transpose.
@@ -321,27 +369,35 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `self.rows() != rhs.rows()`.
+    #[must_use]
     pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        self.t_matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// No-allocation variant of [`Matrix::t_matmul`]: reshapes `out` to
+    /// `self.cols() x rhs.cols()` (reusing its buffer) and fully
+    /// overwrites it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn t_matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, rhs.rows,
             "t_matmul shape mismatch: ({}x{})^T * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for k in 0..self.rows {
-            let arow = &self.data[k * self.cols..(k + 1) * self.cols];
-            let brow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        out.reshape_for_write(self.cols, rhs.cols);
+        crate::gemm::gemm_into(
+            crate::gemm::Src::Transposed(&self.data),
+            crate::gemm::Src::Normal(&rhs.data),
+            self.cols,
+            rhs.cols,
+            self.rows,
+            &mut out.data,
+        );
     }
 
     /// Matrix product `self * rhs^T` without materializing the transpose.
@@ -349,25 +405,35 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.cols()`.
+    #[must_use]
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_t_into(rhs, &mut out);
+        out
+    }
+
+    /// No-allocation variant of [`Matrix::matmul_t`]: reshapes `out` to
+    /// `self.rows() x rhs.rows()` (reusing its buffer) and fully
+    /// overwrites it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_t_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_t shape mismatch: {}x{} * ({}x{})^T",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..rhs.rows {
-                let brow = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
-                let mut acc = 0.0;
-                for (&a, &b) in arow.iter().zip(brow) {
-                    acc += a * b;
-                }
-                out.data[i * rhs.rows + j] = acc;
-            }
-        }
-        out
+        out.reshape_for_write(self.rows, rhs.rows);
+        crate::gemm::gemm_into(
+            crate::gemm::Src::Normal(&self.data),
+            crate::gemm::Src::Transposed(&rhs.data),
+            self.rows,
+            rhs.rows,
+            self.cols,
+            &mut out.data,
+        );
     }
 }
 

@@ -1,0 +1,183 @@
+//! The seed repository's scalar reference kernels.
+//!
+//! These are the original single-threaded, allocate-per-op loop nests that
+//! [`Matrix::matmul`], [`Matrix::t_matmul`], [`Matrix::matmul_t`] and
+//! [`crate::orthonormalize_columns`] shipped with, kept verbatim
+//! (including the dense-path `a == 0.0` skip the optimized kernels drop)
+//! for two purposes:
+//!
+//! * the **equivalence oracle**: `tests/kernel_equivalence.rs` asserts the
+//!   blocked and blocked+parallel kernels are bit-identical to these for
+//!   finite inputs;
+//! * the **benchmark baseline**: `bench_kernels` reports speedups of the
+//!   blocked kernels over exactly this code ("seed-naive" in
+//!   `BENCH_kernels.json`).
+//!
+//! They are not used on any hot path.
+
+use crate::Matrix;
+
+/// Seed-naive `a * b` (i-k-j loop order with a zero-skip branch).
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+#[must_use]
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "naive matmul shape mismatch");
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = &a.as_slice()[i * k..(i + 1) * k];
+        let orow = &mut out.as_mut_slice()[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b.as_slice()[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Seed-naive `a^T * b` (k-outer accumulation with a zero-skip branch).
+///
+/// # Panics
+///
+/// Panics if `a.rows() != b.rows()`.
+#[must_use]
+pub fn t_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "naive t_matmul shape mismatch");
+    let (kdim, m) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    for kk in 0..kdim {
+        let arow = &a.as_slice()[kk * m..(kk + 1) * m];
+        let brow = &b.as_slice()[kk * n..(kk + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out.as_mut_slice()[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Seed-naive `a * b^T` (i-j-k dot products).
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.cols()`.
+#[must_use]
+pub fn matmul_t(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "naive matmul_t shape mismatch");
+    let (m, kdim) = a.shape();
+    let n = b.rows();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = &a.as_slice()[i * kdim..(i + 1) * kdim];
+        for j in 0..n {
+            let brow = &b.as_slice()[j * kdim..(j + 1) * kdim];
+            let mut acc = 0.0;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            out.as_mut_slice()[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// Seed-naive modified Gram–Schmidt over column-strided walks — the exact
+/// code (and therefore the exact floating-point operation order) of the
+/// original `orthonormalize_columns`.
+pub fn orthonormalize_columns(m: &mut Matrix) {
+    let (rows, cols) = m.shape();
+    const EPS: f32 = 1e-5;
+    for c in 0..cols {
+        for _pass in 0..2 {
+            for prev in 0..c {
+                let mut dot = 0.0;
+                for r in 0..rows {
+                    dot += m[(r, c)] * m[(r, prev)];
+                }
+                for r in 0..rows {
+                    let sub = dot * m[(r, prev)];
+                    m[(r, c)] -= sub;
+                }
+            }
+        }
+        let mut norm_sq = 0.0;
+        for r in 0..rows {
+            norm_sq += m[(r, c)] * m[(r, c)];
+        }
+        let norm = norm_sq.sqrt();
+        if norm > EPS {
+            let inv = 1.0 / norm;
+            for r in 0..rows {
+                m[(r, c)] *= inv;
+            }
+        } else {
+            'candidates: for t in 0..rows.max(1) {
+                let pick = (c + t) % rows.max(1);
+                for r in 0..rows {
+                    m[(r, c)] = if r == pick { 1.0 } else { 0.0 };
+                }
+                for prev in 0..c {
+                    let mut dot = 0.0;
+                    for r in 0..rows {
+                        dot += m[(r, c)] * m[(r, prev)];
+                    }
+                    for r in 0..rows {
+                        let sub = dot * m[(r, prev)];
+                        m[(r, c)] -= sub;
+                    }
+                }
+                let mut ns = 0.0;
+                for r in 0..rows {
+                    ns += m[(r, c)] * m[(r, c)];
+                }
+                if ns.sqrt() > 0.5 {
+                    let inv = 1.0 / ns.sqrt();
+                    for r in 0..rows {
+                        m[(r, c)] *= inv;
+                    }
+                    break 'candidates;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_matmul_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        assert_eq!(
+            matmul(&a, &b),
+            Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]])
+        );
+    }
+
+    #[test]
+    fn reference_transpose_variants_agree() {
+        let a = Matrix::from_fn(4, 3, |r, c| (r as f32 - c as f32) * 0.5);
+        let b = Matrix::from_fn(4, 2, |r, c| (r + 2 * c) as f32);
+        assert_eq!(t_matmul(&a, &b), matmul(&a.transpose(), &b));
+        let c = Matrix::from_fn(2, 3, |r, c| (r * c) as f32 + 1.0);
+        let d = Matrix::from_fn(5, 3, |r, c| (r + c) as f32);
+        assert_eq!(matmul_t(&c, &d), matmul(&c, &d.transpose()));
+    }
+}

@@ -8,6 +8,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if shapes differ.
+    #[must_use]
     pub fn add(&self, rhs: &Matrix) -> Matrix {
         self.zip_with(rhs, "add", |a, b| a + b)
     }
@@ -17,6 +18,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if shapes differ.
+    #[must_use]
     pub fn sub(&self, rhs: &Matrix) -> Matrix {
         self.zip_with(rhs, "sub", |a, b| a - b)
     }
@@ -26,6 +28,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if shapes differ.
+    #[must_use]
     pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
         self.zip_with(rhs, "hadamard", |a, b| a * b)
     }
@@ -67,6 +70,7 @@ impl Matrix {
     }
 
     /// Returns `self` scaled by `alpha`.
+    #[must_use]
     pub fn scale(&self, alpha: f32) -> Matrix {
         self.map(|x| x * alpha)
     }
@@ -79,6 +83,7 @@ impl Matrix {
     }
 
     /// Applies `f` to every element, returning a new matrix.
+    #[must_use]
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
         let data = self.as_slice().iter().map(|&x| f(x)).collect();
         Matrix::from_vec(self.rows(), self.cols(), data)
@@ -97,11 +102,13 @@ impl Matrix {
     }
 
     /// Sum of all elements.
+    #[must_use]
     pub fn sum(&self) -> f32 {
         self.as_slice().iter().sum()
     }
 
     /// Mean of all elements; `0.0` for an empty matrix.
+    #[must_use]
     pub fn mean_all(&self) -> f32 {
         if self.is_empty() {
             0.0
@@ -115,6 +122,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if element counts differ.
+    #[must_use]
     pub fn dot(&self, rhs: &Matrix) -> f32 {
         assert_eq!(self.len(), rhs.len(), "dot length mismatch");
         self.as_slice()
@@ -125,21 +133,25 @@ impl Matrix {
     }
 
     /// Squared Frobenius norm.
+    #[must_use]
     pub fn norm_sq(&self) -> f32 {
         self.as_slice().iter().map(|&x| x * x).sum()
     }
 
     /// Frobenius norm.
+    #[must_use]
     pub fn norm(&self) -> f32 {
         self.norm_sq().sqrt()
     }
 
     /// Maximum absolute element value; `0.0` for an empty matrix.
+    #[must_use]
     pub fn max_abs(&self) -> f32 {
         self.as_slice().iter().fold(0.0_f32, |m, &x| m.max(x.abs()))
     }
 
     /// Per-row sums as an `rows x 1` matrix.
+    #[must_use]
     pub fn row_sums(&self) -> Matrix {
         let mut out = Matrix::zeros(self.rows(), 1);
         for r in 0..self.rows() {
@@ -149,6 +161,7 @@ impl Matrix {
     }
 
     /// Per-column sums as a `1 x cols` matrix.
+    #[must_use]
     pub fn col_sums(&self) -> Matrix {
         let mut out = Matrix::zeros(1, self.cols());
         for r in 0..self.rows() {
@@ -164,15 +177,27 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `bias` is not `1 x self.cols()`.
+    #[must_use]
     pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
         assert_eq!(bias.shape(), (1, self.cols()), "bias must be 1 x cols");
         let mut out = self.clone();
-        for r in 0..out.rows() {
-            for (a, &b) in out.row_mut(r).iter_mut().zip(bias.row(0)) {
+        out.add_row_broadcast_assign(bias);
+        out
+    }
+
+    /// In-place variant of [`Matrix::add_row_broadcast`]: adds a
+    /// `1 x cols` bias row to every row of `self` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 x self.cols()`.
+    pub fn add_row_broadcast_assign(&mut self, bias: &Matrix) {
+        assert_eq!(bias.shape(), (1, self.cols()), "bias must be 1 x cols");
+        for r in 0..self.rows() {
+            for (a, &b) in self.row_mut(r).iter_mut().zip(bias.row(0)) {
                 *a += b;
             }
         }
-        out
     }
 
     fn zip_with(&self, rhs: &Matrix, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Matrix {

@@ -196,6 +196,55 @@ fn snapshot_refuses_to_restore_into_a_different_run() {
 }
 
 #[test]
+fn resume_is_bit_exact_across_kernel_thread_counts() {
+    // The kernel pool's determinism contract, end to end: training with a
+    // 4-thread kernel pool and restoring the snapshot under a 1-thread
+    // pool must reproduce the straight run's losses bit for bit. The
+    // parallel-FLOP threshold is forced to zero so even the tiny test
+    // model's GEMMs actually fan out to the pool.
+    use optimus::tensor::{set_kernel_threads, set_parallel_flop_threshold};
+    const TOTAL: u64 = 8;
+    const SNAP_AT: u64 = 4;
+    // Sibling tests in this binary never read these process-global knobs,
+    // and the determinism contract means the knobs can only change speed —
+    // still, restore the threshold when done so concurrent tests don't
+    // fan tiny GEMMs out to threads for the rest of the run.
+    let old_threshold = optimus::tensor::parallel_flop_threshold();
+    set_parallel_flop_threshold(0);
+
+    // Straight single-threaded run as the reference trajectory.
+    set_kernel_threads(1);
+    let mut straight = Trainer::launch(full_stack_cfg(TOTAL));
+    let straight_report = straight.train();
+    straight.shutdown();
+
+    // Train the first half under a 4-thread kernel pool, snapshot, kill.
+    set_kernel_threads(4);
+    let mut victim = Trainer::launch(full_stack_cfg(TOTAL));
+    victim.train_more(SNAP_AT);
+    let snap = victim.snapshot();
+    victim.kill();
+
+    // Restore and finish under a single-threaded pool.
+    set_kernel_threads(1);
+    let mut resumed = Trainer::restore(full_stack_cfg(TOTAL), &snap).expect("snapshot restores");
+    resumed.train_more(TOTAL - SNAP_AT);
+    let resumed_report = resumed.report();
+    resumed.shutdown();
+
+    for iter in SNAP_AT as usize..TOTAL as usize {
+        let a = straight_report.train_loss[iter];
+        let b = resumed_report.train_loss[iter];
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "iteration {iter}: 1-thread straight {a} != 4->1-thread resumed {b}"
+        );
+    }
+    set_parallel_flop_threshold(old_threshold);
+}
+
+#[test]
 fn resume_extends_beyond_original_horizon() {
     // Restoring into a config with more iterations is legitimate: train 3,
     // snapshot, and resume to 6 — Trainer::train picks up at the snapshot.
