@@ -52,6 +52,23 @@ pub enum CkptError {
         /// Data-parallel rank of the missing section.
         dp: usize,
     },
+    /// A shard-store operation (rendezvous or fetch) failed. Carries the
+    /// backend's description; the store lives in `opt-net` and this crate
+    /// cannot name its error type without inverting the dependency DAG.
+    Store {
+        /// What the store reported.
+        what: String,
+    },
+    /// A fetched shard decodes cleanly but disagrees with the manifest
+    /// entry that named it (wrong rank identity or wrong iteration).
+    ShardMismatch {
+        /// Pipeline stage of the offending shard.
+        stage: usize,
+        /// Data-parallel rank of the offending shard.
+        dp: usize,
+        /// Description of the disagreement.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for CkptError {
@@ -87,6 +104,10 @@ impl fmt::Display for CkptError {
                     f,
                     "snapshot is missing the section for stage {stage}, dp rank {dp}"
                 )
+            }
+            CkptError::Store { what } => write!(f, "shard store error: {what}"),
+            CkptError::ShardMismatch { stage, dp, what } => {
+                write!(f, "shard for stage {stage}, dp rank {dp}: {what}")
             }
         }
     }

@@ -12,23 +12,32 @@
 //! > restore, train `N - k` — the two runs must produce **identical**
 //! > per-iteration losses and identical post-restore traffic-ledger deltas.
 //!
-//! Three pieces:
+//! Four pieces:
 //!
-//! * [`Snapshot`] — the versioned on-disk format: a header
+//! * [`Snapshot`] — the versioned monolithic on-disk format: a header
 //!   ([`SnapshotMeta`]: world shape, completed iterations, config
 //!   fingerprint) plus one [`RankSection`] per `(stage, dp)` worker, all
 //!   encoded with the byte codec from `opt_tensor::{Persist, Writer,
 //!   Reader}` and guarded by a length header and FNV-1a checksum. A
 //!   truncated or bit-flipped file is rejected at load, never half-applied.
-//! * [`CkptError`] — why a snapshot was rejected.
+//! * [`Shard`] + [`ShardManifest`] — the same state split per rank for
+//!   **cross-host elastic restore**: each worker's state in its own
+//!   checksummed shard file, named by a small versioned manifest, so a
+//!   replacement worker on a different host can rendezvous on the
+//!   manifest, fetch only its own shard, validate it, and apply it.
+//!   Conversion to/from the monolithic format
+//!   ([`Snapshot::to_shards`]/[`Snapshot::from_shards`]) is lossless.
+//! * [`CkptError`] — why a snapshot, manifest, or shard was rejected.
 //! * [`FaultPlan`] — a scripted failure (kill rank *r* after iteration
 //!   *k*, snapshot every *n*) interpreted by both the numerical trainer
 //!   (`optimus_cc::run_with_faults`) and the event simulator
 //!   (`opt_sim::simulate_with_faults`).
 //!
 //! The save/load drivers live in `optimus-cc` (`Trainer::save_snapshot`,
-//! `Trainer::restore_from_file`), which owns the worker protocol; this
-//! crate owns the format and the failure vocabulary.
+//! `Trainer::restore_from_file`, `Trainer::save_sharded`,
+//! `Trainer::restore_sharded`), which owns the worker protocol; the shard
+//! store abstraction lives in `opt-net`; this crate owns the formats and
+//! the failure vocabulary.
 //!
 //! # Example
 //!
@@ -51,8 +60,13 @@
 
 mod error;
 mod fault;
+mod shard;
 mod snapshot;
 
 pub use error::CkptError;
 pub use fault::FaultPlan;
+pub use shard::{
+    shard_file_name, Shard, ShardEntry, ShardManifest, MANIFEST_FILE, MANIFEST_MAGIC,
+    SHARD_FORMAT_VERSION, SHARD_MAGIC,
+};
 pub use snapshot::{fnv1a64, RankSection, Snapshot, SnapshotMeta, FORMAT_VERSION, MAGIC};

@@ -23,6 +23,141 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Fixed prefix every framed checkpoint file starts with: magic (8) +
+/// format version (u32 LE) + body length (u64 LE).
+pub(crate) const HEADER_LEN: usize = 20;
+
+/// Wraps `body` in the shared frame: header, body, FNV-1a checksum.
+pub(crate) fn frame(magic: &[u8; 8], version: u32, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len() + 8);
+    out.extend_from_slice(magic);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(body);
+    out.extend_from_slice(&fnv1a64(body).to_le_bytes());
+    out
+}
+
+/// Validates the fixed-size prefix (magic and version) and returns the
+/// claimed body length — without touching the body, so callers can reject
+/// garbage before reading further.
+pub(crate) fn parse_header(bytes: &[u8], magic: &[u8; 8], version: u32) -> Result<u64, CkptError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(CkptError::Truncated {
+            expected: HEADER_LEN,
+            actual: bytes.len(),
+        });
+    }
+    if &bytes[..8] != magic {
+        return Err(CkptError::BadMagic);
+    }
+    let got = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if got != version {
+        return Err(CkptError::UnsupportedVersion(got));
+    }
+    Ok(u64::from_le_bytes(bytes[12..20].try_into().unwrap()))
+}
+
+/// Validates a full in-memory frame and returns the checksummed body.
+pub(crate) fn unframe<'a>(
+    bytes: &'a [u8],
+    magic: &[u8; 8],
+    version: u32,
+) -> Result<&'a [u8], CkptError> {
+    let body_len64 = parse_header(bytes, magic, version)?;
+    // Checked arithmetic: a corrupt length field must surface as
+    // Truncated, not as an overflow panic or a wrapped-slice panic.
+    let total = usize::try_from(body_len64)
+        .ok()
+        .and_then(|b| HEADER_LEN.checked_add(b))
+        .and_then(|t| t.checked_add(8));
+    let total = match total {
+        Some(t) if t <= bytes.len() => t,
+        _ => {
+            return Err(CkptError::Truncated {
+                expected: total.unwrap_or(usize::MAX),
+                actual: bytes.len(),
+            })
+        }
+    };
+    let body_len = body_len64 as usize;
+    let body = &bytes[HEADER_LEN..HEADER_LEN + body_len];
+    let stored = u64::from_le_bytes(bytes[HEADER_LEN + body_len..total].try_into().unwrap());
+    let computed = fnv1a64(body);
+    if stored != computed {
+        return Err(CkptError::ChecksumMismatch { stored, computed });
+    }
+    Ok(body)
+}
+
+/// Reads a framed file header-first: the magic/version/length prefix is
+/// validated against the real file size *before* the body is read, so an
+/// oversized or garbage file is rejected early without pulling its
+/// contents into memory. Returns the checksum-verified body.
+pub(crate) fn read_framed_file(
+    path: &Path,
+    magic: &[u8; 8],
+    version: u32,
+) -> Result<Vec<u8>, CkptError> {
+    use std::io::Read;
+    let mut file = std::fs::File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut header = [0u8; HEADER_LEN];
+    if file_len < HEADER_LEN as u64 {
+        return Err(CkptError::Truncated {
+            expected: HEADER_LEN,
+            actual: file_len as usize,
+        });
+    }
+    file.read_exact(&mut header)?;
+    let body_len64 = parse_header(&header, magic, version)?;
+    // Checked arithmetic: the claimed length must agree exactly with the
+    // bytes actually on disk (header + body + trailing checksum).
+    let expected = (HEADER_LEN as u64)
+        .checked_add(body_len64)
+        .and_then(|t| t.checked_add(8));
+    match expected {
+        Some(e) if e == file_len => {}
+        _ => {
+            return Err(CkptError::Truncated {
+                expected: expected
+                    .and_then(|e| usize::try_from(e).ok())
+                    .unwrap_or(usize::MAX),
+                actual: file_len as usize,
+            })
+        }
+    }
+    let body_len = usize::try_from(body_len64).map_err(|_| CkptError::Truncated {
+        expected: usize::MAX,
+        actual: file_len as usize,
+    })?;
+    let mut rest = vec![0u8; body_len + 8];
+    file.read_exact(&mut rest)?;
+    let stored = u64::from_le_bytes(rest[body_len..].try_into().unwrap());
+    rest.truncate(body_len);
+    let computed = fnv1a64(&rest);
+    if stored != computed {
+        return Err(CkptError::ChecksumMismatch { stored, computed });
+    }
+    Ok(rest)
+}
+
+/// Writes `bytes` to `path` via a sibling temp file and an atomic rename,
+/// so a crash mid-write can never destroy the previous good file at that
+/// path — the overwrite happens only after the new bytes are fully on
+/// disk.
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), CkptError> {
+    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+    tmp_name.push(".partial");
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, bytes)?;
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    Ok(())
+}
+
 /// Snapshot header: who took it, when (in iterations), and under what
 /// configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -171,57 +306,17 @@ impl Snapshot {
         let mut body = Writer::new();
         self.meta.persist(&mut body);
         self.ranks.persist(&mut body);
-        let body = body.into_bytes();
-
-        let mut out = Vec::with_capacity(MAGIC.len() + 12 + body.len() + 8);
-        out.extend_from_slice(MAGIC);
-        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-        out.extend_from_slice(&(body.len() as u64).to_le_bytes());
-        let checksum = fnv1a64(&body);
-        out.extend_from_slice(&body);
-        out.extend_from_slice(&checksum.to_le_bytes());
-        out
+        frame(MAGIC, FORMAT_VERSION, &body.into_bytes())
     }
 
     /// Parses and validates the on-disk byte format.
     pub fn decode(bytes: &[u8]) -> Result<Self, CkptError> {
-        let header_len = MAGIC.len() + 4 + 8;
-        if bytes.len() < header_len {
-            return Err(CkptError::Truncated {
-                expected: header_len,
-                actual: bytes.len(),
-            });
-        }
-        if &bytes[..MAGIC.len()] != MAGIC {
-            return Err(CkptError::BadMagic);
-        }
-        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-        if version != FORMAT_VERSION {
-            return Err(CkptError::UnsupportedVersion(version));
-        }
-        let body_len64 = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
-        // Checked arithmetic: a corrupt length field must surface as
-        // Truncated, not as an overflow panic or a wrapped-slice panic.
-        let total = usize::try_from(body_len64)
-            .ok()
-            .and_then(|b| header_len.checked_add(b))
-            .and_then(|t| t.checked_add(8));
-        let total = match total {
-            Some(t) if t <= bytes.len() => t,
-            _ => {
-                return Err(CkptError::Truncated {
-                    expected: total.unwrap_or(usize::MAX),
-                    actual: bytes.len(),
-                })
-            }
-        };
-        let body_len = body_len64 as usize;
-        let body = &bytes[header_len..header_len + body_len];
-        let stored = u64::from_le_bytes(bytes[header_len + body_len..total].try_into().unwrap());
-        let computed = fnv1a64(body);
-        if stored != computed {
-            return Err(CkptError::ChecksumMismatch { stored, computed });
-        }
+        let body = unframe(bytes, MAGIC, FORMAT_VERSION)?;
+        Self::decode_body(body)
+    }
+
+    /// Decodes a checksum-verified snapshot body.
+    fn decode_body(body: &[u8]) -> Result<Self, CkptError> {
         let mut r = Reader::new(body);
         let meta = SnapshotMeta::restore(&mut r)?;
         let ranks = Vec::<RankSection>::restore(&mut r)?;
@@ -236,22 +331,17 @@ impl Snapshot {
     /// snapshot at that path — the overwrite happens only after the new
     /// bytes are fully on disk.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CkptError> {
-        let path = path.as_ref();
-        let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
-        tmp_name.push(".partial");
-        let tmp = path.with_file_name(tmp_name);
-        std::fs::write(&tmp, self.encode())?;
-        if let Err(e) = std::fs::rename(&tmp, path) {
-            let _ = std::fs::remove_file(&tmp);
-            return Err(e.into());
-        }
-        Ok(())
+        atomic_write(path.as_ref(), &self.encode())
     }
 
     /// Reads and validates a snapshot from `path`.
+    ///
+    /// The magic/version/length prefix is validated against the real file
+    /// size *before* the body is read, so a garbage file or a corrupt
+    /// length field is rejected early, without loading the whole file.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, CkptError> {
-        let bytes = std::fs::read(path)?;
-        Self::decode(&bytes)
+        let body = read_framed_file(path.as_ref(), MAGIC, FORMAT_VERSION)?;
+        Self::decode_body(&body)
     }
 }
 
@@ -394,6 +484,53 @@ mod tests {
         let back = Snapshot::load(&path).expect("load");
         let _ = std::fs::remove_file(&path);
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn load_validates_header_before_reading_the_body() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+
+        // Garbage that isn't even a header: rejected as Truncated.
+        let tiny = dir.join(format!("optckpt-tiny-{pid}.snap"));
+        std::fs::write(&tiny, b"short").expect("write");
+        assert!(matches!(
+            Snapshot::load(&tiny),
+            Err(CkptError::Truncated { .. })
+        ));
+        let _ = std::fs::remove_file(&tiny);
+
+        // A huge length field is rejected from the 20-byte prefix alone —
+        // the (absent) multi-terabyte body is never read.
+        let mut bytes = sample().encode();
+        bytes[12..20].copy_from_slice(&u64::MAX.to_le_bytes());
+        let huge = dir.join(format!("optckpt-huge-{pid}.snap"));
+        std::fs::write(&huge, &bytes).expect("write");
+        assert!(matches!(
+            Snapshot::load(&huge),
+            Err(CkptError::Truncated { .. })
+        ));
+        let _ = std::fs::remove_file(&huge);
+
+        // An oversized file (trailing junk after the checksum) is rejected:
+        // the header's length claim must match the file exactly.
+        let mut padded = sample().encode();
+        padded.extend_from_slice(&[0u8; 64]);
+        let fat = dir.join(format!("optckpt-fat-{pid}.snap"));
+        std::fs::write(&fat, &padded).expect("write");
+        assert!(matches!(
+            Snapshot::load(&fat),
+            Err(CkptError::Truncated { .. })
+        ));
+        let _ = std::fs::remove_file(&fat);
+
+        // Wrong magic and stale version are caught from the prefix too.
+        let mut foreign = sample().encode();
+        foreign[0] = b'Z';
+        let bad = dir.join(format!("optckpt-magic-{pid}.snap"));
+        std::fs::write(&bad, &foreign).expect("write");
+        assert!(matches!(Snapshot::load(&bad), Err(CkptError::BadMagic)));
+        let _ = std::fs::remove_file(&bad);
     }
 
     #[test]

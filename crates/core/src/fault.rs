@@ -1,8 +1,11 @@
 //! Fault-injection harness: scripted worker failures with elastic restart
-//! from the newest snapshot.
+//! from the newest snapshot — held by the coordinator (monolithic) or
+//! fetched per rank from a shard store (the cross-host simulation).
 
 use crate::{TrainReport, Trainer, TrainerConfig};
 use opt_ckpt::{CkptError, FaultPlan, Snapshot};
+use opt_net::ShardStore;
+use std::sync::Arc;
 
 /// What a faulted run went through, alongside its final metrics.
 #[derive(Debug, Clone)]
@@ -48,6 +51,57 @@ pub struct FaultOutcome {
 /// assert_eq!(outcome.lost_iters, 2); // killed at 10, snapshot at 8
 /// ```
 pub fn run_with_faults(cfg: &TrainerConfig, plan: &FaultPlan) -> Result<FaultOutcome, CkptError> {
+    run_with_faults_impl(cfg, plan, None)
+}
+
+/// [`run_with_faults`], but checkpointing through a [`ShardStore`]: every
+/// snapshot is taken as per-rank shards published by the workers
+/// themselves ([`Trainer::save_sharded`]), and after the scripted failure
+/// the killed rank — like every other member of this in-process world —
+/// is relaunched as a **fresh worker that self-restores from the shard
+/// store** ([`Trainer::restore_sharded`]): it rendezvouses on the
+/// manifest and fetches only its own shard, exactly what a replacement
+/// worker on a different host would do. No coordinator-held state
+/// survives the failure.
+///
+/// # Example
+///
+/// ```no_run
+/// use opt_ckpt::FaultPlan;
+/// use opt_net::{MemShardStore, ShardStore};
+/// use optimus_cc::{run_with_faults_sharded, QualityConfig, TrainerConfig};
+/// use std::sync::Arc;
+///
+/// let cfg = TrainerConfig::tiny_test(QualityConfig::cb_fe_sc(), 12);
+/// let store: Arc<dyn ShardStore> = Arc::new(MemShardStore::new());
+/// let outcome = run_with_faults_sharded(&cfg, &FaultPlan::new(1, 10, 4), &store).unwrap();
+/// assert_eq!(outcome.restarts, 1);
+/// assert_eq!(outcome.lost_iters, 2); // killed at 10, shards published at 8
+/// ```
+pub fn run_with_faults_sharded(
+    cfg: &TrainerConfig,
+    plan: &FaultPlan,
+    store: &Arc<dyn ShardStore>,
+) -> Result<FaultOutcome, CkptError> {
+    run_with_faults_impl(cfg, plan, Some(store))
+}
+
+/// The newest checkpoint a faulted run can restart from.
+enum Newest {
+    /// No snapshot taken yet — a failure restarts from scratch.
+    None,
+    /// Coordinator-held monolithic snapshot.
+    Monolithic(Box<Snapshot>),
+    /// Shards live in the store; only the checkpoint iteration is known
+    /// to the coordinator.
+    Sharded(u64),
+}
+
+fn run_with_faults_impl(
+    cfg: &TrainerConfig,
+    plan: &FaultPlan,
+    store: Option<&Arc<dyn ShardStore>>,
+) -> Result<FaultOutcome, CkptError> {
     assert!(
         plan.kill_rank < cfg.pp * cfg.dp,
         "kill_rank {} outside the {}x{} world",
@@ -57,7 +111,7 @@ pub fn run_with_faults(cfg: &TrainerConfig, plan: &FaultPlan) -> Result<FaultOut
     );
     let total = cfg.iters;
     let mut trainer = Trainer::launch(cfg.clone());
-    let mut newest: Option<Snapshot> = None;
+    let mut newest = Newest::None;
     let mut snapshots_taken = 0;
     let mut restarts = 0;
     let mut lost_iters = 0;
@@ -69,7 +123,10 @@ pub fn run_with_faults(cfg: &TrainerConfig, plan: &FaultPlan) -> Result<FaultOut
         trainer.train_more(1);
         completed += 1;
         if plan.snapshot_due(completed) && completed < total {
-            newest = Some(trainer.snapshot());
+            newest = match store {
+                Some(store) => Newest::Sharded(trainer.save_sharded(store)?.meta.iter),
+                None => Newest::Monolithic(Box::new(trainer.snapshot())),
+            };
             snapshots_taken += 1;
         }
         if !failed && completed == plan.kill_at_iter {
@@ -77,13 +134,20 @@ pub fn run_with_faults(cfg: &TrainerConfig, plan: &FaultPlan) -> Result<FaultOut
             restarts += 1;
             trainer.kill();
             match &newest {
-                Some(snap) => {
+                Newest::Monolithic(snap) => {
                     lost_iters += completed - snap.meta.iter;
                     resumed_from = Some(snap.meta.iter);
                     trainer = Trainer::restore(cfg.clone(), snap)?;
                     completed = snap.meta.iter;
                 }
-                None => {
+                Newest::Sharded(iter) => {
+                    lost_iters += completed - iter;
+                    resumed_from = Some(*iter);
+                    trainer =
+                        Trainer::restore_sharded(cfg.clone(), store.expect("sharded checkpoint"))?;
+                    completed = *iter;
+                }
+                Newest::None => {
                     // No snapshot yet: restart from scratch.
                     lost_iters += completed;
                     resumed_from = Some(0);
@@ -142,5 +206,38 @@ mod tests {
         assert_eq!(outcome.restarts, 0);
         assert_eq!(outcome.resumed_from, None);
         assert_eq!(outcome.snapshots_taken, 1); // iter 2
+    }
+
+    #[test]
+    fn sharded_fault_run_matches_the_monolithic_one() {
+        use opt_net::MemShardStore;
+
+        let cfg = TrainerConfig::tiny_test(QualityConfig::cb(), 9);
+        let plan = FaultPlan::new(2, 7, 3);
+        let mono = run_with_faults(&cfg, &plan).expect("monolithic run");
+        let store: Arc<dyn ShardStore> = Arc::new(MemShardStore::new());
+        let sharded = run_with_faults_sharded(&cfg, &plan, &store).expect("sharded run");
+
+        assert_eq!(sharded.restarts, mono.restarts);
+        assert_eq!(sharded.snapshots_taken, mono.snapshots_taken);
+        assert_eq!(sharded.lost_iters, mono.lost_iters);
+        assert_eq!(sharded.resumed_from, mono.resumed_from);
+        for (i, (a, b)) in mono
+            .report
+            .train_loss
+            .iter()
+            .zip(&sharded.report.train_loss)
+            .enumerate()
+        {
+            if a.is_nan() {
+                assert!(b.is_nan(), "iteration {i}: {a} vs {b}");
+            } else {
+                assert_eq!(a.to_bits(), b.to_bits(), "iteration {i}: {a} vs {b}");
+            }
+        }
+        // The store ends up holding the manifest plus one shard per rank.
+        let names = store.list().expect("list");
+        assert_eq!(names.len(), 1 + cfg.pp * cfg.dp);
+        assert!(names.iter().any(|n| n == "manifest.ckpt"));
     }
 }

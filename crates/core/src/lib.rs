@@ -34,6 +34,14 @@
 //! traffic — and [`run_with_faults`] scripts whole kill/restart scenarios
 //! from an `opt_ckpt::FaultPlan`.
 //!
+//! Checkpoints also exist in **sharded** form for cross-host elastic
+//! restore: [`Trainer::save_sharded`] has every worker publish its own
+//! checksummed shard to an `opt_net::ShardStore`, and
+//! [`Trainer::restore_sharded`] / [`Trainer::restore_rank`] relaunch
+//! workers that rendezvous on the manifest and fetch *only their own
+//! shard* — no process ever holds the whole world's state.
+//! [`run_with_faults_sharded`] scripts the full cross-host simulation.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -56,7 +64,7 @@ mod worker;
 
 pub use config::{CbMethod, CbQuality, QualityConfig, ScQuality, TrainerConfig};
 pub use dp_compress::DistPowerSgd;
-pub use fault::{run_with_faults, FaultOutcome};
+pub use fault::{run_with_faults, run_with_faults_sharded, FaultOutcome};
 pub use memory::MemoryReport;
 pub use stats::{ErrorStatPoint, TrainReport, ValPoint};
 pub use trainer::Trainer;

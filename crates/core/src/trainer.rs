@@ -5,12 +5,15 @@ use crate::stats::{Collector, TrainReport};
 use crate::worker::{decode_cb_link, decode_dp_state, run_worker, Cmd, WorkerAck, WorkerCtx};
 use crate::MemoryReport;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use opt_ckpt::{CkptError, RankSection, Snapshot, SnapshotMeta};
+use opt_ckpt::{
+    CkptError, RankSection, ShardEntry, ShardManifest, Snapshot, SnapshotMeta, MANIFEST_FILE,
+};
 use opt_data::{TaskScore, ZeroShotTask};
 use opt_model::{Adam, Stage};
-use opt_net::{CollectiveWorld, P2pMesh, TrafficLedger, TrafficSnapshot};
+use opt_net::{CollectiveWorld, P2pMesh, ShardStore, TrafficLedger, TrafficSnapshot};
 use opt_tensor::Persist;
 use std::path::Path;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// A running 3D-parallel training job: `pp x dp` worker threads, each
@@ -26,6 +29,8 @@ pub struct Trainer {
     cmd_txs: Vec<Sender<Cmd>>,
     ack_rx: Receiver<WorkerAck>,
     snap_rx: Receiver<(u64, RankSection)>,
+    shard_rx: Receiver<(u64, Result<ShardEntry, CkptError>)>,
+    restore_rx: Receiver<(u64, usize, usize, Result<u64, CkptError>)>,
     predict_rx: Receiver<(u64, Vec<usize>)>,
     handles: Vec<JoinHandle<()>>,
     collector: Collector,
@@ -64,6 +69,8 @@ impl Trainer {
         let ledger = TrafficLedger::new();
         let (ack_tx, ack_rx) = unbounded();
         let (snap_tx, snap_rx) = unbounded();
+        let (shard_tx, shard_rx) = unbounded();
+        let (restore_tx, restore_rx) = unbounded();
         let (predict_tx, predict_rx) = unbounded();
 
         // Shared groups: one DP group per stage, one 2-way embedding pair
@@ -119,6 +126,8 @@ impl Trainer {
                     cmds: cmd_rx,
                     acks: ack_tx.clone(),
                     snap_out: snap_tx.clone(),
+                    shard_out: shard_tx.clone(),
+                    restore_out: restore_tx.clone(),
                     predict_out: predict_tx.clone(),
                     collector: collector.clone(),
                     ledger: ledger.clone(),
@@ -140,6 +149,8 @@ impl Trainer {
             cmd_txs,
             ack_rx,
             snap_rx,
+            shard_rx,
+            restore_rx,
             predict_rx,
             handles,
             collector,
@@ -362,6 +373,231 @@ impl Trainer {
     ) -> Result<Trainer, CkptError> {
         let snapshot = Snapshot::load(path)?;
         Self::restore(cfg, &snapshot)
+    }
+
+    /// Captures a sharded checkpoint directly into a [`ShardStore`]: every
+    /// worker serializes its own state into a per-rank shard and publishes
+    /// it under its well-known name (behind the same barrier semantics as
+    /// [`Trainer::snapshot`]), then the trainer writes the manifest last —
+    /// so a manifest in the store always names shards that are fully
+    /// published.
+    ///
+    /// Shard names carry the checkpoint iteration, so repeated saves into
+    /// the same store never overwrite the previous checkpoint's blobs: a
+    /// crash or failed publish mid-save leaves the old manifest and every
+    /// shard it names intact and restorable. Once the new manifest
+    /// commits, shards it no longer references are garbage-collected
+    /// (best effort — a leftover blob is harmless, the manifest is
+    /// authoritative).
+    ///
+    /// The coordinator never holds the world's state: it only collects the
+    /// per-rank digests (name, size, checksum) it needs to assemble the
+    /// manifest.
+    pub fn save_sharded(
+        &mut self,
+        store: &Arc<dyn ShardStore>,
+    ) -> Result<ShardManifest, CkptError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        let iter = self.trained_iters;
+        for tx in &self.cmd_txs {
+            tx.send(Cmd::PublishShard {
+                id,
+                iter,
+                store: Arc::clone(store),
+            })
+            .expect("worker channel closed");
+        }
+        let world = self.cmd_txs.len();
+        let pp = self.cfg.pp;
+        let mut entries: Vec<Option<ShardEntry>> = vec![None; world];
+        let mut first_err = None;
+        let mut got = 0;
+        while got < world {
+            let (sid, result) = self.shard_rx.recv().expect("worker dropped shard channel");
+            if sid != id {
+                continue; // stale result from an abandoned save
+            }
+            got += 1;
+            match result {
+                Ok(entry) => {
+                    let idx = entry.dp * pp + entry.stage;
+                    assert!(entries[idx].is_none(), "duplicate shard entry");
+                    entries[idx] = Some(entry);
+                }
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        let manifest = ShardManifest {
+            meta: SnapshotMeta {
+                pp,
+                dp: self.cfg.dp,
+                seed: self.cfg.seed,
+                iter,
+                config_fingerprint: self.cfg.fingerprint(),
+            },
+            shards: entries.into_iter().map(|e| e.expect("filled")).collect(),
+        };
+        store
+            .put(MANIFEST_FILE, &manifest.encode())
+            .map_err(|e| CkptError::Store {
+                what: e.to_string(),
+            })?;
+        // The new manifest is committed; stale shards from earlier
+        // checkpoints can go. Best effort only — failures here cannot
+        // invalidate the checkpoint that was just published.
+        let live: std::collections::HashSet<&str> =
+            manifest.shards.iter().map(|e| e.name.as_str()).collect();
+        if let Ok(names) = store.list() {
+            for name in names {
+                if name.ends_with(".shard") && !live.contains(name.as_str()) {
+                    let _ = store.delete(&name);
+                }
+            }
+        }
+        Ok(manifest)
+    }
+
+    /// Resolves and validates the store's manifest against `cfg` — the
+    /// only checkpoint state the coordinator ever reads on the sharded
+    /// restore path.
+    fn resolve_manifest(
+        cfg: &TrainerConfig,
+        store: &Arc<dyn ShardStore>,
+    ) -> Result<ShardManifest, CkptError> {
+        let bytes = store.get(MANIFEST_FILE).map_err(|e| CkptError::Store {
+            what: e.to_string(),
+        })?;
+        let manifest = ShardManifest::decode(&bytes)?;
+        let meta = &manifest.meta;
+        if (meta.pp, meta.dp) != (cfg.pp, cfg.dp) {
+            return Err(CkptError::WorldMismatch {
+                snapshot: (meta.pp, meta.dp),
+                config: (cfg.pp, cfg.dp),
+            });
+        }
+        let fingerprint = cfg.fingerprint();
+        if meta.config_fingerprint != fingerprint {
+            return Err(CkptError::ConfigMismatch {
+                snapshot: meta.config_fingerprint,
+                config: fingerprint,
+            });
+        }
+        // World completeness was already enforced by ShardManifest::decode.
+        Ok(manifest)
+    }
+
+    /// Relaunches a training job from a sharded checkpoint — the
+    /// cross-host elastic-restore path. Fresh workers are spawned under
+    /// `cfg`, then **every worker independently** rendezvouses on the
+    /// store's manifest, fetches only its own shard, validates it
+    /// (checksum, config fingerprint, rank identity, iteration), and
+    /// applies it. The coordinator reads only the manifest; at no point
+    /// does any single process hold the whole world's state.
+    ///
+    /// By the bit-exact-resume guarantee the resumed run reproduces
+    /// exactly the losses and wire traffic the uninterrupted run would
+    /// have produced — even if the restored incarnation runs with a
+    /// different kernel thread count.
+    pub fn restore_sharded(
+        cfg: TrainerConfig,
+        store: &Arc<dyn ShardStore>,
+    ) -> Result<Trainer, CkptError> {
+        let manifest = Self::resolve_manifest(&cfg, store)?;
+        let mut trainer = Trainer::launch(cfg);
+        trainer.next_id += 1;
+        let id = trainer.next_id;
+        for tx in &trainer.cmd_txs {
+            tx.send(Cmd::SelfRestore {
+                id,
+                store: Arc::clone(store),
+            })
+            .expect("worker channel closed");
+        }
+        let world = trainer.cmd_txs.len();
+        trainer.collect_self_restores(id, world, manifest.meta.iter)?;
+        trainer.trained_iters = manifest.meta.iter;
+        Ok(trainer)
+    }
+
+    /// Elastically restores a **single** rank's state from the shard
+    /// store: the targeted worker rendezvouses on the manifest, fetches
+    /// only its own shard, validates, and applies it — exactly what a
+    /// replacement worker on a different host does when it rejoins a run.
+    /// No coordinator-held state is involved; the trainer reads only the
+    /// manifest (to validate it against the config and learn the
+    /// checkpoint iteration, which is returned).
+    ///
+    /// The caller is responsible for world consistency: every other rank
+    /// must already hold state from the same checkpoint iteration (e.g.
+    /// restore each rank of a freshly launched world in turn).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(stage, dp)` lies outside the trainer's world.
+    pub fn restore_rank(
+        &mut self,
+        stage: usize,
+        dp: usize,
+        store: &Arc<dyn ShardStore>,
+    ) -> Result<u64, CkptError> {
+        assert!(
+            stage < self.cfg.pp && dp < self.cfg.dp,
+            "rank (stage {stage}, dp {dp}) outside the {}x{} world",
+            self.cfg.pp,
+            self.cfg.dp
+        );
+        let manifest = Self::resolve_manifest(&self.cfg, store)?;
+        self.next_id += 1;
+        let id = self.next_id;
+        self.cmd_txs[dp * self.cfg.pp + stage]
+            .send(Cmd::SelfRestore {
+                id,
+                store: Arc::clone(store),
+            })
+            .expect("worker channel closed");
+        self.collect_self_restores(id, 1, manifest.meta.iter)?;
+        self.trained_iters = manifest.meta.iter;
+        Ok(manifest.meta.iter)
+    }
+
+    /// Collects `expect` self-restore outcomes for request `id`, requiring
+    /// every applied shard to come from iteration `want_iter`.
+    fn collect_self_restores(
+        &mut self,
+        id: u64,
+        expect: usize,
+        want_iter: u64,
+    ) -> Result<(), CkptError> {
+        let mut first_err = None;
+        let mut got = 0;
+        while got < expect {
+            let (sid, stage, dp, result) = self
+                .restore_rx
+                .recv()
+                .expect("worker dropped restore channel");
+            if sid != id {
+                continue; // stale outcome from an abandoned restore
+            }
+            got += 1;
+            match result {
+                Ok(iter) if iter == want_iter => {}
+                Ok(_) => {
+                    // The store changed between the coordinator's manifest
+                    // read and the worker's — a racing writer.
+                    first_err = first_err.or(Some(CkptError::ShardMismatch {
+                        stage,
+                        dp,
+                        what: "restored shard is from a different checkpoint than the manifest",
+                    }));
+                }
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        first_err.map_or(Ok(()), Err)
     }
 
     /// Tears the job down the way a worker failure does: no `Stop`

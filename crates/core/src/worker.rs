@@ -4,14 +4,17 @@ use crate::config::{CbMethod, TrainerConfig};
 use crate::dp_compress::DistPowerSgd;
 use crate::stats::{Collector, ErrorStatPoint};
 use crossbeam::channel::{Receiver, Sender};
-use opt_ckpt::RankSection;
+use opt_ckpt::{
+    shard_file_name, CkptError, RankSection, Shard, ShardEntry, ShardManifest, MANIFEST_FILE,
+};
 use opt_compress::{Compressed, LazyErrorPropagator, PowerSgd, TopK, FP16_BYTES};
 use opt_data::SyntheticCorpus;
 use opt_model::{cross_entropy, Adam, Optimizer, Stage};
-use opt_net::{CollectiveGroup, P2pMesh, TrafficClass, TrafficLedger};
+use opt_net::{CollectiveGroup, P2pMesh, ShardStore, TrafficClass, TrafficLedger};
 use opt_schedule::{is_epilogue_send, one_f_one_b, Op};
 use opt_tensor::{cosine_similarity, Matrix, Persist, PersistError, Reader, Writer};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Commands broadcast from the trainer to every worker.
 #[derive(Debug, Clone)]
@@ -35,6 +38,23 @@ pub(crate) enum Cmd {
     /// Sent point-to-point (each worker gets its own section), unlike the
     /// broadcast commands above.
     Restore { id: u64, section: Box<RankSection> },
+    /// Serialize all training state into a per-rank [`Shard`] and publish
+    /// it to the shard store under this rank's well-known name, reporting
+    /// the resulting manifest entry (or the failure) on the shard channel.
+    /// Barrier semantics, like `Snapshot`.
+    PublishShard {
+        id: u64,
+        /// Iterations completed when the shard is taken (stamped into the
+        /// shard header so a fetching worker can cross-check the manifest).
+        iter: u64,
+        store: Arc<dyn ShardStore>,
+    },
+    /// Rendezvous on the store's manifest, fetch *only this rank's*
+    /// shard, validate it (version, checksum, config fingerprint, rank
+    /// identity), apply it, and report the outcome on the restore
+    /// channel. This is the cross-host elastic-restore path: the
+    /// coordinator holds no worker state.
+    SelfRestore { id: u64, store: Arc<dyn ShardStore> },
     /// Exit the worker loop.
     Stop,
 }
@@ -75,6 +95,11 @@ pub(crate) struct WorkerCtx {
     pub cmds: Receiver<Cmd>,
     pub acks: Sender<WorkerAck>,
     pub snap_out: Sender<(u64, RankSection)>,
+    /// Manifest entries (or failures) from `Cmd::PublishShard`.
+    pub shard_out: Sender<(u64, Result<ShardEntry, CkptError>)>,
+    /// `(id, stage, dp, outcome)` from `Cmd::SelfRestore`; `Ok` carries
+    /// the iteration the applied shard was taken at.
+    pub restore_out: Sender<(u64, usize, usize, Result<u64, CkptError>)>,
     pub predict_out: Sender<(u64, Vec<usize>)>,
     pub collector: Collector,
     pub ledger: TrafficLedger,
@@ -246,17 +271,40 @@ pub(crate) fn run_worker(mut ctx: WorkerCtx) {
                 ctx.acks.send(ack).expect("trainer dropped ack channel");
             }
             Cmd::Snapshot { id } => {
-                let section = RankSection {
-                    stage: s,
-                    dp: d,
-                    params: ctx.stage.export_state(),
-                    optimizer: optimizer.to_bytes(),
-                    cb_link: encode_cb_link(&cb_link),
-                    dp_state: encode_dp_state(&dp_state),
-                };
+                let section = capture_section(&mut ctx, &optimizer, &cb_link, &dp_state);
                 ctx.snap_out
                     .send((id, section))
                     .expect("trainer dropped snapshot channel");
+            }
+            Cmd::PublishShard { id, iter, store } => {
+                let shard = Shard {
+                    iter,
+                    config_fingerprint: ctx.cfg.fingerprint(),
+                    section: capture_section(&mut ctx, &optimizer, &cb_link, &dp_state),
+                };
+                let name = shard_file_name(s, d, iter);
+                let blob = shard.encode();
+                let result = store
+                    .put(&name, &blob)
+                    .map(|()| ShardEntry::for_blob(s, d, name.clone(), &blob))
+                    .map_err(|e| CkptError::Store {
+                        what: e.to_string(),
+                    });
+                ctx.shard_out
+                    .send((id, result))
+                    .expect("trainer dropped shard channel");
+            }
+            Cmd::SelfRestore { id, store } => {
+                let result = self_restore(
+                    &mut ctx,
+                    store.as_ref(),
+                    &mut optimizer,
+                    &mut cb_link,
+                    &mut dp_state,
+                );
+                ctx.restore_out
+                    .send((id, s, d, result))
+                    .expect("trainer dropped restore channel");
             }
             Cmd::Restore { id, section } => {
                 // Sections were pre-validated by Trainer::restore; a decode
@@ -279,6 +327,106 @@ pub(crate) fn run_worker(mut ctx: WorkerCtx) {
             Cmd::Stop => return,
         }
     }
+}
+
+/// Serializes the worker's complete training state into a snapshot
+/// section (shared by the monolithic `Snapshot` and sharded
+/// `PublishShard` paths).
+fn capture_section(
+    ctx: &mut WorkerCtx,
+    optimizer: &Adam,
+    cb_link: &Option<CbLink>,
+    dp_state: &Option<DistPowerSgd>,
+) -> RankSection {
+    RankSection {
+        stage: ctx.stage_idx,
+        dp: ctx.dp_idx,
+        params: ctx.stage.export_state(),
+        optimizer: optimizer.to_bytes(),
+        cb_link: encode_cb_link(cb_link),
+        dp_state: encode_dp_state(dp_state),
+    }
+}
+
+/// The worker half of cross-host elastic restore: rendezvous on the
+/// store's manifest, fetch only this rank's shard, validate everything
+/// (store-level checksum + size, shard codec, config fingerprint, rank
+/// identity, iteration), and only then overwrite the training state.
+///
+/// Nothing is mutated until every check has passed, so a rejected shard
+/// leaves the worker exactly as it was. Returns the iteration the applied
+/// shard was taken at.
+fn self_restore(
+    ctx: &mut WorkerCtx,
+    store: &dyn ShardStore,
+    optimizer: &mut Adam,
+    cb_link: &mut Option<CbLink>,
+    dp_state: &mut Option<DistPowerSgd>,
+) -> Result<u64, CkptError> {
+    let s = ctx.stage_idx;
+    let d = ctx.dp_idx;
+    let store_err = |e: opt_net::ShardStoreError| CkptError::Store {
+        what: e.to_string(),
+    };
+
+    // Rendezvous: resolve the (small) manifest and find our entry.
+    let manifest = ShardManifest::decode(&store.get(MANIFEST_FILE).map_err(store_err)?)?;
+    let fingerprint = ctx.cfg.fingerprint();
+    if manifest.meta.config_fingerprint != fingerprint {
+        return Err(CkptError::ConfigMismatch {
+            snapshot: manifest.meta.config_fingerprint,
+            config: fingerprint,
+        });
+    }
+    if (manifest.meta.pp, manifest.meta.dp) != (ctx.cfg.pp, ctx.cfg.dp) {
+        return Err(CkptError::WorldMismatch {
+            snapshot: (manifest.meta.pp, manifest.meta.dp),
+            config: (ctx.cfg.pp, ctx.cfg.dp),
+        });
+    }
+    let entry = manifest
+        .entry(s, d)
+        .ok_or(CkptError::MissingRank { stage: s, dp: d })?;
+
+    // Fetch: only our own shard, validated against the manifest entry
+    // before the structural decoder ever sees it.
+    let blob = store.get(&entry.name).map_err(store_err)?;
+    entry.verify(&blob)?;
+    let shard = Shard::decode(&blob)?;
+    if (shard.stage(), shard.dp()) != (s, d) {
+        return Err(CkptError::ShardMismatch {
+            stage: s,
+            dp: d,
+            what: "fetched shard belongs to a different rank",
+        });
+    }
+    shard.validate_against(&manifest.meta)?;
+
+    // Decode every opaque blob and check parameter shapes before touching
+    // live state.
+    let section = shard.section;
+    let new_optimizer = Adam::from_bytes(&section.optimizer)?;
+    let new_cb_link = decode_cb_link(&section.cb_link)?;
+    let new_dp_state = decode_dp_state(&section.dp_state)?;
+    let expected: Vec<(usize, usize)> =
+        ctx.stage.params().iter().map(|p| p.value.shape()).collect();
+    let shapes_match = section.params.len() == expected.len()
+        && section
+            .params
+            .iter()
+            .zip(&expected)
+            .all(|(m, &shape)| m.shape() == shape);
+    if !shapes_match {
+        return Err(CkptError::Decode(PersistError::Invalid {
+            what: "shard parameter shapes do not match the stage",
+        }));
+    }
+
+    ctx.stage.import_state(&section.params);
+    *optimizer = new_optimizer;
+    *cb_link = new_cb_link;
+    *dp_state = new_dp_state;
+    Ok(shard.iter)
 }
 
 /// Deterministic batch key shared by the first and last stages.

@@ -16,15 +16,23 @@
 //!
 //! Traffic is accounted per class ([`TrafficClass`]) by [`TrafficLedger`],
 //! which experiments read to verify volume reductions.
+//!
+//! The crate also provides the **rendezvous + fetch** substrate for
+//! cross-host elastic restore: a [`ShardStore`] of named blobs (an
+//! in-process [`MemShardStore`] and a filesystem-backed [`FsShardStore`])
+//! through which restarted workers resolve the checkpoint manifest and
+//! fetch only their own shard.
 
 mod collective;
 mod cost;
 mod p2p;
+mod shardstore;
 mod topology;
 mod traffic;
 
 pub use collective::{CollectiveGroup, CollectiveWorld};
 pub use cost::{all_reduce_time_s, p2p_time_s, ring_all_reduce_wire_bytes, CostModel};
 pub use p2p::{P2pMesh, RecvError};
+pub use shardstore::{FsShardStore, MemShardStore, ShardStore, ShardStoreError};
 pub use topology::{LinkKind, Topology};
 pub use traffic::{TrafficClass, TrafficLedger, TrafficSnapshot};

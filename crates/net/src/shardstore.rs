@@ -1,0 +1,359 @@
+//! Rendezvous + fetch: the blob-store abstraction behind cross-host
+//! elastic restore.
+//!
+//! A sharded checkpoint is a set of named blobs — a small manifest plus
+//! one shard per rank. A restarting worker *rendezvouses* on the manifest
+//! (a single well-known name) and *fetches* only its own shard. This
+//! module abstracts where those blobs live:
+//!
+//! * [`MemShardStore`] — in-process: blobs in shared memory, reachable
+//!   from every worker thread of the mesh, the same way the in-process
+//!   [`crate::P2pMesh`] channels stand in for NCCL transports. Used by
+//!   tests and the fault-injection harness to simulate a replacement
+//!   worker that holds none of the coordinator's state.
+//! * [`FsShardStore`] — a directory of files, standing in for remote blob
+//!   storage (a parallel filesystem, S3, a burst buffer). Puts are atomic
+//!   (temp file + rename), so a reader never observes a half-written
+//!   shard.
+//!
+//! The store is deliberately dumb: `put`/`get`/`list` over opaque bytes.
+//! All integrity checking (checksums, versions, config fingerprints)
+//! happens in `opt-ckpt`'s shard codec, so every backend gets the same
+//! validation for free.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Why a shard-store operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardStoreError {
+    /// No blob exists under the requested name.
+    NotFound {
+        /// The name that was requested.
+        name: String,
+    },
+    /// The backend failed (I/O error, invalid name, ...).
+    Backend {
+        /// The name involved, if any.
+        name: String,
+        /// Backend-specific description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ShardStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardStoreError::NotFound { name } => write!(f, "no blob named {name:?} in the store"),
+            ShardStoreError::Backend { name, detail } => {
+                write!(f, "shard store backend failed on {name:?}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardStoreError {}
+
+/// A named-blob store that checkpoint shards rendezvous through.
+///
+/// Implementations must be safe to call from many worker threads at once;
+/// a `put` is atomic (a concurrent `get` sees the old blob or the new
+/// blob, never a mixture).
+pub trait ShardStore: Send + Sync + fmt::Debug {
+    /// Stores `bytes` under `name`, replacing any previous blob.
+    fn put(&self, name: &str, bytes: &[u8]) -> Result<(), ShardStoreError>;
+
+    /// Retrieves the blob stored under `name`.
+    fn get(&self, name: &str) -> Result<Vec<u8>, ShardStoreError>;
+
+    /// Lists all blob names, sorted.
+    fn list(&self) -> Result<Vec<String>, ShardStoreError>;
+
+    /// Removes the blob stored under `name`. Idempotent: deleting a name
+    /// that does not exist succeeds (checkpoint garbage collection must
+    /// tolerate racing cleaners and earlier partial deletes).
+    fn delete(&self, name: &str) -> Result<(), ShardStoreError>;
+}
+
+/// Rejects names that could escape a directory-backed store (path
+/// separators, `..`, empty). Applied by every backend so behavior does
+/// not depend on where the blobs happen to live.
+fn validate_name(name: &str) -> Result<(), ShardStoreError> {
+    let bad = name.is_empty()
+        || name == "."
+        || name == ".."
+        || name.contains('/')
+        || name.contains('\\')
+        || name.contains('\0');
+    if bad {
+        return Err(ShardStoreError::Backend {
+            name: name.to_string(),
+            detail: "invalid blob name (empty or contains path separators)".to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// In-process shard store: blobs in shared memory.
+///
+/// Clones share the same underlying map (like the mesh's channels), so
+/// one clone per worker thread gives the whole world a common rendezvous
+/// point without any thread holding another's state.
+#[derive(Debug, Clone, Default)]
+pub struct MemShardStore {
+    blobs: Arc<Mutex<HashMap<String, Vec<u8>>>>,
+}
+
+impl MemShardStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of blobs currently stored.
+    pub fn len(&self) -> usize {
+        self.blobs.lock().expect("store poisoned").len()
+    }
+
+    /// Whether the store holds no blobs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ShardStore for MemShardStore {
+    fn put(&self, name: &str, bytes: &[u8]) -> Result<(), ShardStoreError> {
+        validate_name(name)?;
+        self.blobs
+            .lock()
+            .expect("store poisoned")
+            .insert(name.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, name: &str) -> Result<Vec<u8>, ShardStoreError> {
+        validate_name(name)?;
+        self.blobs
+            .lock()
+            .expect("store poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ShardStoreError::NotFound {
+                name: name.to_string(),
+            })
+    }
+
+    fn list(&self) -> Result<Vec<String>, ShardStoreError> {
+        let mut names: Vec<String> = self
+            .blobs
+            .lock()
+            .expect("store poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+
+    fn delete(&self, name: &str) -> Result<(), ShardStoreError> {
+        validate_name(name)?;
+        self.blobs.lock().expect("store poisoned").remove(name);
+        Ok(())
+    }
+}
+
+/// Filesystem shard store: one file per blob under a directory, standing
+/// in for remote blob storage. Puts go through a sibling temp file and an
+/// atomic rename.
+#[derive(Debug, Clone)]
+pub struct FsShardStore {
+    dir: PathBuf,
+}
+
+impl FsShardStore {
+    /// Creates a store rooted at `dir` (created lazily on first put).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The directory blobs are stored under.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn backend_err(&self, name: &str, e: std::io::Error) -> ShardStoreError {
+        ShardStoreError::Backend {
+            name: name.to_string(),
+            detail: e.to_string(),
+        }
+    }
+}
+
+impl ShardStore for FsShardStore {
+    fn put(&self, name: &str, bytes: &[u8]) -> Result<(), ShardStoreError> {
+        validate_name(name)?;
+        std::fs::create_dir_all(&self.dir).map_err(|e| self.backend_err(name, e))?;
+        let path = self.dir.join(name);
+        let tmp = self.dir.join(format!("{name}.partial"));
+        std::fs::write(&tmp, bytes).map_err(|e| self.backend_err(name, e))?;
+        if let Err(e) = std::fs::rename(&tmp, &path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(self.backend_err(name, e));
+        }
+        Ok(())
+    }
+
+    fn get(&self, name: &str) -> Result<Vec<u8>, ShardStoreError> {
+        validate_name(name)?;
+        match std::fs::read(self.dir.join(name)) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(ShardStoreError::NotFound {
+                name: name.to_string(),
+            }),
+            Err(e) => Err(self.backend_err(name, e)),
+        }
+    }
+
+    fn list(&self) -> Result<Vec<String>, ShardStoreError> {
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(entries) => entries,
+            // A store nobody has put to yet is empty, not broken.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(self.backend_err("", e)),
+        };
+        let mut names = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| self.backend_err("", e))?;
+            if !entry
+                .file_type()
+                .map_err(|e| self.backend_err("", e))?
+                .is_file()
+            {
+                continue;
+            }
+            if let Ok(name) = entry.file_name().into_string() {
+                // In-flight temp files are not yet published blobs.
+                if !name.ends_with(".partial") {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn delete(&self, name: &str) -> Result<(), ShardStoreError> {
+        validate_name(name)?;
+        match std::fs::remove_file(self.dir.join(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(self.backend_err(name, e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn roundtrip(store: &dyn ShardStore) {
+        assert!(matches!(
+            store.get("absent"),
+            Err(ShardStoreError::NotFound { .. })
+        ));
+        store.put("manifest.ckpt", b"meta").expect("put manifest");
+        store.put("rank-0-0.shard", b"state-a").expect("put shard");
+        store.put("rank-1-0.shard", b"state-b").expect("put shard");
+        assert_eq!(store.get("rank-0-0.shard").unwrap(), b"state-a");
+        // Overwrite replaces.
+        store.put("rank-0-0.shard", b"state-a2").expect("overwrite");
+        assert_eq!(store.get("rank-0-0.shard").unwrap(), b"state-a2");
+        assert_eq!(
+            store.list().unwrap(),
+            vec!["manifest.ckpt", "rank-0-0.shard", "rank-1-0.shard"]
+        );
+        // Delete removes, and is idempotent.
+        store.delete("rank-1-0.shard").expect("delete");
+        store.delete("rank-1-0.shard").expect("idempotent delete");
+        assert!(matches!(
+            store.get("rank-1-0.shard"),
+            Err(ShardStoreError::NotFound { .. })
+        ));
+        assert_eq!(
+            store.list().unwrap(),
+            vec!["manifest.ckpt", "rank-0-0.shard"]
+        );
+    }
+
+    #[test]
+    fn mem_store_roundtrip() {
+        roundtrip(&MemShardStore::new());
+    }
+
+    #[test]
+    fn fs_store_roundtrip_and_atomicity() {
+        let dir = std::env::temp_dir().join(format!("opt-shardstore-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FsShardStore::new(&dir);
+        assert_eq!(store.list().unwrap(), Vec::<String>::new());
+        roundtrip(&store);
+        // No temp files left behind, and .partial never shows up in list.
+        for name in std::fs::read_dir(&dir).unwrap() {
+            let name = name.unwrap().file_name().into_string().unwrap();
+            assert!(!name.ends_with(".partial"), "temp file {name} left behind");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn names_with_path_separators_are_rejected() {
+        let store = MemShardStore::new();
+        for bad in ["", ".", "..", "a/b", "a\\b", "x\0y"] {
+            assert!(
+                matches!(store.put(bad, b"x"), Err(ShardStoreError::Backend { .. })),
+                "name {bad:?} accepted"
+            );
+            assert!(store.get(bad).is_err());
+        }
+        let fs = FsShardStore::new(std::env::temp_dir().join("opt-shardstore-never"));
+        assert!(fs.put("../escape", b"x").is_err());
+    }
+
+    #[test]
+    fn mem_store_is_shared_across_clones_and_threads() {
+        let store = MemShardStore::new();
+        let clone = store.clone();
+        let h = thread::spawn(move || {
+            clone.put("rank-0-0.shard", b"from-worker").unwrap();
+        });
+        h.join().unwrap();
+        assert_eq!(store.get("rank-0-0.shard").unwrap(), b"from-worker");
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn trait_object_usable_behind_arc() {
+        let store: Arc<dyn ShardStore> = Arc::new(MemShardStore::new());
+        store.put("manifest.ckpt", &[1, 2, 3]).unwrap();
+        let clone = Arc::clone(&store);
+        let h = thread::spawn(move || clone.get("manifest.ckpt").unwrap());
+        assert_eq!(h.join().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn errors_display_usefully() {
+        let e = ShardStoreError::NotFound {
+            name: "rank-9-9.shard".into(),
+        };
+        assert!(e.to_string().contains("rank-9-9.shard"));
+        let e = ShardStoreError::Backend {
+            name: "m".into(),
+            detail: "disk on fire".into(),
+        };
+        assert!(e.to_string().contains("disk on fire"));
+    }
+}

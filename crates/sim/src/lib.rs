@@ -51,5 +51,8 @@ pub use autotune::{auto_tune, error_pressure, sweep, TunePoint};
 pub use breakdown::{breakdown, breakdown_with_result, Breakdown};
 pub use config::{CbPlan, CompressionPlan, ScPlan, SimConfig};
 pub use engine::{simulate, SimResult, TraceEvent, TraceKind};
-pub use fault::{simulate_with_faults, snapshot_bytes, CkptCostModel, FaultEvent, FaultSimResult};
+pub use fault::{
+    simulate_with_faults, simulate_with_faults_sharded, snapshot_bytes, CkptCostModel, FaultEvent,
+    FaultSimResult,
+};
 pub use kernel::KernelModel;

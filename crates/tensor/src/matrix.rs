@@ -325,7 +325,7 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Runs the cache-blocked, register-tiled kernel (see [`crate::gemm`]);
+    /// Runs the cache-blocked, register-tiled kernel (the `gemm` module);
     /// large products are fanned out over the deterministic worker pool.
     /// Results are bit-identical to the naive reference kernels for finite
     /// inputs at any thread count.

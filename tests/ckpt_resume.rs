@@ -5,9 +5,11 @@
 //! warm starts, LEP residuals, DP error feedback) round-tripping through
 //! the on-disk format.
 
-use optimus::ckpt::{CkptError, FaultPlan, Snapshot};
+use optimus::ckpt::{CkptError, FaultPlan, Snapshot, MANIFEST_FILE};
 use optimus::core::{run_with_faults, QualityConfig, Trainer, TrainerConfig};
-use optimus::net::TrafficClass;
+use optimus::net::{MemShardStore, ShardStore, ShardStoreError, TrafficClass};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 fn snap_path(tag: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("optimus-{tag}-{}.ckpt", std::process::id()))
@@ -195,6 +197,38 @@ fn snapshot_refuses_to_restore_into_a_different_run() {
     ));
 }
 
+/// Serializes tests that script the process-global kernel knobs
+/// (`set_kernel_threads`, `set_parallel_flop_threshold`): without the
+/// lock, two such tests running in parallel threads of one binary could
+/// overwrite each other's thread-count mid-scenario — the tests would
+/// still pass (determinism means the knobs only change speed) but their
+/// multi-thread premise would be silently defeated. The guard also
+/// restores the FLOP threshold on drop, panic included.
+struct KnobGuard {
+    old_threshold: usize,
+    _lock: std::sync::MutexGuard<'static, ()>,
+}
+
+impl KnobGuard {
+    fn acquire() -> Self {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let lock = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let old_threshold = optimus::tensor::parallel_flop_threshold();
+        optimus::tensor::set_parallel_flop_threshold(0);
+        Self {
+            old_threshold,
+            _lock: lock,
+        }
+    }
+}
+
+impl Drop for KnobGuard {
+    fn drop(&mut self) {
+        optimus::tensor::set_parallel_flop_threshold(self.old_threshold);
+        optimus::tensor::set_kernel_threads(1);
+    }
+}
+
 #[test]
 fn resume_is_bit_exact_across_kernel_thread_counts() {
     // The kernel pool's determinism contract, end to end: training with a
@@ -202,15 +236,10 @@ fn resume_is_bit_exact_across_kernel_thread_counts() {
     // pool must reproduce the straight run's losses bit for bit. The
     // parallel-FLOP threshold is forced to zero so even the tiny test
     // model's GEMMs actually fan out to the pool.
-    use optimus::tensor::{set_kernel_threads, set_parallel_flop_threshold};
+    use optimus::tensor::set_kernel_threads;
     const TOTAL: u64 = 8;
     const SNAP_AT: u64 = 4;
-    // Sibling tests in this binary never read these process-global knobs,
-    // and the determinism contract means the knobs can only change speed —
-    // still, restore the threshold when done so concurrent tests don't
-    // fan tiny GEMMs out to threads for the rest of the run.
-    let old_threshold = optimus::tensor::parallel_flop_threshold();
-    set_parallel_flop_threshold(0);
+    let _knobs = KnobGuard::acquire();
 
     // Straight single-threaded run as the reference trajectory.
     set_kernel_threads(1);
@@ -241,7 +270,304 @@ fn resume_is_bit_exact_across_kernel_thread_counts() {
             "iteration {iter}: 1-thread straight {a} != 4->1-thread resumed {b}"
         );
     }
-    set_parallel_flop_threshold(old_threshold);
+}
+
+/// A [`ShardStore`] decorator that records every fetched name, so tests
+/// can prove *who fetched what* during an elastic restore.
+#[derive(Debug)]
+struct CountingStore {
+    inner: MemShardStore,
+    gets: Mutex<HashMap<String, usize>>,
+}
+
+impl CountingStore {
+    fn new() -> Self {
+        Self {
+            inner: MemShardStore::new(),
+            gets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn get_count(&self, name: &str) -> usize {
+        *self.gets.lock().unwrap().get(name).unwrap_or(&0)
+    }
+
+    fn reset_counts(&self) {
+        self.gets.lock().unwrap().clear();
+    }
+}
+
+impl ShardStore for CountingStore {
+    fn put(&self, name: &str, bytes: &[u8]) -> Result<(), ShardStoreError> {
+        self.inner.put(name, bytes)
+    }
+
+    fn get(&self, name: &str) -> Result<Vec<u8>, ShardStoreError> {
+        *self
+            .gets
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_insert(0) += 1;
+        self.inner.get(name)
+    }
+
+    fn list(&self) -> Result<Vec<String>, ShardStoreError> {
+        self.inner.list()
+    }
+
+    fn delete(&self, name: &str) -> Result<(), ShardStoreError> {
+        self.inner.delete(name)
+    }
+}
+
+/// A [`ShardStore`] decorator that refuses to publish the manifest —
+/// simulating a coordinator crash after the workers' shard puts but
+/// before the manifest commit.
+#[derive(Debug)]
+struct ManifestlessStore {
+    inner: Arc<dyn ShardStore>,
+}
+
+impl ShardStore for ManifestlessStore {
+    fn put(&self, name: &str, bytes: &[u8]) -> Result<(), ShardStoreError> {
+        if name == MANIFEST_FILE {
+            return Err(ShardStoreError::Backend {
+                name: name.to_string(),
+                detail: "simulated crash before the manifest commit".to_string(),
+            });
+        }
+        self.inner.put(name, bytes)
+    }
+
+    fn get(&self, name: &str) -> Result<Vec<u8>, ShardStoreError> {
+        self.inner.get(name)
+    }
+
+    fn list(&self) -> Result<Vec<String>, ShardStoreError> {
+        self.inner.list()
+    }
+
+    fn delete(&self, name: &str) -> Result<(), ShardStoreError> {
+        self.inner.delete(name)
+    }
+}
+
+#[test]
+fn elastic_restore_from_shard_store_is_bit_exact_across_thread_counts() {
+    // The headline cross-host guarantee, end to end: train under a
+    // 4-thread kernel pool, publish per-rank shards, kill a rank (which
+    // in this in-process world tears the whole job down, as losing a GPU
+    // does to a 3D-parallel job), then relaunch every worker as a fresh
+    // incarnation that self-restores from the shard store alone — under a
+    // *1-thread* kernel pool — and finish the run. Losses and
+    // traffic-ledger deltas must match the uninterrupted run bit for bit,
+    // and the store's fetch counts must prove no rank fetched anything
+    // but the manifest and its own shard.
+    use optimus::tensor::set_kernel_threads;
+    const TOTAL: u64 = 8;
+    const SNAP_AT: u64 = 4;
+    let _knobs = KnobGuard::acquire();
+
+    // Reference trajectory with a traffic mark at the shard point.
+    set_kernel_threads(1);
+    let mut straight = Trainer::launch(full_stack_cfg(TOTAL));
+    straight.train_more(SNAP_AT);
+    let traffic_mid = straight.traffic();
+    straight.train_more(TOTAL - SNAP_AT);
+    let straight_report = straight.report();
+    let traffic_end = straight.traffic();
+    straight.shutdown();
+
+    // Victim incarnation: 4-thread kernels, shards published at SNAP_AT,
+    // then rank 1 (stage 1, dp 0) "dies" after doomed extra work.
+    set_kernel_threads(4);
+    let counting = Arc::new(CountingStore::new());
+    let store: Arc<dyn ShardStore> = counting.clone();
+    let cfg = full_stack_cfg(TOTAL);
+    let world = cfg.pp * cfg.dp;
+    let mut victim = Trainer::launch(cfg);
+    victim.train_more(SNAP_AT);
+    let manifest = victim.save_sharded(&store).expect("shards published");
+    assert_eq!(manifest.shards.len(), world);
+    victim.train_more(2); // progress the failure destroys
+    victim.kill();
+    counting.reset_counts();
+
+    // Elastic restore at a different thread count: every worker is a
+    // fresh incarnation holding nothing, self-restoring from the store.
+    set_kernel_threads(1);
+    let mut resumed =
+        Trainer::restore_sharded(full_stack_cfg(TOTAL), &store).expect("elastic restore");
+    assert_eq!(resumed.trained_iters(), SNAP_AT);
+
+    // No coordinator-held state: each of the `world` shards was fetched
+    // exactly once (by its own worker), and the manifest once per worker
+    // plus once by the coordinator's validation pass.
+    for entry in &manifest.shards {
+        assert_eq!(
+            counting.get_count(&entry.name),
+            1,
+            "{} fetched more than once — some rank pulled state that is not its own",
+            entry.name
+        );
+    }
+    assert_eq!(counting.get_count(MANIFEST_FILE), world + 1);
+
+    resumed.train_more(TOTAL - SNAP_AT);
+    let resumed_report = resumed.report();
+    let resumed_traffic = resumed.traffic();
+    resumed.shutdown();
+
+    // Bit-exact losses after the restore point...
+    for iter in SNAP_AT as usize..TOTAL as usize {
+        let a = straight_report.train_loss[iter];
+        let b = resumed_report.train_loss[iter];
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "iteration {iter}: straight {a} != elastically restored {b}"
+        );
+    }
+    // ...and bit-identical post-restore wire traffic, class by class.
+    for class in TrafficClass::ALL {
+        assert_eq!(
+            traffic_end.bytes(class) - traffic_mid.bytes(class),
+            resumed_traffic.bytes(class),
+            "byte delta mismatch for {class}"
+        );
+        assert_eq!(
+            traffic_end.messages(class) - traffic_mid.messages(class),
+            resumed_traffic.messages(class),
+            "message delta mismatch for {class}"
+        );
+    }
+}
+
+#[test]
+fn restore_rank_rebuilds_each_worker_from_the_store_alone() {
+    // The per-rank primitive: launch a fresh world that holds nothing,
+    // then elastically restore every rank one at a time via
+    // Trainer::restore_rank — each fetch independent, no rank ever handed
+    // another's state — and finish the run bit-exactly.
+    const TOTAL: u64 = 6;
+    const SNAP_AT: u64 = 3;
+
+    let mut straight = Trainer::launch(full_stack_cfg(TOTAL));
+    let straight_report = straight.train();
+    straight.shutdown();
+
+    let store: Arc<dyn ShardStore> = Arc::new(MemShardStore::new());
+    let cfg = full_stack_cfg(TOTAL);
+    let (pp, dp) = (cfg.pp, cfg.dp);
+    let mut victim = Trainer::launch(cfg);
+    victim.train_more(SNAP_AT);
+    victim.save_sharded(&store).expect("shards published");
+    victim.kill();
+
+    let mut replacement = Trainer::launch(full_stack_cfg(TOTAL));
+    for d in 0..dp {
+        for s in 0..pp {
+            let iter = replacement
+                .restore_rank(s, d, &store)
+                .expect("rank restores from its shard");
+            assert_eq!(iter, SNAP_AT);
+        }
+    }
+    assert_eq!(replacement.trained_iters(), SNAP_AT);
+    let report = replacement.train();
+    replacement.shutdown();
+
+    for iter in SNAP_AT as usize..TOTAL as usize {
+        assert_eq!(
+            straight_report.train_loss[iter].to_bits(),
+            report.train_loss[iter].to_bits(),
+            "iteration {iter} diverged after per-rank elastic restore"
+        );
+    }
+}
+
+#[test]
+fn interrupted_resave_leaves_previous_checkpoint_restorable() {
+    // Crash-safety of repeated sharded saves: shards of the new
+    // checkpoint land under fresh (iteration-qualified) names, so a save
+    // that dies after the shard puts but before the manifest commit
+    // leaves the *previous* manifest and every blob it names intact — the
+    // run is still restorable from the old checkpoint.
+    const TOTAL: u64 = 6;
+    let store: Arc<dyn ShardStore> = Arc::new(MemShardStore::new());
+    let mut t = Trainer::launch(full_stack_cfg(TOTAL));
+    t.train_more(2);
+    let manifest = t.save_sharded(&store).expect("first save");
+    t.train_more(2);
+    let crashing: Arc<dyn ShardStore> = Arc::new(ManifestlessStore {
+        inner: Arc::clone(&store),
+    });
+    let err = t
+        .save_sharded(&crashing)
+        .expect_err("simulated crash surfaces");
+    assert!(matches!(err, CkptError::Store { .. }));
+    t.kill();
+
+    // The store still resolves to the iter-2 checkpoint, bit-for-bit.
+    let mut resumed = Trainer::restore_sharded(full_stack_cfg(TOTAL), &store)
+        .expect("previous checkpoint still restorable");
+    assert_eq!(resumed.trained_iters(), manifest.meta.iter);
+    resumed.train();
+    resumed.shutdown();
+}
+
+#[test]
+fn sharded_restore_rejects_bad_stores() {
+    let store: Arc<dyn ShardStore> = Arc::new(MemShardStore::new());
+    // Empty store: the rendezvous itself fails.
+    assert!(matches!(
+        Trainer::restore_sharded(full_stack_cfg(4), &store),
+        Err(CkptError::Store { .. })
+    ));
+
+    let mut t = Trainer::launch(full_stack_cfg(4));
+    t.train_more(2);
+    let manifest = t.save_sharded(&store).expect("shards published");
+    t.shutdown();
+
+    // Wrong config: refused at the manifest, before any worker spawns a
+    // fetch.
+    let mut other = full_stack_cfg(4);
+    other.seed ^= 0xBAD;
+    assert!(matches!(
+        Trainer::restore_sharded(other, &store),
+        Err(CkptError::ConfigMismatch { .. })
+    ));
+
+    // A missing shard is a store-level NotFound surfaced as a typed
+    // error, not a hang or a panic.
+    let victim_name = manifest.shards[1].name.clone();
+    let good = store.get(&victim_name).expect("shard bytes");
+    let inner = MemShardStore::new();
+    for name in store.list().expect("list") {
+        if name != victim_name {
+            inner.put(&name, &store.get(&name).unwrap()).unwrap();
+        }
+    }
+    let partial: Arc<dyn ShardStore> = Arc::new(inner);
+    assert!(matches!(
+        Trainer::restore_sharded(full_stack_cfg(4), &partial),
+        Err(CkptError::Store { .. })
+    ));
+
+    // A truncated shard fails the manifest's size check.
+    store
+        .put(&victim_name, &good[..good.len() - 9])
+        .expect("truncate shard");
+    assert!(matches!(
+        Trainer::restore_sharded(full_stack_cfg(4), &store),
+        Err(CkptError::Truncated { .. })
+    ));
+    store.put(&victim_name, &good).expect("restore shard");
+    Trainer::restore_sharded(full_stack_cfg(4), &store)
+        .expect("pristine store restores")
+        .shutdown();
 }
 
 #[test]

@@ -39,3 +39,19 @@ fn remaining_subsystem_reexports_resolve() {
     let _ = optimus::schedule::one_f_one_b;
     let _ = optimus::sim::SimConfig::paper_gpt_2_5b();
 }
+
+#[test]
+fn elastic_restore_reexports_resolve() {
+    // The sharded-checkpoint surface: formats in ckpt, the store in net,
+    // the cost model in sim.
+    let _ = optimus::ckpt::shard_file_name(0, 0, 0);
+    let _ = optimus::ckpt::MANIFEST_FILE;
+    let _ = optimus::ckpt::SHARD_FORMAT_VERSION;
+    let store: &dyn optimus::net::ShardStore = &optimus::net::MemShardStore::new();
+    store.put("manifest.ckpt", b"x").expect("put");
+    let _ = optimus::net::FsShardStore::new("never-created");
+    let costs = optimus::sim::CkptCostModel::paper_cluster();
+    // On a paper-scale (tens of GB) snapshot, parallel per-rank fetches
+    // beat the monolithic broadcast despite the rendezvous round-trip.
+    assert!(costs.sharded_io_s(1e11, 64) < costs.monolithic_io_s(1e11));
+}
