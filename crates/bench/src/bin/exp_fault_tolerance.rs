@@ -9,7 +9,8 @@
 use opt_bench::{banner, fmt, print_table};
 use opt_ckpt::FaultPlan;
 use opt_sim::{
-    simulate_with_faults, simulate_with_faults_sharded, snapshot_bytes, CkptCostModel, SimConfig,
+    simulate_with_faults, simulate_with_faults_sharded, simulate_with_faults_sharded_via,
+    snapshot_bytes, CkptCostModel, SimConfig, StoreTransport,
 };
 use optimus_cc::{run_with_faults, QualityConfig, Trainer, TrainerConfig};
 
@@ -92,6 +93,45 @@ fn main() {
     );
     println!("Sharding turns the checkpoint into parallel per-rank transfers;");
     println!("every rank moves only its own slice, so I/O stops scaling with world size.");
+
+    banner("Shard-store transport: in-process vs real TCP wire — same failure, cadence 50");
+    println!(
+        "local copies {:.0} GB/s; TCP {:.0} GB/s per rank + {:.1} ms connect per operation\n",
+        costs.mem_bw / 1e9,
+        costs.shard_fetch_bw / 1e9,
+        costs.tcp_connect_s * 1e3
+    );
+    let local = simulate_with_faults_sharded_via(&cfg, 1000, &plan, &costs, StoreTransport::Local);
+    let tcp = simulate_with_faults_sharded_via(&cfg, 1000, &plan, &costs, StoreTransport::Tcp);
+    let rows: Vec<Vec<String>> = [
+        ("local (MemShardStore)", &local),
+        ("TCP (TcpShardStore)", &tcp),
+    ]
+    .iter()
+    .map(|(name, r)| {
+        // Per-rank shard I/O is milliseconds against a 90 s restart, so
+        // print the wire's contribution at full resolution.
+        vec![
+            name.to_string(),
+            fmt(format!("{:.1}", r.snapshot_overhead_s * 1e3)),
+            fmt(format!("{:.4}", r.restart_overhead_s)),
+            fmt(format!("{:.2}", r.total_time_s / 3600.0)),
+            fmt(format!("{:.3}%", 100.0 * r.overhead_fraction())),
+        ]
+    })
+    .collect();
+    print_table(
+        &[
+            "Store transport",
+            "Write (ms)",
+            "Restart (s)",
+            "Total (h)",
+            "Overhead",
+        ],
+        &rows,
+    );
+    println!("The real wire costs bandwidth and per-operation setup, never correctness:");
+    println!("the numerical runtime produces bit-identical losses on both transports.");
 
     banner("Bit-exact elastic restart — numerical trainer, full Optimus-CC");
     let kill_at = (2 * iters / 3).max(2);

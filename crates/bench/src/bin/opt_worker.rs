@@ -1,0 +1,21 @@
+//! `opt-worker` — one `(stage, dp)` rank of the training world as a real
+//! OS process.
+//!
+//! Spawned by `optimus_cc::Trainer::launch_processes` (or the
+//! fault-injection harness), configured entirely through the environment
+//! protocol (`OPT_WORKER_RANK`, `OPT_WORKER_CFG`, `OPT_WORKER_RDV`,
+//! `OPT_WORKER_STORE`): the process rendezvouses with its peers over
+//! loopback TCP, joins the collective/p2p fabric, and runs the exact same
+//! worker loop the in-process trainer runs on threads. Checkpoint shards
+//! are published to and fetched from a TCP shard store.
+//!
+//! Exit status 0 means the worker was told to stop (or its coordinator
+//! went away); any setup or protocol failure exits nonzero with the error
+//! on stderr.
+
+fn main() {
+    if let Err(e) = optimus_cc::worker_main() {
+        eprintln!("opt-worker failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,161 @@
+//! The acceptance gate of the transport refactor: a loopback TCP world of
+//! **real `opt-worker` OS processes** must reproduce the single-process
+//! in-process run bit for bit — through training, a `SIGKILL`ed worker
+//! process, and a per-rank self-restore from a TCP shard store.
+//!
+//! `CARGO_BIN_EXE_opt_worker` points at the compiled worker binary; cargo
+//! builds it before running this test.
+
+use opt_ckpt::{FaultPlan, ShardManifest, MANIFEST_FILE};
+use opt_net::{MemShardStore, ShardStore, ShardStoreServer, TcpShardStore};
+use optimus_cc::{
+    run_with_faults_sharded, run_with_faults_sharded_proc, ProcFaultOptions, ProcOptions,
+    QualityConfig, Trainer, TrainerConfig,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn worker_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_opt_worker"))
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("opt-multiproc-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Losses must agree bit-for-bit, NaN pattern included.
+fn assert_bit_identical(a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "loss curves have different lengths");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        if x.is_nan() {
+            assert!(y.is_nan(), "iteration {i}: {x} vs {y}");
+        } else {
+            assert_eq!(x.to_bits(), y.to_bits(), "iteration {i}: {x} vs {y}");
+        }
+    }
+}
+
+#[test]
+fn tcp_process_world_matches_in_process_run_bit_for_bit() {
+    let cfg = TrainerConfig::tiny_test(QualityConfig::cb_fe_sc(), 6);
+
+    // Reference: the ordinary single-process, thread-based trainer.
+    let mut reference = Trainer::launch(cfg.clone());
+    let ref_report = reference.train();
+    let ref_traffic = ref_report.traffic;
+    reference.shutdown();
+
+    // Same run, but every rank is a real OS process over loopback TCP.
+    let store: Arc<dyn ShardStore> = Arc::new(MemShardStore::new());
+    let server = ShardStoreServer::spawn(store, "127.0.0.1:0").expect("store server");
+    let mut proc_world = Trainer::launch_processes(
+        cfg,
+        ProcOptions {
+            worker_bin: worker_bin(),
+            store_addr: server.addr(),
+            scratch_dir: scratch("plain"),
+        },
+    )
+    .expect("process world");
+    let proc_report = proc_world.train().expect("proc train");
+    proc_world.shutdown().expect("shutdown");
+
+    assert_bit_identical(&ref_report.train_loss, &proc_report.train_loss);
+    assert_eq!(ref_report.val_points.len(), proc_report.val_points.len());
+    for (a, b) in ref_report.val_points.iter().zip(&proc_report.val_points) {
+        assert_eq!(a.iter, b.iter);
+        assert_eq!(a.loss.to_bits(), b.loss.to_bits(), "val loss at {}", a.iter);
+    }
+    assert_eq!(ref_traffic, proc_report.traffic, "wire accounting diverged");
+}
+
+#[test]
+fn killed_process_self_restores_from_tcp_store_bit_for_bit() {
+    // The headline scenario: train, publish shards over TCP, SIGKILL one
+    // worker process, relaunch, self-restore every rank from the TCP
+    // store, finish — and match the in-process sharded faulted run
+    // exactly (losses AND ledger deltas).
+    let cfg = TrainerConfig::tiny_test(QualityConfig::cb_fe_sc(), 8);
+    let plan = FaultPlan::new(1, 6, 3); // kill rank 1 at iter 6, shards at 3 + 6
+
+    let store: Arc<dyn ShardStore> = Arc::new(MemShardStore::new());
+    let in_process = run_with_faults_sharded(&cfg, &plan, &store).expect("in-process run");
+
+    // Keep the shard directory around: CI archives the manifest from the
+    // fixed workspace-root path below (tests run with the package dir as
+    // CWD, so anchor on the manifest dir).
+    let store_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target")
+        .join("multiproc-smoke");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let outcome = run_with_faults_sharded_proc(
+        &cfg,
+        &plan,
+        &ProcFaultOptions {
+            worker_bin: worker_bin(),
+            scratch_dir: scratch("faulted"),
+            store_dir: Some(store_dir.clone()),
+        },
+    )
+    .expect("multi-process faulted run");
+
+    assert_eq!(outcome.restarts, in_process.restarts);
+    assert_eq!(outcome.snapshots_taken, in_process.snapshots_taken);
+    assert_eq!(outcome.lost_iters, in_process.lost_iters);
+    assert_eq!(outcome.resumed_from, in_process.resumed_from);
+    assert_bit_identical(&in_process.report.train_loss, &outcome.report.train_loss);
+    assert_eq!(
+        in_process.report.traffic, outcome.report.traffic,
+        "post-restore ledger deltas diverged"
+    );
+
+    // The store the processes checkpointed through holds a valid
+    // manifest naming one shard per rank.
+    let manifest = ShardManifest::load(store_dir.join(MANIFEST_FILE)).expect("manifest on disk");
+    assert_eq!(manifest.world_size(), cfg.pp * cfg.dp);
+    for entry in &manifest.shards {
+        assert!(
+            store_dir.join(&entry.name).exists(),
+            "shard {} missing",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn process_world_save_and_monitoring_roundtrip() {
+    // save_sharded over TCP produces a manifest any client can read back;
+    // dead_ranks reports a SIGKILLed process; abort tears the world down.
+    let cfg = TrainerConfig::tiny_test(QualityConfig::cb(), 4);
+    let store: Arc<dyn ShardStore> = Arc::new(MemShardStore::new());
+    let server = ShardStoreServer::spawn(Arc::clone(&store), "127.0.0.1:0").expect("store server");
+    let mut world = Trainer::launch_processes(
+        cfg.clone(),
+        ProcOptions {
+            worker_bin: worker_bin(),
+            store_addr: server.addr(),
+            scratch_dir: scratch("save"),
+        },
+    )
+    .expect("process world");
+    world.train_more(2).expect("train");
+    let manifest = world.save_sharded().expect("save");
+    assert_eq!(manifest.meta.iter, 2);
+    assert_eq!(manifest.world_size(), cfg.pp * cfg.dp);
+
+    // Every shard the manifest names is fetchable and verifies, through
+    // a fresh TCP client.
+    let client = TcpShardStore::connect(server.addr());
+    for entry in &manifest.shards {
+        let blob = client.get(&entry.name).expect("fetch shard");
+        entry.verify(&blob).expect("shard verifies");
+    }
+
+    assert!(world.dead_ranks().is_empty());
+    world.kill_rank(0).expect("kill");
+    assert_eq!(world.dead_ranks(), vec![0]);
+    world.abort();
+}

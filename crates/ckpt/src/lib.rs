@@ -60,13 +60,15 @@
 
 mod error;
 mod fault;
+pub mod framing;
 mod shard;
 mod snapshot;
 
 pub use error::CkptError;
 pub use fault::FaultPlan;
+pub use framing::fnv1a64;
 pub use shard::{
     shard_file_name, Shard, ShardEntry, ShardManifest, MANIFEST_FILE, MANIFEST_MAGIC,
     SHARD_FORMAT_VERSION, SHARD_MAGIC,
 };
-pub use snapshot::{fnv1a64, RankSection, Snapshot, SnapshotMeta, FORMAT_VERSION, MAGIC};
+pub use snapshot::{RankSection, Snapshot, SnapshotMeta, FORMAT_VERSION, MAGIC};

@@ -34,7 +34,7 @@
 //! [`Snapshot::to_shards`] followed by [`Snapshot::from_shards`]
 //! reproduces the snapshot bit for bit.
 
-use crate::snapshot::{atomic_write, fnv1a64, frame, read_framed_file, unframe};
+use crate::framing::{atomic_write, fnv1a64, frame, read_framed_file, unframe};
 use crate::{CkptError, RankSection, Snapshot, SnapshotMeta};
 use opt_tensor::{Persist, PersistError, Reader, Writer};
 use std::path::Path;

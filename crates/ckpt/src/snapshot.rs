@@ -1,5 +1,6 @@
 //! The versioned on-disk snapshot format.
 
+use crate::framing::{atomic_write, frame, read_framed_file, unframe};
 use crate::CkptError;
 use opt_tensor::{Matrix, Persist, PersistError, Reader, Writer};
 use std::path::Path;
@@ -9,154 +10,6 @@ pub const MAGIC: &[u8; 8] = b"OPTCKPT\0";
 
 /// Current snapshot format version.
 pub const FORMAT_VERSION: u32 = 1;
-
-/// FNV-1a 64-bit hash, used both as the snapshot body checksum and (by
-/// `optimus-cc`) as the config fingerprint. Not cryptographic — it guards
-/// against truncation, bit rot, and accidental config drift, which is the
-/// threat model of a training checkpoint on a trusted filesystem.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// Fixed prefix every framed checkpoint file starts with: magic (8) +
-/// format version (u32 LE) + body length (u64 LE).
-pub(crate) const HEADER_LEN: usize = 20;
-
-/// Wraps `body` in the shared frame: header, body, FNV-1a checksum.
-pub(crate) fn frame(magic: &[u8; 8], version: u32, body: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_LEN + body.len() + 8);
-    out.extend_from_slice(magic);
-    out.extend_from_slice(&version.to_le_bytes());
-    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
-    out.extend_from_slice(body);
-    out.extend_from_slice(&fnv1a64(body).to_le_bytes());
-    out
-}
-
-/// Validates the fixed-size prefix (magic and version) and returns the
-/// claimed body length — without touching the body, so callers can reject
-/// garbage before reading further.
-pub(crate) fn parse_header(bytes: &[u8], magic: &[u8; 8], version: u32) -> Result<u64, CkptError> {
-    if bytes.len() < HEADER_LEN {
-        return Err(CkptError::Truncated {
-            expected: HEADER_LEN,
-            actual: bytes.len(),
-        });
-    }
-    if &bytes[..8] != magic {
-        return Err(CkptError::BadMagic);
-    }
-    let got = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-    if got != version {
-        return Err(CkptError::UnsupportedVersion(got));
-    }
-    Ok(u64::from_le_bytes(bytes[12..20].try_into().unwrap()))
-}
-
-/// Validates a full in-memory frame and returns the checksummed body.
-pub(crate) fn unframe<'a>(
-    bytes: &'a [u8],
-    magic: &[u8; 8],
-    version: u32,
-) -> Result<&'a [u8], CkptError> {
-    let body_len64 = parse_header(bytes, magic, version)?;
-    // Checked arithmetic: a corrupt length field must surface as
-    // Truncated, not as an overflow panic or a wrapped-slice panic.
-    let total = usize::try_from(body_len64)
-        .ok()
-        .and_then(|b| HEADER_LEN.checked_add(b))
-        .and_then(|t| t.checked_add(8));
-    let total = match total {
-        Some(t) if t <= bytes.len() => t,
-        _ => {
-            return Err(CkptError::Truncated {
-                expected: total.unwrap_or(usize::MAX),
-                actual: bytes.len(),
-            })
-        }
-    };
-    let body_len = body_len64 as usize;
-    let body = &bytes[HEADER_LEN..HEADER_LEN + body_len];
-    let stored = u64::from_le_bytes(bytes[HEADER_LEN + body_len..total].try_into().unwrap());
-    let computed = fnv1a64(body);
-    if stored != computed {
-        return Err(CkptError::ChecksumMismatch { stored, computed });
-    }
-    Ok(body)
-}
-
-/// Reads a framed file header-first: the magic/version/length prefix is
-/// validated against the real file size *before* the body is read, so an
-/// oversized or garbage file is rejected early without pulling its
-/// contents into memory. Returns the checksum-verified body.
-pub(crate) fn read_framed_file(
-    path: &Path,
-    magic: &[u8; 8],
-    version: u32,
-) -> Result<Vec<u8>, CkptError> {
-    use std::io::Read;
-    let mut file = std::fs::File::open(path)?;
-    let file_len = file.metadata()?.len();
-    let mut header = [0u8; HEADER_LEN];
-    if file_len < HEADER_LEN as u64 {
-        return Err(CkptError::Truncated {
-            expected: HEADER_LEN,
-            actual: file_len as usize,
-        });
-    }
-    file.read_exact(&mut header)?;
-    let body_len64 = parse_header(&header, magic, version)?;
-    // Checked arithmetic: the claimed length must agree exactly with the
-    // bytes actually on disk (header + body + trailing checksum).
-    let expected = (HEADER_LEN as u64)
-        .checked_add(body_len64)
-        .and_then(|t| t.checked_add(8));
-    match expected {
-        Some(e) if e == file_len => {}
-        _ => {
-            return Err(CkptError::Truncated {
-                expected: expected
-                    .and_then(|e| usize::try_from(e).ok())
-                    .unwrap_or(usize::MAX),
-                actual: file_len as usize,
-            })
-        }
-    }
-    let body_len = usize::try_from(body_len64).map_err(|_| CkptError::Truncated {
-        expected: usize::MAX,
-        actual: file_len as usize,
-    })?;
-    let mut rest = vec![0u8; body_len + 8];
-    file.read_exact(&mut rest)?;
-    let stored = u64::from_le_bytes(rest[body_len..].try_into().unwrap());
-    rest.truncate(body_len);
-    let computed = fnv1a64(&rest);
-    if stored != computed {
-        return Err(CkptError::ChecksumMismatch { stored, computed });
-    }
-    Ok(rest)
-}
-
-/// Writes `bytes` to `path` via a sibling temp file and an atomic rename,
-/// so a crash mid-write can never destroy the previous good file at that
-/// path — the overwrite happens only after the new bytes are fully on
-/// disk.
-pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), CkptError> {
-    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
-    tmp_name.push(".partial");
-    let tmp = path.with_file_name(tmp_name);
-    std::fs::write(&tmp, bytes)?;
-    if let Err(e) = std::fs::rename(&tmp, path) {
-        let _ = std::fs::remove_file(&tmp);
-        return Err(e.into());
-    }
-    Ok(())
-}
 
 /// Snapshot header: who took it, when (in iterations), and under what
 /// configuration.
@@ -531,12 +384,5 @@ mod tests {
         std::fs::write(&bad, &foreign).expect("write");
         assert!(matches!(Snapshot::load(&bad), Err(CkptError::BadMagic)));
         let _ = std::fs::remove_file(&bad);
-    }
-
-    #[test]
-    fn fnv_is_stable() {
-        // Pin the hash so old snapshots stay loadable across refactors.
-        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
-        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
     }
 }

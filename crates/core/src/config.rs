@@ -319,6 +319,156 @@ impl TrainerConfig {
     }
 }
 
+impl opt_tensor::Persist for TrainerConfig {
+    fn persist(&self, w: &mut opt_tensor::Writer) {
+        self.model.name.persist(w);
+        w.usize(self.model.n_layers);
+        w.usize(self.model.hidden);
+        w.usize(self.model.heads);
+        w.usize(self.model.vocab);
+        w.usize(self.model.seq_len);
+        w.usize(self.pp);
+        w.usize(self.dp);
+        w.usize(self.micro_batch);
+        w.usize(self.n_micro);
+        w.u64(self.iters);
+        w.f32(self.lr);
+        w.u64(self.seed);
+        match self.quality.cb {
+            None => w.u8(0),
+            Some(cb) => {
+                w.u8(1);
+                match cb.method {
+                    CbMethod::LowRank(rank) => {
+                        w.u8(0);
+                        w.usize(rank);
+                    }
+                    CbMethod::TopK(density) => {
+                        w.u8(1);
+                        w.f64(density);
+                    }
+                }
+                w.u8(cb.epilogue_only as u8);
+                w.u8(cb.lazy_error as u8);
+            }
+        }
+        w.u8(self.quality.fused_embedding as u8);
+        match self.quality.sc {
+            None => w.u8(0),
+            Some(sc) => {
+                w.u8(1);
+                w.f64(sc.fraction);
+                w.usize(sc.rank);
+            }
+        }
+        match self.quality.naive_dp_rank {
+            None => w.u8(0),
+            Some(rank) => {
+                w.u8(1);
+                w.usize(rank);
+            }
+        }
+        w.u64(self.validate_every);
+        w.usize(self.val_sequences);
+        w.u8(self.collect_error_stats as u8);
+        w.f64(self.repeat_fraction);
+    }
+
+    fn restore(r: &mut opt_tensor::Reader<'_>) -> Result<Self, opt_tensor::PersistError> {
+        use opt_tensor::PersistError;
+        let flag = |r: &mut opt_tensor::Reader<'_>, what| match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(PersistError::BadTag { what, tag }),
+        };
+        let model = GptConfig {
+            name: String::restore(r)?,
+            n_layers: r.usize()?,
+            hidden: r.usize()?,
+            heads: r.usize()?,
+            vocab: r.usize()?,
+            seq_len: r.usize()?,
+        };
+        let pp = r.usize()?;
+        let dp = r.usize()?;
+        let micro_batch = r.usize()?;
+        let n_micro = r.usize()?;
+        let iters = r.u64()?;
+        let lr = r.f32()?;
+        let seed = r.u64()?;
+        let cb = match r.u8()? {
+            0 => None,
+            1 => {
+                let method = match r.u8()? {
+                    0 => CbMethod::LowRank(r.usize()?),
+                    1 => CbMethod::TopK(r.f64()?),
+                    tag => {
+                        return Err(PersistError::BadTag {
+                            what: "CbMethod",
+                            tag,
+                        })
+                    }
+                };
+                Some(CbQuality {
+                    method,
+                    epilogue_only: flag(r, "CbQuality.epilogue_only")?,
+                    lazy_error: flag(r, "CbQuality.lazy_error")?,
+                })
+            }
+            tag => {
+                return Err(PersistError::BadTag {
+                    what: "CbQuality",
+                    tag,
+                })
+            }
+        };
+        let fused_embedding = flag(r, "QualityConfig.fused_embedding")?;
+        let sc = match r.u8()? {
+            0 => None,
+            1 => Some(ScQuality {
+                fraction: r.f64()?,
+                rank: r.usize()?,
+            }),
+            tag => {
+                return Err(PersistError::BadTag {
+                    what: "ScQuality",
+                    tag,
+                })
+            }
+        };
+        let naive_dp_rank = match r.u8()? {
+            0 => None,
+            1 => Some(r.usize()?),
+            tag => {
+                return Err(PersistError::BadTag {
+                    what: "naive_dp_rank",
+                    tag,
+                })
+            }
+        };
+        Ok(TrainerConfig {
+            model,
+            pp,
+            dp,
+            micro_batch,
+            n_micro,
+            iters,
+            lr,
+            seed,
+            quality: QualityConfig {
+                cb,
+                fused_embedding,
+                sc,
+                naive_dp_rank,
+            },
+            validate_every: r.u64()?,
+            val_sequences: r.usize()?,
+            collect_error_stats: flag(r, "collect_error_stats")?,
+            repeat_fraction: r.f64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -371,6 +521,28 @@ mod tests {
         let mut shape = base;
         shape.n_micro += 1;
         assert_ne!(shape.fingerprint(), fp);
+    }
+
+    #[test]
+    fn config_wire_codec_roundtrips() {
+        use opt_tensor::Persist;
+        for cfg in [
+            TrainerConfig::small_test(QualityConfig::cb_fe_sc(), 10),
+            TrainerConfig::tiny_test(QualityConfig::baseline(), 3),
+            TrainerConfig::tiny_test(QualityConfig::cb_topk(0.1), 5),
+            TrainerConfig::tiny_test(QualityConfig::naive_dp(2), 5),
+            TrainerConfig::tiny_test(QualityConfig::cb_non_lep(), 4),
+        ] {
+            let back = TrainerConfig::from_bytes(&cfg.to_bytes()).expect("roundtrip");
+            // The fingerprint covers every state-affecting field; check
+            // the observation-only fields separately.
+            assert_eq!(back.fingerprint(), cfg.fingerprint());
+            assert_eq!(back.model.name, cfg.model.name);
+            assert_eq!(back.iters, cfg.iters);
+            assert_eq!(back.validate_every, cfg.validate_every);
+            assert_eq!(back.val_sequences, cfg.val_sequences);
+            assert_eq!(back.collect_error_stats, cfg.collect_error_stats);
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Distributed PowerSGD all-reduce for data-parallel gradients.
 
-use opt_net::{CollectiveGroup, TrafficClass, TrafficLedger};
+use opt_net::{CollectiveGroup, TrafficClass, TrafficLedger, Transport};
 use opt_tensor::{
     orthonormalize_columns, Matrix, Persist, PersistError, Reader, SeedStream, Writer,
 };
@@ -67,9 +67,9 @@ impl DistPowerSgd {
     /// PowerSGD's reference implementation does.
     ///
     /// Records wire bytes in `ledger` (fp16 accounting, per rank).
-    pub fn all_reduce(
+    pub fn all_reduce<Tr: Transport>(
         &mut self,
-        group: &CollectiveGroup,
+        group: &CollectiveGroup<Tr>,
         my_rank: usize,
         slot: usize,
         grad: &mut Matrix,

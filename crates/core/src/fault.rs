@@ -1,10 +1,14 @@
 //! Fault-injection harness: scripted worker failures with elastic restart
-//! from the newest snapshot — held by the coordinator (monolithic) or
-//! fetched per rank from a shard store (the cross-host simulation).
+//! from the newest snapshot — held by the coordinator (monolithic),
+//! fetched per rank from a shard store (the cross-host simulation), or
+//! fetched per **process** from a TCP shard store (the real thing:
+//! [`run_with_faults_sharded_proc`]).
 
+use crate::proc::{ProcError, ProcOptions, ProcTrainer};
 use crate::{TrainReport, Trainer, TrainerConfig};
 use opt_ckpt::{CkptError, FaultPlan, Snapshot};
-use opt_net::ShardStore;
+use opt_net::{FsShardStore, MemShardStore, ShardStore, ShardStoreServer};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// What a faulted run went through, alongside its final metrics.
@@ -84,6 +88,114 @@ pub fn run_with_faults_sharded(
     store: &Arc<dyn ShardStore>,
 ) -> Result<FaultOutcome, CkptError> {
     run_with_faults_impl(cfg, plan, Some(store))
+}
+
+/// Launch parameters for the real multi-process faulted run.
+#[derive(Debug, Clone)]
+pub struct ProcFaultOptions {
+    /// Path to the compiled `opt-worker` binary.
+    pub worker_bin: PathBuf,
+    /// Scratch directory for rendezvous state (fresh subdirectories are
+    /// created per world incarnation).
+    pub scratch_dir: PathBuf,
+    /// Where the shard store's blobs live: a directory (so the manifest
+    /// survives the run, e.g. for CI artifacts) or `None` for an
+    /// in-memory store inside the coordinator — workers reach it over TCP
+    /// either way.
+    pub store_dir: Option<PathBuf>,
+}
+
+/// [`run_with_faults_sharded`], but with **real OS-process workers**: the
+/// world runs as `opt-worker` processes meshed over loopback TCP,
+/// checkpoint shards travel through a [`opt_net::TcpShardStore`] served
+/// by the coordinator, the scripted failure `SIGKILL`s an actual worker
+/// process, and the replacement world self-restores from the TCP store —
+/// rendezvous on the manifest, per-rank fetch, full validation, all
+/// across real process boundaries.
+///
+/// The returned [`FaultOutcome`] is **bit-identical** (losses and
+/// traffic-ledger deltas) to what [`run_with_faults_sharded`] produces
+/// for the same config and plan in a single process — the acceptance
+/// guarantee of the transport refactor, enforced by the `multiproc`
+/// integration test and the CI smoke job.
+pub fn run_with_faults_sharded_proc(
+    cfg: &TrainerConfig,
+    plan: &FaultPlan,
+    opts: &ProcFaultOptions,
+) -> Result<FaultOutcome, ProcError> {
+    assert!(
+        plan.kill_rank < cfg.pp * cfg.dp,
+        "kill_rank {} outside the {}x{} world",
+        plan.kill_rank,
+        cfg.pp,
+        cfg.dp
+    );
+    let inner: Arc<dyn ShardStore> = match &opts.store_dir {
+        Some(dir) => Arc::new(FsShardStore::new(dir)),
+        None => Arc::new(MemShardStore::new()),
+    };
+    let server = ShardStoreServer::spawn(inner, "127.0.0.1:0")
+        .map_err(|e| ProcError::Protocol(format!("shard store server: {e}")))?;
+    let popts = ProcOptions {
+        worker_bin: opts.worker_bin.clone(),
+        store_addr: server.addr(),
+        scratch_dir: opts.scratch_dir.clone(),
+    };
+
+    let total = cfg.iters;
+    let mut trainer = ProcTrainer::launch(cfg.clone(), popts.clone())?;
+    let mut newest: Option<u64> = None;
+    let mut snapshots_taken = 0;
+    let mut restarts = 0;
+    let mut lost_iters = 0;
+    let mut resumed_from = None;
+    let mut failed = false;
+
+    let mut completed: u64 = 0;
+    while completed < total {
+        trainer.train_more(1)?;
+        completed += 1;
+        if plan.snapshot_due(completed) && completed < total {
+            newest = Some(trainer.save_sharded()?.meta.iter);
+            snapshots_taken += 1;
+        }
+        if !failed && completed == plan.kill_at_iter {
+            failed = true;
+            restarts += 1;
+            // The scripted failure: SIGKILL one real worker process. The
+            // collective world cannot progress minus a member, so the rest
+            // of the incarnation is torn down too — exactly what the
+            // in-process harness models with Trainer::kill.
+            trainer.kill_rank(plan.kill_rank)?;
+            debug_assert!(trainer.dead_ranks().contains(&plan.kill_rank));
+            trainer.abort();
+            match newest {
+                Some(iter) => {
+                    lost_iters += completed - iter;
+                    resumed_from = Some(iter);
+                    trainer = ProcTrainer::launch(cfg.clone(), popts.clone())?;
+                    trainer.self_restore_all()?;
+                    completed = iter;
+                }
+                None => {
+                    // No checkpoint yet: restart from scratch.
+                    lost_iters += completed;
+                    resumed_from = Some(0);
+                    trainer = ProcTrainer::launch(cfg.clone(), popts.clone())?;
+                    completed = 0;
+                }
+            }
+        }
+    }
+    let report = trainer.report()?;
+    trainer.shutdown()?;
+    Ok(FaultOutcome {
+        report,
+        snapshots_taken,
+        restarts,
+        lost_iters,
+        resumed_from,
+    })
 }
 
 /// The newest checkpoint a faulted run can restart from.

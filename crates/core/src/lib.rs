@@ -58,13 +58,20 @@ mod config;
 mod dp_compress;
 mod fault;
 mod memory;
+mod proc;
 mod stats;
 mod trainer;
 mod worker;
 
 pub use config::{CbMethod, CbQuality, QualityConfig, ScQuality, TrainerConfig};
 pub use dp_compress::DistPowerSgd;
-pub use fault::{run_with_faults, run_with_faults_sharded, FaultOutcome};
+pub use fault::{
+    run_with_faults, run_with_faults_sharded, run_with_faults_sharded_proc, FaultOutcome,
+    ProcFaultOptions,
+};
 pub use memory::MemoryReport;
+pub use proc::{
+    worker_main, ProcError, ProcOptions, ProcTrainer, ENV_CFG, ENV_RANK, ENV_RDV, ENV_STORE,
+};
 pub use stats::{ErrorStatPoint, TrainReport, ValPoint};
 pub use trainer::Trainer;

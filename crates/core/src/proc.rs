@@ -1,0 +1,914 @@
+//! Real multi-process workers: one `opt-worker` OS process per
+//! `(stage, dp)` rank, meshed over TCP, driven by a coordinator.
+//!
+//! The in-process [`crate::Trainer`] runs its world as threads over
+//! `opt-net`'s `LocalTransport`. This module runs the **same worker
+//! loop** (`run_worker`, generic over the transport) as real OS processes
+//! over [`TcpTransport`]:
+//!
+//! ```text
+//!   coordinator (ProcTrainer, rank W = pp*dp)
+//!     | spawn + monitor            | WireCmd / acks / metrics (TCP lanes)
+//!     v                            v
+//!   opt-worker rank 0  <—— collectives + p2p over TcpTransport ——>  rank W-1
+//!     |                                                                |
+//!     +——— put/get shards over TcpShardStore ———> ShardStoreServer <———+
+//!                                                (in the coordinator)
+//! ```
+//!
+//! Rendezvous: every process (workers and coordinator) binds an ephemeral
+//! loopback listener and publishes it in a shared scratch directory
+//! ([`opt_net::tcp_rendezvous`]); checkpoint shards move through a
+//! [`TcpShardStore`] client talking to a [`ShardStoreServer`] hosted by
+//! the coordinator — a real remote blob store as far as any worker can
+//! tell.
+//!
+//! The payoff is the determinism contract, now across process
+//! boundaries: because collectives reduce in member order, batch keys are
+//! pure functions of the config, and loss aggregation sorts before
+//! reducing, a multi-process run — including one that loses a worker
+//! process mid-run and self-restores a replacement from the shard store —
+//! produces **bit-identical** losses and traffic-ledger deltas to the
+//! single-process in-process run ([`run_with_faults_sharded_proc`] vs.
+//! [`crate::run_with_faults_sharded`], enforced by `opt-bench`'s
+//! `multiproc` integration test and the CI smoke job).
+
+use crate::config::TrainerConfig;
+use crate::stats::{Collector, RawSamples, TrainReport};
+use crate::worker::{build_groups, run_worker, Cmd, WorkerAck, WorkerCtx, WorldGroups};
+use crossbeam::channel::unbounded;
+use opt_ckpt::{CkptError, ShardEntry, ShardManifest, MANIFEST_FILE};
+use opt_net::{
+    channel_id, tcp_rendezvous, CollectiveWorld, P2pMesh, ShardStore, TcpShardStore, TcpTransport,
+    TrafficLedger, TrafficSnapshot, Transport, TransportError,
+};
+use opt_tensor::{Persist, PersistError, Reader, Writer};
+use std::fmt;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::Child;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Channel namespace 1: the two pipeline meshes.
+const CH_FWD: u64 = channel_id(1, 0);
+const CH_BWD: u64 = channel_id(1, 1);
+/// Channel namespace 3: the coordinator <-> worker control plane.
+const CH_CMD: u64 = channel_id(3, 0);
+const CH_ACK: u64 = channel_id(3, 1);
+const CH_SHARD: u64 = channel_id(3, 2);
+const CH_RESTORE: u64 = channel_id(3, 3);
+const CH_METRICS: u64 = channel_id(3, 4);
+
+/// How long the coordinator waits for one control-plane response. A
+/// barrier ack covers a whole batch of training iterations, so this is
+/// deliberately generous.
+const CTRL_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// How long processes wait for the world to rendezvous and mesh.
+const RDV_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Environment protocol between the coordinator and `opt-worker`.
+pub const ENV_RANK: &str = "OPT_WORKER_RANK";
+pub const ENV_CFG: &str = "OPT_WORKER_CFG";
+pub const ENV_RDV: &str = "OPT_WORKER_RDV";
+pub const ENV_STORE: &str = "OPT_WORKER_STORE";
+
+/// Why a multi-process operation failed.
+#[derive(Debug)]
+pub enum ProcError {
+    /// Spawning or signalling a worker process failed.
+    Io(std::io::Error),
+    /// The TCP fabric failed (rendezvous, send, recv).
+    Transport(TransportError),
+    /// A checkpoint operation failed.
+    Ckpt(CkptError),
+    /// A control-plane message violated the protocol.
+    Protocol(String),
+}
+
+impl fmt::Display for ProcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcError::Io(e) => write!(f, "worker process I/O failed: {e}"),
+            ProcError::Transport(e) => write!(f, "worker fabric failed: {e}"),
+            ProcError::Ckpt(e) => write!(f, "checkpoint operation failed: {e}"),
+            ProcError::Protocol(d) => write!(f, "control protocol violation: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ProcError {}
+
+impl From<std::io::Error> for ProcError {
+    fn from(e: std::io::Error) -> Self {
+        ProcError::Io(e)
+    }
+}
+
+impl From<TransportError> for ProcError {
+    fn from(e: TransportError) -> Self {
+        ProcError::Transport(e)
+    }
+}
+
+impl From<CkptError> for ProcError {
+    fn from(e: CkptError) -> Self {
+        ProcError::Ckpt(e)
+    }
+}
+
+impl From<PersistError> for ProcError {
+    fn from(e: PersistError) -> Self {
+        ProcError::Protocol(format!("malformed control message: {e}"))
+    }
+}
+
+/// The control commands the coordinator broadcasts to worker processes —
+/// the wire twin of the in-process `Cmd`, minus anything that cannot
+/// cross a process boundary (stores travel as the worker's own
+/// [`TcpShardStore`] client; monolithic snapshot sections never leave
+/// their process on this path).
+#[derive(Debug, Clone, PartialEq)]
+enum WireCmd {
+    TrainIter { iter: u64 },
+    Validate { iter: u64, index: u64, n_seq: usize },
+    Barrier { id: u64 },
+    PublishShard { id: u64, iter: u64 },
+    SelfRestore { id: u64 },
+    FetchMetrics { id: u64 },
+    Stop,
+}
+
+impl Persist for WireCmd {
+    fn persist(&self, w: &mut Writer) {
+        match self {
+            WireCmd::TrainIter { iter } => {
+                w.u8(0);
+                w.u64(*iter);
+            }
+            WireCmd::Validate { iter, index, n_seq } => {
+                w.u8(1);
+                w.u64(*iter);
+                w.u64(*index);
+                w.usize(*n_seq);
+            }
+            WireCmd::Barrier { id } => {
+                w.u8(2);
+                w.u64(*id);
+            }
+            WireCmd::PublishShard { id, iter } => {
+                w.u8(3);
+                w.u64(*id);
+                w.u64(*iter);
+            }
+            WireCmd::SelfRestore { id } => {
+                w.u8(4);
+                w.u64(*id);
+            }
+            WireCmd::FetchMetrics { id } => {
+                w.u8(5);
+                w.u64(*id);
+            }
+            WireCmd::Stop => w.u8(6),
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(match r.u8()? {
+            0 => WireCmd::TrainIter { iter: r.u64()? },
+            1 => WireCmd::Validate {
+                iter: r.u64()?,
+                index: r.u64()?,
+                n_seq: r.usize()?,
+            },
+            2 => WireCmd::Barrier { id: r.u64()? },
+            3 => WireCmd::PublishShard {
+                id: r.u64()?,
+                iter: r.u64()?,
+            },
+            4 => WireCmd::SelfRestore { id: r.u64()? },
+            5 => WireCmd::FetchMetrics { id: r.u64()? },
+            6 => WireCmd::Stop,
+            tag => {
+                return Err(PersistError::BadTag {
+                    what: "WireCmd",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Persist for WorkerAck {
+    fn persist(&self, w: &mut Writer) {
+        w.u64(self.id);
+        w.usize(self.stage);
+        w.usize(self.dp);
+        w.usize(self.param_elems);
+        w.usize(self.lazy_error_elems);
+        w.usize(self.compressor_elems);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(WorkerAck {
+            id: r.u64()?,
+            stage: r.usize()?,
+            dp: r.usize()?,
+            param_elems: r.usize()?,
+            lazy_error_elems: r.usize()?,
+            compressor_elems: r.usize()?,
+        })
+    }
+}
+
+impl Persist for RawSamples {
+    fn persist(&self, w: &mut Writer) {
+        self.train.persist(w);
+        self.val.persist(w);
+        self.error_stats.persist(w);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(RawSamples {
+            train: Vec::restore(r)?,
+            val: Vec::restore(r)?,
+            error_stats: Vec::restore(r)?,
+        })
+    }
+}
+
+/// Encodes a `Result<T, CkptError>` for the control plane; the error
+/// travels as its display string (the coordinator rewraps it as
+/// `CkptError::Store`, which is how every remote failure is surfaced).
+fn persist_ckpt_result<T: Persist>(result: &Result<T, CkptError>, w: &mut Writer) {
+    match result {
+        Ok(v) => {
+            w.u8(0);
+            v.persist(w);
+        }
+        Err(e) => {
+            w.u8(1);
+            e.to_string().persist(w);
+        }
+    }
+}
+
+fn restore_ckpt_result<T: Persist>(
+    r: &mut Reader<'_>,
+) -> Result<Result<T, CkptError>, PersistError> {
+    Ok(match r.u8()? {
+        0 => Ok(T::restore(r)?),
+        1 => Err(CkptError::Store {
+            what: String::restore(r)?,
+        }),
+        tag => {
+            return Err(PersistError::BadTag {
+                what: "ckpt result",
+                tag,
+            })
+        }
+    })
+}
+
+fn to_hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok())
+        .collect()
+}
+
+/// Launch parameters for a multi-process world.
+#[derive(Debug, Clone)]
+pub struct ProcOptions {
+    /// Path to the compiled `opt-worker` binary.
+    pub worker_bin: PathBuf,
+    /// Address of the [`opt_net::ShardStoreServer`] workers fetch shards
+    /// from.
+    pub store_addr: SocketAddr,
+    /// Directory rendezvous scratch lives under (a fresh subdirectory is
+    /// created per world incarnation).
+    pub scratch_dir: PathBuf,
+}
+
+/// Monotonic incarnation counter, so successive worlds under one scratch
+/// directory never share a rendezvous namespace.
+static INCARNATION: AtomicU64 = AtomicU64::new(0);
+
+/// The coordinator of a multi-process training world: spawns one
+/// `opt-worker` OS process per `(stage, dp)` rank, meshes with them over
+/// TCP as the extra rank `pp * dp`, and drives the same command protocol
+/// the in-process [`crate::Trainer`] drives over channels.
+///
+/// Created via [`crate::Trainer::launch_processes`].
+pub struct ProcTrainer {
+    cfg: TrainerConfig,
+    opts: ProcOptions,
+    transport: Arc<TcpTransport>,
+    children: Vec<Child>,
+    /// The coordinator's own client view of the shard store.
+    store: TcpShardStore,
+    next_id: u64,
+    trained_iters: u64,
+}
+
+impl fmt::Debug for ProcTrainer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ProcTrainer(pp={}, dp={}, workers={})",
+            self.cfg.pp,
+            self.cfg.dp,
+            self.children.len()
+        )
+    }
+}
+
+impl ProcTrainer {
+    /// Spawns the worker processes and meshes the world. The coordinator
+    /// participates in the TCP world as rank `pp * dp`.
+    pub(crate) fn launch(cfg: TrainerConfig, opts: ProcOptions) -> Result<ProcTrainer, ProcError> {
+        assert!(cfg.pp > 0 && cfg.dp > 0, "pp and dp must be positive");
+        let world = cfg.pp * cfg.dp;
+        let coord = world;
+        let incarnation = INCARNATION.fetch_add(1, Ordering::SeqCst);
+        let rdv_dir = opts
+            .scratch_dir
+            .join(format!("rdv-{}-{incarnation}", std::process::id()));
+        std::fs::create_dir_all(&rdv_dir)?;
+        let cfg_hex = to_hex(&cfg.to_bytes());
+        let mut children = Vec::with_capacity(world);
+        for rank in 0..world {
+            let child = std::process::Command::new(&opts.worker_bin)
+                .env(ENV_RANK, rank.to_string())
+                .env(ENV_CFG, &cfg_hex)
+                .env(ENV_RDV, &rdv_dir)
+                .env(ENV_STORE, opts.store_addr.to_string())
+                .spawn();
+            match child {
+                Ok(c) => children.push(c),
+                Err(e) => {
+                    // Reap anything already spawned before reporting.
+                    for mut c in children {
+                        let _ = c.kill();
+                        let _ = c.wait();
+                    }
+                    return Err(ProcError::Io(e));
+                }
+            }
+        }
+        let transport = match tcp_rendezvous(&rdv_dir, world + 1, coord, RDV_TIMEOUT) {
+            Ok(t) => Arc::new(t),
+            Err(e) => {
+                for c in &mut children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                return Err(ProcError::Transport(e));
+            }
+        };
+        Ok(ProcTrainer {
+            cfg,
+            store: TcpShardStore::connect(opts.store_addr),
+            opts,
+            transport,
+            children,
+            next_id: 0,
+            trained_iters: 0,
+        })
+    }
+
+    /// The configuration of this run.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.cfg
+    }
+
+    /// Iterations completed so far (includes iterations inherited from a
+    /// restored checkpoint).
+    pub fn trained_iters(&self) -> u64 {
+        self.trained_iters
+    }
+
+    fn world(&self) -> usize {
+        self.cfg.pp * self.cfg.dp
+    }
+
+    fn coord(&self) -> usize {
+        self.world()
+    }
+
+    fn broadcast(&self, cmd: &WireCmd) -> Result<(), ProcError> {
+        let coord = self.coord();
+        let bytes = cmd.to_bytes();
+        for rank in 0..self.world() {
+            self.transport.send(coord, rank, CH_CMD, bytes.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Receives one control message from `rank` on `channel`, decoding it
+    /// with `parse` and skipping stale ids (`< id`) left over from
+    /// abandoned requests. FIFO per lane makes this loss-free.
+    fn recv_matching<T>(
+        &self,
+        rank: usize,
+        channel: u64,
+        id: u64,
+        parse: impl Fn(&mut Reader<'_>) -> Result<(u64, T), PersistError>,
+    ) -> Result<T, ProcError> {
+        let coord = self.coord();
+        loop {
+            let bytes = self.transport.recv(rank, coord, channel, CTRL_TIMEOUT)?;
+            let mut r = Reader::new(&bytes);
+            let (got, value) = parse(&mut r)?;
+            r.finish()?;
+            if got == id {
+                return Ok(value);
+            }
+            if got > id {
+                return Err(ProcError::Protocol(format!(
+                    "rank {rank} answered request {got} while {id} was pending"
+                )));
+            }
+        }
+    }
+
+    /// Broadcasts a barrier and waits for every worker's ack.
+    fn barrier(&mut self) -> Result<Vec<WorkerAck>, ProcError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        self.broadcast(&WireCmd::Barrier { id })?;
+        let mut acks = Vec::with_capacity(self.world());
+        for rank in 0..self.world() {
+            acks.push(self.recv_matching(rank, CH_ACK, id, |r| {
+                let ack = WorkerAck::restore(r)?;
+                Ok((ack.id, ack))
+            })?);
+        }
+        Ok(acks)
+    }
+
+    /// Runs extra training iterations, leaving the world quiesced.
+    pub fn train_more(&mut self, extra: u64) -> Result<(), ProcError> {
+        for iter in self.trained_iters..self.trained_iters + extra {
+            self.broadcast(&WireCmd::TrainIter { iter })?;
+        }
+        self.trained_iters += extra;
+        self.barrier()?;
+        Ok(())
+    }
+
+    /// Runs training up to the configured iteration count with periodic
+    /// validation — the multi-process mirror of [`crate::Trainer::train`],
+    /// same command schedule, same aggregation, bit-identical report.
+    pub fn train(&mut self) -> Result<TrainReport, ProcError> {
+        let iters = self.cfg.iters;
+        for iter in self.trained_iters..iters {
+            self.broadcast(&WireCmd::TrainIter { iter })?;
+            let validate_now =
+                self.cfg.validate_every > 0 && (iter + 1) % self.cfg.validate_every == 0;
+            if validate_now {
+                self.broadcast(&WireCmd::Validate {
+                    iter,
+                    index: iter,
+                    n_seq: self.cfg.val_sequences,
+                })?;
+            }
+        }
+        self.broadcast(&WireCmd::Validate {
+            iter: iters.saturating_sub(1),
+            index: iters,
+            n_seq: self.cfg.val_sequences,
+        })?;
+        self.trained_iters = iters.max(self.trained_iters);
+        self.report()
+    }
+
+    /// Quiesces the workers, gathers every process's raw samples and
+    /// ledger, and aggregates them exactly as the in-process collector
+    /// does (per-iteration sort before the floating-point mean, exact
+    /// integer traffic sums) — so the report is bit-identical to the one
+    /// a single-process run would produce.
+    pub fn report(&mut self) -> Result<TrainReport, ProcError> {
+        let (collector, traffic) = self.gather_metrics()?;
+        Ok(collector.into_report(self.trained_iters, traffic))
+    }
+
+    /// Quiesces the workers and returns the merged traffic counters.
+    pub fn traffic(&mut self) -> Result<TrafficSnapshot, ProcError> {
+        Ok(self.gather_metrics()?.1)
+    }
+
+    fn gather_metrics(&mut self) -> Result<(Collector, TrafficSnapshot), ProcError> {
+        // The barrier quiesces every worker; FetchMetrics is then handled
+        // by the worker's control bridge while its loop is idle.
+        self.barrier()?;
+        self.next_id += 1;
+        let id = self.next_id;
+        self.broadcast(&WireCmd::FetchMetrics { id })?;
+        let collector = Collector::default();
+        let mut traffic = TrafficSnapshot::default();
+        for rank in 0..self.world() {
+            let (raw, snap) = self.recv_matching(rank, CH_METRICS, id, |r| {
+                let got = r.u64()?;
+                let raw = RawSamples::restore(r)?;
+                let snap = TrafficSnapshot::restore(r)?;
+                Ok((got, (raw, snap)))
+            })?;
+            collector.absorb(&raw);
+            traffic.absorb(&snap);
+        }
+        Ok((collector, traffic))
+    }
+
+    /// Captures a sharded checkpoint: every worker process publishes its
+    /// own shard to the store **over TCP**, the coordinator assembles and
+    /// publishes the manifest last — the same commit order as the
+    /// in-process path, so a crash mid-save leaves the previous
+    /// checkpoint fully restorable.
+    pub fn save_sharded(&mut self) -> Result<ShardManifest, ProcError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        let iter = self.trained_iters;
+        self.broadcast(&WireCmd::PublishShard { id, iter })?;
+        let world = self.world();
+        let pp = self.cfg.pp;
+        let mut entries: Vec<Option<ShardEntry>> = vec![None; world];
+        let mut first_err = None;
+        for rank in 0..world {
+            let result = self.recv_matching(rank, CH_SHARD, id, |r| {
+                let got = r.u64()?;
+                let result = restore_ckpt_result::<ShardEntry>(r)?;
+                Ok((got, result))
+            })?;
+            match result {
+                Ok(entry) => {
+                    let idx = entry.dp * pp + entry.stage;
+                    if entries[idx].is_some() {
+                        return Err(ProcError::Protocol(format!(
+                            "duplicate shard entry for (stage {}, dp {})",
+                            entry.stage, entry.dp
+                        )));
+                    }
+                    entries[idx] = Some(entry);
+                }
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(ProcError::Ckpt(e));
+        }
+        // The same commit path as the in-process trainer (manifest last,
+        // then GC), through the coordinator's own TCP client.
+        crate::trainer::commit_manifest(&self.cfg, iter, entries, &self.store)
+            .map_err(ProcError::Ckpt)
+    }
+
+    /// Has every worker process rendezvous on the store's manifest, fetch
+    /// only its own shard over TCP, validate, and apply it. Returns the
+    /// checkpoint iteration the world resumed at.
+    pub fn self_restore_all(&mut self) -> Result<u64, ProcError> {
+        let manifest_bytes = self.store.get(MANIFEST_FILE).map_err(|e| {
+            ProcError::Ckpt(CkptError::Store {
+                what: e.to_string(),
+            })
+        })?;
+        let manifest = ShardManifest::decode(&manifest_bytes)?;
+        let want_iter = manifest.meta.iter;
+        self.next_id += 1;
+        let id = self.next_id;
+        self.broadcast(&WireCmd::SelfRestore { id })?;
+        let mut first_err = None;
+        for rank in 0..self.world() {
+            let (stage, dp, result) = self.recv_matching(rank, CH_RESTORE, id, |r| {
+                let got = r.u64()?;
+                let stage = r.usize()?;
+                let dp = r.usize()?;
+                let result = restore_ckpt_result::<u64>(r)?;
+                Ok((got, (stage, dp, result)))
+            })?;
+            match result {
+                Ok(iter) if iter == want_iter => {}
+                Ok(_) => {
+                    first_err = first_err.or(Some(CkptError::ShardMismatch {
+                        stage,
+                        dp,
+                        what: "restored shard is from a different checkpoint than the manifest",
+                    }))
+                }
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(ProcError::Ckpt(e));
+        }
+        self.trained_iters = want_iter;
+        Ok(want_iter)
+    }
+
+    /// Kills the worker process for global rank `rank` the way a real
+    /// failure does: `SIGKILL`, no handshake, no flushing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` lies outside the world.
+    pub fn kill_rank(&mut self, rank: usize) -> Result<(), ProcError> {
+        assert!(rank < self.world(), "rank {rank} outside the world");
+        self.children[rank].kill()?;
+        self.children[rank].wait()?;
+        Ok(())
+    }
+
+    /// Ranks whose worker process has exited (monitoring; an unexpected
+    /// entry here means the world has lost a member and cannot progress).
+    pub fn dead_ranks(&mut self) -> Vec<usize> {
+        self.children
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(rank, child)| child.try_wait().ok().flatten().map(|_| rank))
+            .collect()
+    }
+
+    /// Tears the whole world down the way a fatal failure does: every
+    /// worker process is killed and reaped, no handshake. The shard store
+    /// (which lives with the caller) survives — exactly the state a
+    /// cluster is in after a job-level abort.
+    pub fn abort(mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        // Dropping the transport shuts the control sockets down.
+    }
+
+    /// Clean shutdown: broadcast `Stop`, then reap every worker process.
+    pub fn shutdown(mut self) -> Result<(), ProcError> {
+        self.broadcast(&WireCmd::Stop)?;
+        for child in &mut self.children {
+            child.wait()?;
+        }
+        Ok(())
+    }
+
+    /// The launch options this world was spawned with (reused to relaunch
+    /// a replacement world against the same store and scratch space).
+    pub fn options(&self) -> &ProcOptions {
+        &self.opts
+    }
+}
+
+/// The body of the `opt-worker` binary: runs **one** `(stage, dp)` rank
+/// as a real OS process. Reads the environment protocol
+/// ([`ENV_RANK`], [`ENV_CFG`], [`ENV_RDV`], [`ENV_STORE`]), rendezvouses
+/// with the rest of the world over TCP, builds the exact same
+/// `WorkerCtx` the in-process trainer builds (meshes, collective groups —
+/// through the same order-fixing `build_groups`), and enters the shared
+/// `run_worker` loop. Control commands arrive over TCP and are bridged
+/// onto the worker's command channel; acks, shard digests, restore
+/// outcomes, and metrics are bridged back.
+pub fn worker_main() -> Result<(), ProcError> {
+    let env = |key: &str| {
+        std::env::var(key).map_err(|_| ProcError::Protocol(format!("{key} is not set")))
+    };
+    let rank: usize = env(ENV_RANK)?
+        .parse()
+        .map_err(|_| ProcError::Protocol(format!("{ENV_RANK} is not a rank")))?;
+    let cfg_bytes = from_hex(&env(ENV_CFG)?)
+        .ok_or_else(|| ProcError::Protocol(format!("{ENV_CFG} is not hex")))?;
+    let cfg = TrainerConfig::from_bytes(&cfg_bytes)?;
+    let rdv_dir = PathBuf::from(env(ENV_RDV)?);
+    let store_addr: SocketAddr = env(ENV_STORE)?
+        .parse()
+        .map_err(|_| ProcError::Protocol(format!("{ENV_STORE} is not an address")))?;
+
+    let pp = cfg.pp;
+    let dp = cfg.dp;
+    let world = pp * dp;
+    if rank >= world {
+        return Err(ProcError::Protocol(format!(
+            "rank {rank} outside the {pp}x{dp} world"
+        )));
+    }
+    let coord = world;
+    let stage_idx = rank % pp;
+    let dp_idx = rank / pp;
+
+    // Mesh the world: workers + the coordinator as rank `world`.
+    let transport = Arc::new(tcp_rendezvous(&rdv_dir, world + 1, rank, RDV_TIMEOUT)?);
+    let store: Arc<dyn ShardStore> = Arc::new(TcpShardStore::connect(store_addr));
+
+    // Same construction sequence as Trainer::launch, so collective
+    // channel ids agree across every process of the world.
+    let fwd_mesh = P2pMesh::over(Arc::clone(&transport), CH_FWD);
+    let bwd_mesh = P2pMesh::over(Arc::clone(&transport), CH_BWD);
+    let collective_world = CollectiveWorld::over(Arc::clone(&transport));
+    let WorldGroups {
+        stage_groups,
+        emb_pair_groups,
+        fused_group,
+    } = build_groups(&collective_world, pp, dp);
+
+    let (cmd_tx, cmd_rx) = unbounded();
+    let (ack_tx, ack_rx) = unbounded();
+    let (snap_tx, snap_rx) = unbounded();
+    let (shard_tx, shard_rx) = unbounded();
+    let (restore_tx, restore_rx) = unbounded();
+    let (predict_tx, predict_rx) = unbounded();
+    let collector = Collector::default();
+    let ledger = TrafficLedger::new();
+
+    let ctx = WorkerCtx {
+        cfg: cfg.clone(),
+        stage_idx,
+        dp_idx,
+        stage: opt_model::Stage::build_pipeline(&cfg.model, pp, cfg.seed)
+            .into_iter()
+            .nth(stage_idx)
+            .expect("stage exists"),
+        corpus: cfg.corpus(),
+        fwd_mesh,
+        bwd_mesh,
+        stage_group: stage_groups[stage_idx].clone(),
+        emb_pair_group: if stage_idx == 0 || stage_idx == pp - 1 {
+            emb_pair_groups[dp_idx].clone()
+        } else {
+            None
+        },
+        fused_group: if stage_idx == 0 || stage_idx == pp - 1 {
+            fused_group.clone()
+        } else {
+            None
+        },
+        cmds: cmd_rx,
+        acks: ack_tx,
+        snap_out: snap_tx,
+        shard_out: shard_tx,
+        restore_out: restore_tx,
+        predict_out: predict_tx,
+        collector: collector.clone(),
+        ledger: ledger.clone(),
+    };
+
+    // Control bridge in: TCP command lane -> worker command channel.
+    // FetchMetrics is answered here directly — the coordinator only sends
+    // it after a barrier ack, i.e. while the worker loop is idle.
+    let bridge_transport = Arc::clone(&transport);
+    let bridge_collector = collector.clone();
+    let bridge_ledger = ledger.clone();
+    let bridge_store = Arc::clone(&store);
+    let bridge = std::thread::Builder::new()
+        .name("ctrl-bridge".to_string())
+        .spawn(move || loop {
+            let bytes = match bridge_transport.recv(coord, rank, CH_CMD, CTRL_TIMEOUT) {
+                Ok(b) => b,
+                Err(TransportError::Timeout { .. }) => continue, // idle world
+                Err(_) => {
+                    // Coordinator died: stop the worker loop and exit.
+                    let _ = cmd_tx.send(Cmd::Stop);
+                    return;
+                }
+            };
+            let cmd = match WireCmd::from_bytes(&bytes) {
+                Ok(c) => c,
+                Err(_) => {
+                    let _ = cmd_tx.send(Cmd::Stop);
+                    return;
+                }
+            };
+            let forward = match cmd {
+                WireCmd::TrainIter { iter } => Cmd::TrainIter { iter },
+                WireCmd::Validate { iter, index, n_seq } => Cmd::Validate { iter, index, n_seq },
+                WireCmd::Barrier { id } => Cmd::Barrier { id },
+                WireCmd::PublishShard { id, iter } => Cmd::PublishShard {
+                    id,
+                    iter,
+                    store: Arc::clone(&bridge_store),
+                },
+                WireCmd::SelfRestore { id } => Cmd::SelfRestore {
+                    id,
+                    store: Arc::clone(&bridge_store),
+                },
+                WireCmd::FetchMetrics { id } => {
+                    let mut w = Writer::new();
+                    w.u64(id);
+                    bridge_collector.raw_samples().persist(&mut w);
+                    bridge_ledger.snapshot().persist(&mut w);
+                    let _ = bridge_transport.send(rank, coord, CH_METRICS, w.into_bytes());
+                    continue;
+                }
+                WireCmd::Stop => {
+                    let _ = cmd_tx.send(Cmd::Stop);
+                    return;
+                }
+            };
+            if cmd_tx.send(forward).is_err() {
+                return;
+            }
+        })
+        .map_err(ProcError::Io)?;
+
+    // Control bridges out: worker result channels -> TCP lanes.
+    let ack_transport = Arc::clone(&transport);
+    let ack_bridge = std::thread::spawn(move || {
+        while let Ok(ack) = ack_rx.recv() {
+            let _ = ack_transport.send(rank, coord, CH_ACK, ack.to_bytes());
+        }
+    });
+    let shard_transport = Arc::clone(&transport);
+    let shard_bridge = std::thread::spawn(move || {
+        while let Ok((id, result)) = shard_rx.recv() {
+            let mut w = Writer::new();
+            w.u64(id);
+            persist_ckpt_result(&result, &mut w);
+            let _ = shard_transport.send(rank, coord, CH_SHARD, w.into_bytes());
+        }
+    });
+    let restore_transport = Arc::clone(&transport);
+    let restore_bridge = std::thread::spawn(move || {
+        while let Ok((id, stage, dp, result)) = restore_rx.recv() {
+            let mut w = Writer::new();
+            w.u64(id);
+            w.usize(stage);
+            w.usize(dp);
+            persist_ckpt_result(&result, &mut w);
+            let _ = restore_transport.send(rank, coord, CH_RESTORE, w.into_bytes());
+        }
+    });
+
+    // The worker loop proper — identical code to the in-process threads.
+    run_worker(ctx);
+
+    // ctx dropped inside run_worker: the out-bridge channels close and
+    // their threads drain; the in-bridge exits on Stop (or coordinator
+    // death). The unused monolithic-snapshot and predict receivers were
+    // simply never sent to on this path.
+    drop(snap_rx);
+    drop(predict_rx);
+    let _ = bridge.join();
+    let _ = ack_bridge.join();
+    let _ = shard_bridge.join();
+    let _ = restore_bridge.join();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_cmds_roundtrip() {
+        let cmds = [
+            WireCmd::TrainIter { iter: 7 },
+            WireCmd::Validate {
+                iter: 3,
+                index: 4,
+                n_seq: 32,
+            },
+            WireCmd::Barrier { id: 9 },
+            WireCmd::PublishShard { id: 1, iter: 2 },
+            WireCmd::SelfRestore { id: 5 },
+            WireCmd::FetchMetrics { id: 6 },
+            WireCmd::Stop,
+        ];
+        for cmd in cmds {
+            assert_eq!(WireCmd::from_bytes(&cmd.to_bytes()).unwrap(), cmd);
+        }
+    }
+
+    #[test]
+    fn ckpt_results_roundtrip_with_error_as_store() {
+        let ok: Result<u64, CkptError> = Ok(42);
+        let mut w = Writer::new();
+        persist_ckpt_result(&ok, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = restore_ckpt_result::<u64>(&mut r).unwrap();
+        assert_eq!(back.unwrap(), 42);
+
+        let err: Result<u64, CkptError> = Err(CkptError::BadMagic);
+        let mut w = Writer::new();
+        persist_ckpt_result(&err, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = restore_ckpt_result::<u64>(&mut r).unwrap();
+        match back {
+            Err(CkptError::Store { what }) => assert!(!what.is_empty()),
+            other => panic!("expected Store error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hex_roundtrips() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        assert!(from_hex("abc").is_none());
+        assert!(from_hex("zz").is_none());
+    }
+}

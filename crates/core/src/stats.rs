@@ -36,6 +36,26 @@ pub struct ErrorStatPoint {
     pub cosine: f32,
 }
 
+impl opt_tensor::Persist for ErrorStatPoint {
+    fn persist(&self, w: &mut opt_tensor::Writer) {
+        w.u64(self.iter);
+        w.usize(self.stage);
+        w.f32(self.error_mean);
+        w.f32(self.act_diff_mean);
+        w.f32(self.cosine);
+    }
+
+    fn restore(r: &mut opt_tensor::Reader<'_>) -> Result<Self, opt_tensor::PersistError> {
+        Ok(Self {
+            iter: r.u64()?,
+            stage: r.usize()?,
+            error_mean: r.f32()?,
+            act_diff_mean: r.f32()?,
+            cosine: r.f32()?,
+        })
+    }
+}
+
 /// Final report of a training run.
 #[derive(Debug, Clone, Default)]
 pub struct TrainReport {
@@ -79,9 +99,44 @@ struct CollectorInner {
     error_stats: Vec<ErrorStatPoint>,
 }
 
+/// The raw samples of one worker's collector, in wire-friendly form —
+/// what a remote worker ships to the coordinator at report time. Merge
+/// order across workers does not matter: [`Collector::into_report`] sorts
+/// each iteration's samples before the floating-point reduction, so a
+/// merged multi-process report is bit-identical to the single shared
+/// collector of an in-process run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RawSamples {
+    /// (iter, loss) training samples, one per micro-batch.
+    pub train: Vec<(u64, f32)>,
+    /// (iter, loss) validation samples.
+    pub val: Vec<(u64, f32)>,
+    /// Fig. 11 samples.
+    pub error_stats: Vec<ErrorStatPoint>,
+}
+
 impl Collector {
     pub fn record_train(&self, iter: u64, loss: f32) {
         self.inner.lock().train_samples.push((iter, loss));
+    }
+
+    /// Snapshots the raw samples recorded so far (quiesce first: callers
+    /// barrier the workers before reading).
+    pub fn raw_samples(&self) -> RawSamples {
+        let inner = self.inner.lock();
+        RawSamples {
+            train: inner.train_samples.clone(),
+            val: inner.val_samples.clone(),
+            error_stats: inner.error_stats.clone(),
+        }
+    }
+
+    /// Folds another worker's raw samples into this collector.
+    pub fn absorb(&self, raw: &RawSamples) {
+        let mut inner = self.inner.lock();
+        inner.train_samples.extend_from_slice(&raw.train);
+        inner.val_samples.extend_from_slice(&raw.val);
+        inner.error_stats.extend_from_slice(&raw.error_stats);
     }
 
     pub fn record_val(&self, iter: u64, loss: f32) {
@@ -126,6 +181,12 @@ impl Collector {
                 train_loss.push(mean_sorted(samples));
             }
         }
+        // Error stats arrive in thread-scheduling (or, multi-process,
+        // rank-merge) order; each (iter, stage) subsequence comes from a
+        // single worker in micro order, so a stable key sort makes the
+        // final vector identical however the worlds interleaved.
+        let mut error_stats = inner.error_stats;
+        error_stats.sort_by_key(|p| (p.iter, p.stage));
         let mut val_iters: Vec<u64> = inner.val_samples.iter().map(|(i, _)| *i).collect();
         val_iters.sort_unstable();
         val_iters.dedup();
@@ -147,7 +208,7 @@ impl Collector {
         TrainReport {
             train_loss,
             val_points,
-            error_stats: inner.error_stats,
+            error_stats,
             traffic,
         }
     }

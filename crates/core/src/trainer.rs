@@ -16,6 +16,50 @@ use std::path::Path;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// Assembles and commits a sharded-checkpoint manifest from fully
+/// published per-rank entries (ordered by `dp * pp + stage`), then
+/// garbage-collects shards the new manifest no longer references.
+///
+/// Shared by the in-process trainer and the multi-process coordinator —
+/// one implementation is what keeps the checkpoint format and commit
+/// order (shards first, manifest last, GC only after the commit)
+/// identical across both worlds.
+pub(crate) fn commit_manifest(
+    cfg: &TrainerConfig,
+    iter: u64,
+    entries: Vec<Option<ShardEntry>>,
+    store: &dyn ShardStore,
+) -> Result<ShardManifest, CkptError> {
+    let manifest = ShardManifest {
+        meta: SnapshotMeta {
+            pp: cfg.pp,
+            dp: cfg.dp,
+            seed: cfg.seed,
+            iter,
+            config_fingerprint: cfg.fingerprint(),
+        },
+        shards: entries.into_iter().map(|e| e.expect("filled")).collect(),
+    };
+    store
+        .put(MANIFEST_FILE, &manifest.encode())
+        .map_err(|e| CkptError::Store {
+            what: e.to_string(),
+        })?;
+    // The new manifest is committed; stale shards from earlier
+    // checkpoints can go. Best effort only — failures here cannot
+    // invalidate the checkpoint that was just published.
+    let live: std::collections::HashSet<&str> =
+        manifest.shards.iter().map(|e| e.name.as_str()).collect();
+    if let Ok(names) = store.list() {
+        for name in names {
+            if name.ends_with(".shard") && !live.contains(name.as_str()) {
+                let _ = store.delete(&name);
+            }
+        }
+    }
+    Ok(manifest)
+}
+
 /// A running 3D-parallel training job: `pp x dp` worker threads, each
 /// owning one model slice.
 ///
@@ -74,27 +118,13 @@ impl Trainer {
         let (predict_tx, predict_rx) = unbounded();
 
         // Shared groups: one DP group per stage, one 2-way embedding pair
-        // per dp rank, one fused group over all end-stage ranks.
-        let stage_groups: Vec<_> = (0..pp)
-            .map(|s| world.group(&(0..dp).map(|d| d * pp + s).collect::<Vec<_>>()))
-            .collect();
-        let emb_pair_groups: Vec<_> = (0..dp)
-            .map(|d| {
-                if pp > 1 {
-                    Some(world.group(&[d * pp, d * pp + pp - 1]))
-                } else {
-                    None
-                }
-            })
-            .collect();
-        let fused_group = if pp > 1 {
-            let mut ranks: Vec<usize> = (0..dp).map(|d| d * pp).collect();
-            ranks.extend((0..dp).map(|d| d * pp + pp - 1));
-            ranks.sort_unstable();
-            Some(world.group(&ranks))
-        } else {
-            None
-        };
+        // per dp rank, one fused group over all end-stage ranks — built by
+        // the same order-fixing helper the multi-process workers use.
+        let crate::worker::WorldGroups {
+            stage_groups,
+            emb_pair_groups,
+            fused_group,
+        } = crate::worker::build_groups(&world, pp, dp);
 
         let corpus = cfg.corpus();
         let mut handles = Vec::with_capacity(world_size);
@@ -163,6 +193,21 @@ impl Trainer {
     /// The configuration of this run.
     pub fn config(&self) -> &TrainerConfig {
         &self.cfg
+    }
+
+    /// The multi-process launch mode: instead of worker *threads* over
+    /// the in-process transport, spawns one real `opt-worker` OS process
+    /// per `(stage, dp)` rank, meshed over loopback TCP, with checkpoint
+    /// shards served through a TCP shard store. The returned
+    /// [`crate::ProcTrainer`] drives the same command protocol this
+    /// trainer drives over channels — and produces bit-identical losses
+    /// and traffic, by the member-order determinism contract of the
+    /// transport layer.
+    pub fn launch_processes(
+        cfg: TrainerConfig,
+        opts: crate::ProcOptions,
+    ) -> Result<crate::ProcTrainer, crate::ProcError> {
+        crate::proc::ProcTrainer::launch(cfg, opts)
     }
 
     fn broadcast(&self, cmd: Cmd) {
@@ -431,34 +476,7 @@ impl Trainer {
         if let Some(e) = first_err {
             return Err(e);
         }
-        let manifest = ShardManifest {
-            meta: SnapshotMeta {
-                pp,
-                dp: self.cfg.dp,
-                seed: self.cfg.seed,
-                iter,
-                config_fingerprint: self.cfg.fingerprint(),
-            },
-            shards: entries.into_iter().map(|e| e.expect("filled")).collect(),
-        };
-        store
-            .put(MANIFEST_FILE, &manifest.encode())
-            .map_err(|e| CkptError::Store {
-                what: e.to_string(),
-            })?;
-        // The new manifest is committed; stale shards from earlier
-        // checkpoints can go. Best effort only — failures here cannot
-        // invalidate the checkpoint that was just published.
-        let live: std::collections::HashSet<&str> =
-            manifest.shards.iter().map(|e| e.name.as_str()).collect();
-        if let Ok(names) = store.list() {
-            for name in names {
-                if name.ends_with(".shard") && !live.contains(name.as_str()) {
-                    let _ = store.delete(&name);
-                }
-            }
-        }
-        Ok(manifest)
+        commit_manifest(&self.cfg, iter, entries, store.as_ref())
     }
 
     /// Resolves and validates the store's manifest against `cfg` — the

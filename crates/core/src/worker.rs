@@ -10,7 +10,7 @@ use opt_ckpt::{
 use opt_compress::{Compressed, LazyErrorPropagator, PowerSgd, TopK, FP16_BYTES};
 use opt_data::SyntheticCorpus;
 use opt_model::{cross_entropy, Adam, Optimizer, Stage};
-use opt_net::{CollectiveGroup, P2pMesh, ShardStore, TrafficClass, TrafficLedger};
+use opt_net::{CollectiveGroup, P2pMesh, ShardStore, TrafficClass, TrafficLedger, Transport};
 use opt_schedule::{is_epilogue_send, one_f_one_b, Op};
 use opt_tensor::{cosine_similarity, Matrix, Persist, PersistError, Reader, Writer};
 use std::collections::{HashMap, VecDeque};
@@ -77,21 +77,25 @@ pub(crate) struct WorkerAck {
     pub compressor_elems: usize,
 }
 
-/// Everything a worker thread needs, bundled at spawn time.
-pub(crate) struct WorkerCtx {
+/// Everything a worker needs, bundled at spawn time. Generic over the
+/// [`Transport`] carrying its communication: a thread of a single-process
+/// world runs over `LocalTransport`, an `opt-worker` OS process over
+/// `TcpTransport` — the worker logic is identical, which is what makes
+/// the two worlds bit-identical.
+pub(crate) struct WorkerCtx<Tr: Transport> {
     pub cfg: TrainerConfig,
     pub stage_idx: usize,
     pub dp_idx: usize,
     pub stage: Stage,
     pub corpus: SyntheticCorpus,
-    pub fwd_mesh: P2pMesh<Matrix>,
-    pub bwd_mesh: P2pMesh<Compressed>,
+    pub fwd_mesh: P2pMesh<Matrix, Tr>,
+    pub bwd_mesh: P2pMesh<Compressed, Tr>,
     /// DP group over all dp ranks of this stage.
-    pub stage_group: CollectiveGroup,
+    pub stage_group: CollectiveGroup<Tr>,
     /// 2-way first<->last group of this dp rank (baseline EMB sync).
-    pub emb_pair_group: Option<CollectiveGroup>,
+    pub emb_pair_group: Option<CollectiveGroup<Tr>>,
     /// Fused 2D-way group over all end-stage ranks.
-    pub fused_group: Option<CollectiveGroup>,
+    pub fused_group: Option<CollectiveGroup<Tr>>,
     pub cmds: Receiver<Cmd>,
     pub acks: Sender<WorkerAck>,
     pub snap_out: Sender<(u64, RankSection)>,
@@ -103,6 +107,55 @@ pub(crate) struct WorkerCtx {
     pub predict_out: Sender<(u64, Vec<usize>)>,
     pub collector: Collector,
     pub ledger: TrafficLedger,
+}
+
+/// The collective groups of a `pp x dp` world, carved out of one
+/// [`opt_net::CollectiveWorld`].
+pub(crate) struct WorldGroups<Tr: Transport> {
+    /// One DP group per stage, over that stage's dp ranks.
+    pub stage_groups: Vec<CollectiveGroup<Tr>>,
+    /// Per dp rank, the 2-way first<->last embedding pair (pp > 1 only).
+    pub emb_pair_groups: Vec<Option<CollectiveGroup<Tr>>>,
+    /// The fused 2D-way group over all end-stage ranks (pp > 1 only).
+    pub fused_group: Option<CollectiveGroup<Tr>>,
+}
+
+/// Carves the standard group set out of `world`, **in a fixed order** —
+/// stage groups, then embedding pairs, then the fused group. Group
+/// creation order determines collective channel ids, so every process of
+/// a distributed world must build its groups through this one function
+/// for their channels to line up (the single-process trainer shares the
+/// same code path, which is what keeps the two worlds bit-identical).
+pub(crate) fn build_groups<Tr: Transport>(
+    world: &opt_net::CollectiveWorld<Tr>,
+    pp: usize,
+    dp: usize,
+) -> WorldGroups<Tr> {
+    let stage_groups: Vec<_> = (0..pp)
+        .map(|s| world.group(&(0..dp).map(|d| d * pp + s).collect::<Vec<_>>()))
+        .collect();
+    let emb_pair_groups: Vec<_> = (0..dp)
+        .map(|d| {
+            if pp > 1 {
+                Some(world.group(&[d * pp, d * pp + pp - 1]))
+            } else {
+                None
+            }
+        })
+        .collect();
+    let fused_group = if pp > 1 {
+        let mut ranks: Vec<usize> = (0..dp).map(|d| d * pp).collect();
+        ranks.extend((0..dp).map(|d| d * pp + pp - 1));
+        ranks.sort_unstable();
+        Some(world.group(&ranks))
+    } else {
+        None
+    };
+    WorldGroups {
+        stage_groups,
+        emb_pair_groups,
+        fused_group,
+    }
 }
 
 /// The inter-stage compressor variant for compressed backpropagation.
@@ -192,7 +245,7 @@ pub(crate) fn decode_dp_state(bytes: &[u8]) -> Result<Option<DistPowerSgd>, Pers
 }
 
 /// Runs the worker loop until [`Cmd::Stop`].
-pub(crate) fn run_worker(mut ctx: WorkerCtx) {
+pub(crate) fn run_worker<Tr: Transport>(mut ctx: WorkerCtx<Tr>) {
     let pp = ctx.cfg.pp;
     let s = ctx.stage_idx;
     let d = ctx.dp_idx;
@@ -332,8 +385,8 @@ pub(crate) fn run_worker(mut ctx: WorkerCtx) {
 /// Serializes the worker's complete training state into a snapshot
 /// section (shared by the monolithic `Snapshot` and sharded
 /// `PublishShard` paths).
-fn capture_section(
-    ctx: &mut WorkerCtx,
+fn capture_section<Tr: Transport>(
+    ctx: &mut WorkerCtx<Tr>,
     optimizer: &Adam,
     cb_link: &Option<CbLink>,
     dp_state: &Option<DistPowerSgd>,
@@ -356,8 +409,8 @@ fn capture_section(
 /// Nothing is mutated until every check has passed, so a rejected shard
 /// leaves the worker exactly as it was. Returns the iteration the applied
 /// shard was taken at.
-fn self_restore(
-    ctx: &mut WorkerCtx,
+fn self_restore<Tr: Transport>(
+    ctx: &mut WorkerCtx<Tr>,
     store: &dyn ShardStore,
     optimizer: &mut Adam,
     cb_link: &mut Option<CbLink>,
@@ -435,8 +488,8 @@ fn batch_key(iter: u64, d: usize, micro: usize) -> u64 {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn train_iter(
-    ctx: &mut WorkerCtx,
+fn train_iter<Tr: Transport>(
+    ctx: &mut WorkerCtx<Tr>,
     schedule: &opt_schedule::PipelineSchedule,
     optimizer: &mut Adam,
     cb_link: &mut Option<CbLink>,
@@ -614,7 +667,7 @@ fn train_iter(
 }
 
 /// Validation forward pass over `n_seq` held-out sequences (dp rank 0).
-fn validate(ctx: &mut WorkerCtx, iter: u64, index: u64, n_seq: usize) {
+fn validate<Tr: Transport>(ctx: &mut WorkerCtx<Tr>, iter: u64, index: u64, n_seq: usize) {
     let pp = ctx.cfg.pp;
     let s = ctx.stage_idx;
     let my_rank = s; // dp rank 0 => global rank == stage index
@@ -649,7 +702,7 @@ fn validate(ctx: &mut WorkerCtx, iter: u64, index: u64, n_seq: usize) {
 }
 
 /// Inference pass: last-position argmax per sequence (dp rank 0).
-fn predict(ctx: &mut WorkerCtx, id: u64, tokens: &[usize]) {
+fn predict<Tr: Transport>(ctx: &mut WorkerCtx<Tr>, id: u64, tokens: &[usize]) {
     let pp = ctx.cfg.pp;
     let s = ctx.stage_idx;
     let my_rank = s;

@@ -1,30 +1,34 @@
-//! Deterministic in-process all-reduce groups.
+//! Deterministic all-reduce groups over any [`Transport`].
+//!
+//! The reduction runs gather-to-root + broadcast: the group's **first
+//! member** collects every contribution, reduces **in member order**, and
+//! sends the result back. Because the accumulation order is fixed by the
+//! member list — never by thread or packet arrival order — the result is
+//! bit-deterministic on every backend, and identical between the
+//! in-process [`LocalTransport`] world and a multi-process
+//! [`crate::TcpTransport`] world (the wire codec round-trips `f32` bits
+//! exactly).
 
-use opt_tensor::Matrix;
-use parking_lot::{Condvar, Mutex};
+use crate::transport::{channel_id, net_timeout, LocalTransport, Transport, TransportError};
+use opt_tensor::{Matrix, Persist};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-struct GroupState {
-    /// Deposit slot per member (indexed by member position, not global rank).
-    slots: Vec<Option<Matrix>>,
-    /// Result of the current round, filled by the last depositor.
-    result: Option<Matrix>,
-    /// Number of members that have picked up the current result.
-    picked_up: usize,
-    /// Round counter for reuse across iterations.
-    round: u64,
-}
+/// Channel-id namespace reserved for collective groups.
+const COLLECTIVE_NAMESPACE: u8 = 2;
 
-/// An all-reduce group over a fixed set of global ranks.
+/// An all-reduce group over a fixed set of global ranks, communicating
+/// through a shared [`Transport`].
 ///
 /// Semantics match NCCL's `allReduce(sum)`: every member contributes a
 /// same-shaped matrix and receives the element-wise sum. The reduction is
 /// performed in member order, so results are bit-deterministic regardless
-/// of thread arrival order — important for the reproduction's
+/// of thread or message arrival order — important for the reproduction's
 /// "fused embedding synchronization is mathematically identical" test.
 ///
-/// The group is reusable across rounds (one round per training iteration).
+/// The group is reusable across rounds (one round per training iteration):
+/// per-lane FIFO ordering keeps successive rounds from mixing.
 ///
 /// # Example
 ///
@@ -41,30 +45,48 @@ struct GroupState {
 /// assert_eq!(sum.as_slice(), &[3.0, 3.0]);
 /// h.join().unwrap();
 /// ```
-#[derive(Clone)]
-pub struct CollectiveGroup {
+pub struct CollectiveGroup<Tr: Transport = LocalTransport> {
     members: Arc<Vec<usize>>,
-    state: Arc<(Mutex<GroupState>, Condvar)>,
+    transport: Arc<Tr>,
+    channel: u64,
+    /// Cached receive timeout (reading the env per round would serialize
+    /// worker threads on the process-global environment lock).
+    timeout: std::time::Duration,
+    /// Which member positions are currently inside a round — shared by
+    /// every in-process clone, so the misuse the pre-transport
+    /// implementation caught (two threads contributing as the same rank
+    /// concurrently) still panics deterministically instead of
+    /// desynchronizing the lane FIFOs.
+    in_flight: Arc<parking_lot::Mutex<Vec<bool>>>,
 }
 
-impl fmt::Debug for CollectiveGroup {
+impl<Tr: Transport> Clone for CollectiveGroup<Tr> {
+    fn clone(&self) -> Self {
+        Self {
+            members: Arc::clone(&self.members),
+            transport: Arc::clone(&self.transport),
+            channel: self.channel,
+            timeout: self.timeout,
+            in_flight: Arc::clone(&self.in_flight),
+        }
+    }
+}
+
+impl<Tr: Transport> fmt::Debug for CollectiveGroup<Tr> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "CollectiveGroup({:?})", self.members)
     }
 }
 
-impl CollectiveGroup {
-    fn new(members: Vec<usize>) -> Self {
+impl<Tr: Transport> CollectiveGroup<Tr> {
+    fn new(members: Vec<usize>, transport: Arc<Tr>, channel: u64) -> Self {
         let n = members.len();
-        let state = GroupState {
-            slots: (0..n).map(|_| None).collect(),
-            result: None,
-            picked_up: 0,
-            round: 0,
-        };
         Self {
             members: Arc::new(members),
-            state: Arc::new((Mutex::new(state), Condvar::new())),
+            transport,
+            channel,
+            timeout: net_timeout(),
+            in_flight: Arc::new(parking_lot::Mutex::new(vec![false; n])),
         }
     }
 
@@ -78,6 +100,15 @@ impl CollectiveGroup {
         self.members.len()
     }
 
+    fn expect_ok<T>(&self, what: &str, peer: usize, r: Result<T, TransportError>) -> T {
+        r.unwrap_or_else(|e| {
+            panic!(
+                "all-reduce {what} with rank {peer} failed in group {:?}: {e}",
+                self.members
+            )
+        })
+    }
+
     /// Contributes `m` on behalf of global rank `rank` and returns the
     /// element-wise sum over all members. Blocks until every member has
     /// contributed.
@@ -85,51 +116,68 @@ impl CollectiveGroup {
     /// # Panics
     ///
     /// Panics if `rank` is not a member, if shapes mismatch across members,
-    /// or if the same rank contributes twice in one round.
+    /// or if the transport fails (peer death, frame corruption, timeout —
+    /// in a correct schedule a timeout means a deadlock bug).
     pub fn all_reduce_sum(&self, rank: usize, m: Matrix) -> Matrix {
         let pos = self
             .members
             .iter()
             .position(|&r| r == rank)
             .unwrap_or_else(|| panic!("rank {rank} is not a member of {:?}", self.members));
-        let (lock, cvar) = &*self.state;
-        let mut st = lock.lock();
-        // Wait for the previous round to fully drain before starting a new
-        // deposit (protects pipelined reuse).
-        while st.result.is_some() && st.slots[pos].is_some() {
-            cvar.wait(&mut st);
+        if self.members.len() == 1 {
+            return m;
         }
-        assert!(
-            st.slots[pos].is_none(),
-            "rank {rank} deposited twice in one round"
-        );
-        st.slots[pos] = Some(m);
-        if st.slots.iter().all(Option::is_some) {
-            // Last depositor reduces in member order (deterministic).
-            let mut iter = st.slots.iter_mut();
-            let mut acc = iter.next().unwrap().take().unwrap();
-            for slot in iter {
-                let m = slot.take().unwrap();
-                assert_eq!(acc.shape(), m.shape(), "all-reduce shape mismatch");
-                acc.add_assign(&m);
+        {
+            let mut in_flight = self.in_flight.lock();
+            assert!(!in_flight[pos], "rank {rank} deposited twice in one round");
+            in_flight[pos] = true;
+        }
+        let result = self.all_reduce_sum_inner(pos, rank, m);
+        self.in_flight.lock()[pos] = false;
+        result
+    }
+
+    fn all_reduce_sum_inner(&self, pos: usize, rank: usize, m: Matrix) -> Matrix {
+        let root = self.members[0];
+        let timeout = self.timeout;
+        if pos == 0 {
+            // Root: gather in member order — the accumulation order (and
+            // therefore every f32 rounding step) is fixed by the member
+            // list, not by arrival order.
+            let mut acc = m;
+            for &peer in &self.members[1..] {
+                let bytes = self.expect_ok(
+                    "gather",
+                    peer,
+                    self.transport.recv(peer, root, self.channel, timeout),
+                );
+                let part = Matrix::from_bytes(&bytes).expect("all-reduce payload corrupt");
+                assert_eq!(acc.shape(), part.shape(), "all-reduce shape mismatch");
+                acc.add_assign(&part);
             }
-            st.result = Some(acc);
-            st.round += 1;
-            cvar.notify_all();
+            let encoded = acc.to_bytes();
+            for &peer in &self.members[1..] {
+                self.expect_ok(
+                    "broadcast",
+                    peer,
+                    self.transport
+                        .send(root, peer, self.channel, encoded.clone()),
+                );
+            }
+            acc
         } else {
-            let my_round = st.round;
-            while st.result.is_none() || st.round == my_round {
-                cvar.wait(&mut st);
-            }
+            self.expect_ok(
+                "contribute",
+                root,
+                self.transport.send(rank, root, self.channel, m.to_bytes()),
+            );
+            let bytes = self.expect_ok(
+                "result",
+                root,
+                self.transport.recv(root, rank, self.channel, timeout),
+            );
+            Matrix::from_bytes(&bytes).expect("all-reduce payload corrupt")
         }
-        let out = st.result.clone().expect("result present");
-        st.picked_up += 1;
-        if st.picked_up == self.members.len() {
-            st.picked_up = 0;
-            st.result = None;
-            cvar.notify_all();
-        }
-        out
     }
 
     /// All-reduce returning the mean instead of the sum.
@@ -150,25 +198,50 @@ impl CollectiveGroup {
 /// creates one world, then carves out data-parallel groups (one per
 /// pipeline stage), the embedding-synchronization pair, or the paper's
 /// fused embedding group spanning both.
-#[derive(Debug)]
-pub struct CollectiveWorld {
-    world: usize,
+///
+/// Each [`CollectiveWorld::group`] call claims the next collective channel
+/// id, so on a distributed backend **every process must create its groups
+/// in the same order** — the same rule `torch.distributed.new_group`
+/// imposes. (In a single-process world the trainer creates each group
+/// once and clones it to the member threads, which is trivially
+/// consistent.)
+pub struct CollectiveWorld<Tr: Transport = LocalTransport> {
+    transport: Arc<Tr>,
+    next_group: AtomicU64,
 }
 
-impl CollectiveWorld {
-    /// Creates a world of `world` ranks.
+impl<Tr: Transport> fmt::Debug for CollectiveWorld<Tr> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CollectiveWorld(world={})", self.transport.world())
+    }
+}
+
+impl CollectiveWorld<LocalTransport> {
+    /// Creates an in-process world of `world` ranks.
     ///
     /// # Panics
     ///
     /// Panics if `world == 0`.
     pub fn new(world: usize) -> Self {
-        assert!(world > 0, "world size must be positive");
-        Self { world }
+        Self::over(Arc::new(LocalTransport::new(world)))
+    }
+}
+
+impl<Tr: Transport> CollectiveWorld<Tr> {
+    /// Creates a world over an existing transport (shared with meshes and
+    /// control lanes — collective traffic lives in its own channel
+    /// namespace).
+    pub fn over(transport: Arc<Tr>) -> Self {
+        assert!(transport.world() > 0, "world size must be positive");
+        Self {
+            transport,
+            next_group: AtomicU64::new(0),
+        }
     }
 
     /// Number of ranks in the world.
     pub fn world(&self) -> usize {
-        self.world
+        self.transport.world()
     }
 
     /// Creates a reusable all-reduce group over `ranks`.
@@ -177,18 +250,23 @@ impl CollectiveWorld {
     ///
     /// Panics if `ranks` is empty, contains duplicates, or references a
     /// rank outside the world.
-    pub fn group(&self, ranks: &[usize]) -> CollectiveGroup {
+    pub fn group(&self, ranks: &[usize]) -> CollectiveGroup<Tr> {
         assert!(!ranks.is_empty(), "group must have at least one member");
         let mut sorted = ranks.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), ranks.len(), "group has duplicate ranks");
         assert!(
-            ranks.iter().all(|&r| r < self.world),
+            ranks.iter().all(|&r| r < self.world()),
             "group rank out of range (world {})",
-            self.world
+            self.world()
         );
-        CollectiveGroup::new(ranks.to_vec())
+        let index = self.next_group.fetch_add(1, Ordering::SeqCst);
+        CollectiveGroup::new(
+            ranks.to_vec(),
+            Arc::clone(&self.transport),
+            channel_id(COLLECTIVE_NAMESPACE, index),
+        )
     }
 }
 
@@ -289,6 +367,21 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "deposited twice")]
+    fn double_deposit_by_same_rank_panics() {
+        let world = CollectiveWorld::new(2);
+        let group = world.group(&[0, 1]);
+        let g2 = group.clone();
+        // Rank 0 enters a round and blocks waiting on rank 1; a second
+        // thread contributing as rank 0 again must panic (the guard the
+        // pre-transport implementation enforced), not desynchronize the
+        // lanes.
+        let _blocked = thread::spawn(move || g2.all_reduce_sum(0, Matrix::zeros(1, 1)));
+        thread::sleep(std::time::Duration::from_millis(200));
+        group.all_reduce_sum(0, Matrix::zeros(1, 1));
+    }
+
+    #[test]
     #[should_panic(expected = "duplicate ranks")]
     fn duplicate_ranks_panic() {
         let world = CollectiveWorld::new(4);
@@ -301,5 +394,44 @@ mod tests {
         let group = world.group(&[0]);
         let m = Matrix::full(2, 2, 7.0);
         assert_eq!(group.all_reduce_sum(0, m.clone()), m);
+    }
+
+    #[test]
+    fn concurrent_groups_do_not_cross_talk() {
+        // Two groups over the same world run rounds concurrently; channel
+        // separation must keep their traffic apart.
+        let world = CollectiveWorld::new(4);
+        let ga = world.group(&[0, 1]);
+        let gb = world.group(&[2, 3]);
+        thread::scope(|s| {
+            let mut handles = Vec::new();
+            for round in 0..10u32 {
+                let ga0 = ga.clone();
+                let ga1 = ga.clone();
+                let gb0 = gb.clone();
+                let gb1 = gb.clone();
+                handles.push(s.spawn(move || {
+                    assert_eq!(
+                        ga0.all_reduce_sum(0, Matrix::full(1, 1, round as f32))[(0, 0)],
+                        round as f32 + 100.0
+                    );
+                }));
+                handles.push(s.spawn(move || {
+                    ga1.all_reduce_sum(1, Matrix::full(1, 1, 100.0));
+                }));
+                handles.push(s.spawn(move || {
+                    assert_eq!(
+                        gb0.all_reduce_sum(2, Matrix::full(1, 1, round as f32))[(0, 0)],
+                        round as f32 + 1000.0
+                    );
+                }));
+                handles.push(s.spawn(move || {
+                    gb1.all_reduce_sum(3, Matrix::full(1, 1, 1000.0));
+                }));
+                for h in handles.drain(..) {
+                    h.join().unwrap();
+                }
+            }
+        });
     }
 }

@@ -3,12 +3,17 @@
 //! The paper runs on NCCL over NVLink (intra-node) and 200 Gb/s Infiniband
 //! HDR (inter-node). This crate replaces that fabric with two layers:
 //!
-//! 1. **Real in-process collectives** for the numerical trainer:
-//!    [`P2pMesh`] gives every (src, dst) pair a FIFO message channel
-//!    (pipeline inter-stage traffic), and [`CollectiveGroup`] implements a
+//! 1. **Real collectives and point-to-point lanes** for the numerical
+//!    trainer, written against a pluggable [`Transport`]: [`P2pMesh`]
+//!    gives every (src, dst) pair a FIFO message lane (pipeline
+//!    inter-stage traffic), and [`CollectiveGroup`] implements a
 //!    deterministic all-reduce over any subset of ranks (data-parallel
 //!    gradient exchange, embedding synchronization, and the paper's *fused*
-//!    embedding synchronization which simply uses a larger group).
+//!    embedding synchronization which simply uses a larger group). Two
+//!    backends exist: [`LocalTransport`] (in-process crossbeam lanes, the
+//!    extracted original fabric) and [`TcpTransport`] (one OS process per
+//!    rank, length-framed checksummed TCP). Collectives reduce strictly in
+//!    member order, so both backends produce **the same bits**.
 //! 2. **Analytic cost models** ([`CostModel`]) for the discrete-event simulator:
 //!    the standard alpha–beta model with the ring all-reduce volume factor
 //!    `2 V (R-1) / R` that the paper's Eq. 15 builds on, and the
@@ -19,9 +24,10 @@
 //!
 //! The crate also provides the **rendezvous + fetch** substrate for
 //! cross-host elastic restore: a [`ShardStore`] of named blobs (an
-//! in-process [`MemShardStore`] and a filesystem-backed [`FsShardStore`])
-//! through which restarted workers resolve the checkpoint manifest and
-//! fetch only their own shard.
+//! in-process [`MemShardStore`], a filesystem-backed [`FsShardStore`],
+//! and a genuinely remote [`TcpShardStore`] client talking to a
+//! [`ShardStoreServer`]) through which restarted workers resolve the
+//! checkpoint manifest and fetch only their own shard.
 
 mod collective;
 mod cost;
@@ -29,10 +35,18 @@ mod p2p;
 mod shardstore;
 mod topology;
 mod traffic;
+mod transport;
 
 pub use collective::{CollectiveGroup, CollectiveWorld};
 pub use cost::{all_reduce_time_s, p2p_time_s, ring_all_reduce_wire_bytes, CostModel};
 pub use p2p::{P2pMesh, RecvError};
-pub use shardstore::{FsShardStore, MemShardStore, ShardStore, ShardStoreError};
+pub use shardstore::{
+    FsShardStore, MemShardStore, ShardStore, ShardStoreError, ShardStoreServer, TcpShardStore,
+    STORE_MAGIC, STORE_PROTOCOL_VERSION,
+};
 pub use topology::{LinkKind, Topology};
 pub use traffic::{TrafficClass, TrafficLedger, TrafficSnapshot};
+pub use transport::{
+    channel_id, net_timeout, tcp_rendezvous, wire_frame, wire_hello, LocalTransport, TcpBound,
+    TcpTransport, Transport, TransportError, WIRE_FORMAT_VERSION, WIRE_MAGIC, WIRE_OVERHEAD_BYTES,
+};

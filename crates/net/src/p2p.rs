@@ -1,32 +1,71 @@
-//! Point-to-point message mesh for pipeline inter-stage communication.
+//! Point-to-point message mesh for pipeline inter-stage communication,
+//! generic over the [`Transport`] carrying its bytes.
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crate::transport::{net_timeout, LocalTransport, Transport, TransportError};
+use opt_tensor::Persist;
 use std::fmt;
+use std::marker::PhantomData;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Error returned by [`P2pMesh::recv`] when the peer disconnected or the
 /// receive timed out (indicating a deadlocked schedule — a bug).
+///
+/// Carries the lane identity so a timeout in a many-rank run says *which*
+/// edge of the pipeline stalled.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RecvError {
-    /// The sending side was dropped before a message arrived.
-    Disconnected,
+    /// The sending side disappeared before a message arrived.
+    Disconnected {
+        /// Sending rank of the lane.
+        src: usize,
+        /// Receiving rank of the lane.
+        dst: usize,
+        /// World size of the mesh.
+        world: usize,
+    },
     /// No message arrived within the timeout.
-    Timeout,
+    Timeout {
+        /// Sending rank of the lane.
+        src: usize,
+        /// Receiving rank of the lane.
+        dst: usize,
+        /// World size of the mesh.
+        world: usize,
+        /// The timeout that elapsed.
+        timeout: Duration,
+    },
 }
 
 impl fmt::Display for RecvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RecvError::Disconnected => write!(f, "peer disconnected"),
-            RecvError::Timeout => write!(f, "receive timed out (schedule deadlock?)"),
+            RecvError::Disconnected { src, dst, world } => {
+                write!(
+                    f,
+                    "peer disconnected on lane src {src} -> dst {dst} (world {world})"
+                )
+            }
+            RecvError::Timeout {
+                src,
+                dst,
+                world,
+                timeout,
+            } => write!(
+                f,
+                "receive on lane src {src} -> dst {dst} (world {world}) timed out after \
+                 {} ms (schedule deadlock? timeout is tunable via OPT_NET_TIMEOUT_MS)",
+                timeout.as_millis()
+            ),
         }
     }
 }
 
 impl std::error::Error for RecvError {}
 
-/// A full mesh of FIFO channels between `world` ranks, carrying messages of
-/// type `T`.
+/// A full mesh of FIFO lanes between `world` ranks, carrying messages of
+/// type `T` (anything that round-trips the [`Persist`] byte codec —
+/// bit-exactly, so a mesh hop never perturbs training state).
 ///
 /// This models the point-to-point sends of pipeline parallelism: each
 /// (src, dst) ordered pair has an independent FIFO, exactly like a
@@ -34,8 +73,9 @@ impl std::error::Error for RecvError {}
 /// preserved; messages between different pairs are unordered, matching the
 /// guarantees the 1F1B schedule relies on.
 ///
-/// Cloning the mesh is cheap (channels are internally reference-counted),
-/// so one clone is handed to each rank's thread.
+/// Cloning the mesh is cheap (the transport is reference-counted), so one
+/// clone is handed to each rank's thread; on a distributed backend each
+/// process builds the mesh over its own rank's transport.
 ///
 /// # Example
 ///
@@ -45,89 +85,116 @@ impl std::error::Error for RecvError {}
 /// mesh.send(0, 1, "hello".to_string());
 /// assert_eq!(mesh.recv(0, 1).unwrap(), "hello");
 /// ```
-#[derive(Clone)]
-pub struct P2pMesh<T> {
-    world: usize,
-    senders: Vec<Sender<T>>,
-    receivers: Vec<Receiver<T>>,
+pub struct P2pMesh<T, Tr: Transport = LocalTransport> {
+    transport: Arc<Tr>,
+    channel: u64,
     timeout: Duration,
+    _payload: PhantomData<fn(T) -> T>,
 }
 
-impl<T> fmt::Debug for P2pMesh<T> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "P2pMesh(world={})", self.world)
+impl<T, Tr: Transport> Clone for P2pMesh<T, Tr> {
+    fn clone(&self) -> Self {
+        Self {
+            transport: Arc::clone(&self.transport),
+            channel: self.channel,
+            timeout: self.timeout,
+            _payload: PhantomData,
+        }
     }
 }
 
-impl<T: Send> P2pMesh<T> {
-    /// Creates a mesh over `world` ranks with a 30 s receive timeout.
+impl<T, Tr: Transport> fmt::Debug for P2pMesh<T, Tr> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P2pMesh(world={})", self.transport.world())
+    }
+}
+
+impl<T: Persist> P2pMesh<T, LocalTransport> {
+    /// Creates an in-process mesh over `world` ranks. The receive timeout
+    /// is 30 s, tunable via `OPT_NET_TIMEOUT_MS`.
     ///
     /// # Panics
     ///
     /// Panics if `world == 0`.
     pub fn new(world: usize) -> Self {
-        Self::with_timeout(world, Duration::from_secs(30))
+        Self::with_timeout(world, net_timeout())
     }
 
-    /// Creates a mesh with an explicit receive timeout. Receives that
-    /// exceed the timeout return [`RecvError::Timeout`]; in a correct
-    /// schedule this only fires on deadlock bugs.
+    /// Creates an in-process mesh with an explicit receive timeout.
+    /// Receives that exceed the timeout return [`RecvError::Timeout`]; in
+    /// a correct schedule this only fires on deadlock bugs.
     ///
     /// # Panics
     ///
     /// Panics if `world == 0`.
     pub fn with_timeout(world: usize, timeout: Duration) -> Self {
-        assert!(world > 0, "world size must be positive");
-        let mut senders = Vec::with_capacity(world * world);
-        let mut receivers = Vec::with_capacity(world * world);
-        for _ in 0..world * world {
-            let (s, r) = unbounded();
-            senders.push(s);
-            receivers.push(r);
-        }
+        let mut mesh = Self::over(Arc::new(LocalTransport::new(world)), 0);
+        mesh.timeout = timeout;
+        mesh
+    }
+}
+
+impl<T: Persist, Tr: Transport> P2pMesh<T, Tr> {
+    /// Builds a mesh over an existing (possibly shared) transport, using
+    /// `channel` as its lane id — two meshes over one transport must use
+    /// distinct channels. The receive timeout comes from
+    /// `OPT_NET_TIMEOUT_MS` (default 30 s).
+    pub fn over(transport: Arc<Tr>, channel: u64) -> Self {
         Self {
-            world,
-            senders,
-            receivers,
-            timeout,
+            transport,
+            channel,
+            timeout: net_timeout(),
+            _payload: PhantomData,
         }
     }
 
     /// Number of ranks in the mesh.
     pub fn world(&self) -> usize {
-        self.world
+        self.transport.world()
     }
 
     /// Sends `msg` on the (src, dst) FIFO. Non-blocking.
     ///
     /// # Panics
     ///
-    /// Panics if `src` or `dst` is out of range.
+    /// Panics if `src` or `dst` is out of range, or if the transport
+    /// rejects the send (the peer process died).
     pub fn send(&self, src: usize, dst: usize, msg: T) {
-        assert!(src < self.world && dst < self.world, "rank out of range");
-        // Receiver ends are held by the mesh itself, so send cannot fail.
-        self.senders[src * self.world + dst]
-            .send(msg)
-            .expect("mesh receiver endpoint dropped");
+        let world = self.world();
+        assert!(src < world && dst < world, "rank out of range");
+        self.transport
+            .send(src, dst, self.channel, msg.to_bytes())
+            .unwrap_or_else(|e| panic!("mesh send {src} -> {dst} failed: {e}"));
     }
 
-    /// Receives the next message on the (src, dst) FIFO, blocking up to the
-    /// configured timeout.
+    /// Receives the next message on the (src, dst) FIFO, blocking up to
+    /// the configured timeout.
     ///
     /// # Errors
     ///
     /// Returns [`RecvError::Timeout`] if nothing arrives in time, or
-    /// [`RecvError::Disconnected`] if all senders were dropped.
+    /// [`RecvError::Disconnected`] if the sender disappeared.
     ///
     /// # Panics
     ///
-    /// Panics if `src` or `dst` is out of range.
+    /// Panics if `src` or `dst` is out of range, or if a delivered
+    /// payload fails to decode (the transport's integrity checking makes
+    /// that a code bug, not a wire fault).
     pub fn recv(&self, src: usize, dst: usize) -> Result<T, RecvError> {
-        assert!(src < self.world && dst < self.world, "rank out of range");
-        match self.receivers[src * self.world + dst].recv_timeout(self.timeout) {
-            Ok(msg) => Ok(msg),
-            Err(RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
-            Err(RecvTimeoutError::Disconnected) => Err(RecvError::Disconnected),
+        let world = self.world();
+        assert!(src < world && dst < world, "rank out of range");
+        match self.transport.recv(src, dst, self.channel, self.timeout) {
+            Ok(bytes) => Ok(Self::decode(&bytes)),
+            Err(TransportError::Timeout { .. }) => Err(RecvError::Timeout {
+                src,
+                dst,
+                world,
+                timeout: self.timeout,
+            }),
+            Err(TransportError::Disconnected { .. }) => {
+                Err(RecvError::Disconnected { src, dst, world })
+            }
+            Err(e) => panic!("mesh recv {src} -> {dst} failed: {e}"),
         }
     }
 
@@ -138,8 +205,17 @@ impl<T: Send> P2pMesh<T> {
     ///
     /// Panics if `src` or `dst` is out of range.
     pub fn try_recv(&self, src: usize, dst: usize) -> Option<T> {
-        assert!(src < self.world && dst < self.world, "rank out of range");
-        self.receivers[src * self.world + dst].try_recv().ok()
+        let world = self.world();
+        assert!(src < world && dst < world, "rank out of range");
+        self.transport
+            .try_recv(src, dst, self.channel)
+            .ok()
+            .flatten()
+            .map(|bytes| Self::decode(&bytes))
+    }
+
+    fn decode(bytes: &[u8]) -> T {
+        T::from_bytes(bytes).expect("mesh payload failed to decode after integrity checks")
     }
 }
 
@@ -161,9 +237,9 @@ mod tests {
 
     #[test]
     fn pairs_are_independent() {
-        let mesh: P2pMesh<&'static str> = P2pMesh::new(2);
-        mesh.send(0, 1, "a");
-        mesh.send(1, 0, "b");
+        let mesh: P2pMesh<String> = P2pMesh::new(2);
+        mesh.send(0, 1, "a".to_string());
+        mesh.send(1, 0, "b".to_string());
         assert_eq!(mesh.recv(1, 0).unwrap(), "b");
         assert_eq!(mesh.recv(0, 1).unwrap(), "a");
     }
@@ -181,9 +257,22 @@ mod tests {
     }
 
     #[test]
-    fn timeout_fires_on_empty_channel() {
+    fn timeout_fires_on_empty_channel_with_lane_context() {
         let mesh: P2pMesh<u8> = P2pMesh::with_timeout(2, Duration::from_millis(10));
-        assert_eq!(mesh.recv(0, 1), Err(RecvError::Timeout));
+        let err = mesh.recv(0, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            RecvError::Timeout {
+                src: 0,
+                dst: 1,
+                world: 2,
+                ..
+            }
+        ));
+        let msg = err.to_string();
+        assert!(msg.contains("src 0 -> dst 1"), "uninformative: {msg}");
+        assert!(msg.contains("world 2"), "uninformative: {msg}");
+        assert!(msg.contains("OPT_NET_TIMEOUT_MS"), "no tuning hint: {msg}");
     }
 
     #[test]
@@ -199,5 +288,16 @@ mod tests {
     fn out_of_range_rank_panics() {
         let mesh: P2pMesh<u8> = P2pMesh::new(2);
         mesh.send(0, 2, 1);
+    }
+
+    #[test]
+    fn meshes_share_a_transport_without_cross_talk() {
+        let transport = Arc::new(LocalTransport::new(2));
+        let a: P2pMesh<u32, _> = P2pMesh::over(Arc::clone(&transport), 1);
+        let b: P2pMesh<u32, _> = P2pMesh::over(transport, 2);
+        a.send(0, 1, 11);
+        b.send(0, 1, 22);
+        assert_eq!(b.recv(0, 1).unwrap(), 22);
+        assert_eq!(a.recv(0, 1).unwrap(), 11);
     }
 }

@@ -78,6 +78,38 @@ impl TrafficSnapshot {
     pub fn total_bytes(&self) -> u64 {
         self.bytes.iter().sum()
     }
+
+    /// Folds another snapshot into this one (exact integer sums, so
+    /// merging per-process ledgers in any order reproduces the single
+    /// shared ledger a one-process world would have recorded).
+    pub fn absorb(&mut self, other: &TrafficSnapshot) {
+        for i in 0..4 {
+            self.bytes[i] += other.bytes[i];
+            self.messages[i] += other.messages[i];
+        }
+    }
+}
+
+impl opt_tensor::Persist for TrafficSnapshot {
+    fn persist(&self, w: &mut opt_tensor::Writer) {
+        for &b in &self.bytes {
+            w.u64(b);
+        }
+        for &m in &self.messages {
+            w.u64(m);
+        }
+    }
+
+    fn restore(r: &mut opt_tensor::Reader<'_>) -> Result<Self, opt_tensor::PersistError> {
+        let mut snap = TrafficSnapshot::default();
+        for b in &mut snap.bytes {
+            *b = r.u64()?;
+        }
+        for m in &mut snap.messages {
+            *m = r.u64()?;
+        }
+        Ok(snap)
+    }
 }
 
 /// Thread-safe byte/message counter, cloned into every rank thread.

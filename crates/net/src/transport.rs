@@ -1,0 +1,938 @@
+//! The pluggable message transport behind every communication primitive.
+//!
+//! The collectives ([`crate::CollectiveGroup`]), the point-to-point mesh
+//! ([`crate::P2pMesh`]), and the remote shard store
+//! ([`crate::TcpShardStore`]) are all written against one small
+//! abstraction: a [`Transport`] moves opaque framed byte messages between
+//! ranks of a fixed-size world, FIFO per `(src, dst, channel)` lane. Two
+//! backends implement it:
+//!
+//! * [`LocalTransport`] — the extracted in-process fabric: one crossbeam
+//!   channel per lane, shared by every worker *thread* of a
+//!   single-process world. This is bit- and behavior-identical to the
+//!   channels the runtime used before the transport split.
+//! * [`TcpTransport`] — a real wire: one process per rank, a full mesh of
+//!   loopback/LAN TCP connections, every message wrapped in the shared
+//!   `opt-ckpt` frame (magic, version, length, FNV-1a checksum) so a
+//!   truncated or bit-flipped frame is detected at the transport layer,
+//!   before any payload decoder sees it.
+//!
+//! Because both backends preserve per-lane FIFO order and the collectives
+//! reduce strictly in member order, a training step produces **the same
+//! bits** whether its world is threads over [`LocalTransport`] or OS
+//! processes over [`TcpTransport`].
+//!
+//! The receive timeout of every lane defaults to 30 s and is tunable via
+//! the `OPT_NET_TIMEOUT_MS` environment variable (handy when stepping
+//! through real-transport runs in a debugger).
+
+use opt_ckpt::framing::{self, FRAME_OVERHEAD, HEADER_LEN};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+/// Magic bytes opening every transport wire frame.
+pub const WIRE_MAGIC: &[u8; 8] = b"OPTWIRE\0";
+
+/// Current transport wire format version.
+pub const WIRE_FORMAT_VERSION: u32 = 1;
+
+/// Bytes the wire adds around a payload: the shared frame (magic,
+/// version, length, checksum) plus the 16-byte lane header (channel +
+/// destination rank).
+pub const WIRE_OVERHEAD_BYTES: usize = FRAME_OVERHEAD + 16;
+
+/// Upper bound on a single wire frame body. A corrupt length field must
+/// not make a reader allocate terabytes before the checksum has a chance
+/// to reject the frame.
+const MAX_WIRE_BODY: u64 = 1 << 30;
+
+/// Polling slice for receive loops that must notice peer death while
+/// waiting on an empty lane.
+const POLL_SLICE: Duration = Duration::from_millis(25);
+
+/// Default receive timeout when `OPT_NET_TIMEOUT_MS` is unset.
+const DEFAULT_TIMEOUT_MS: u64 = 30_000;
+
+/// The receive timeout in effect: `OPT_NET_TIMEOUT_MS` milliseconds, or
+/// 30 s if unset or unparsable.
+pub fn net_timeout() -> Duration {
+    std::env::var("OPT_NET_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(
+            Duration::from_millis(DEFAULT_TIMEOUT_MS),
+            Duration::from_millis,
+        )
+}
+
+/// Builds a transport channel id from a namespace and an index, so
+/// independent subsystems (meshes, collectives, control plane) can carve
+/// non-colliding lanes out of one transport.
+pub const fn channel_id(namespace: u8, index: u64) -> u64 {
+    ((namespace as u64) << 56) | (index & ((1 << 56) - 1))
+}
+
+/// Why a transport operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// No message arrived on the lane within the timeout.
+    Timeout {
+        /// Sending rank of the lane.
+        src: usize,
+        /// Receiving rank of the lane.
+        dst: usize,
+        /// Channel id of the lane.
+        channel: u64,
+        /// How long the receive waited.
+        waited_ms: u128,
+    },
+    /// The peer's process or connection is gone and its lane is drained.
+    Disconnected {
+        /// The peer rank that disappeared.
+        peer: usize,
+    },
+    /// A frame failed integrity validation (bad magic, stale version,
+    /// length/checksum mismatch). The connection it arrived on is dead —
+    /// a transport that cannot trust its framing cannot resynchronize.
+    Corrupt {
+        /// What the validator rejected.
+        detail: String,
+    },
+    /// The OS networking layer failed (bind, connect, write, ...).
+    Io {
+        /// Stringified I/O error.
+        detail: String,
+    },
+    /// Rendezvous failed (peers never published, unparsable endpoint).
+    Rendezvous {
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Timeout {
+                src,
+                dst,
+                channel,
+                waited_ms,
+            } => write!(
+                f,
+                "transport receive on lane (src {src} -> dst {dst}, channel {channel:#x}) \
+                 timed out after {waited_ms} ms"
+            ),
+            TransportError::Disconnected { peer } => {
+                write!(f, "transport peer rank {peer} disconnected")
+            }
+            TransportError::Corrupt { detail } => {
+                write!(f, "transport frame failed integrity validation: {detail}")
+            }
+            TransportError::Io { detail } => write!(f, "transport I/O error: {detail}"),
+            TransportError::Rendezvous { detail } => {
+                write!(f, "transport rendezvous failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl TransportError {
+    fn io(e: std::io::Error) -> Self {
+        TransportError::Io {
+            detail: e.to_string(),
+        }
+    }
+}
+
+/// Moves framed byte messages between the ranks of a fixed-size world.
+///
+/// Guarantees every backend must provide:
+///
+/// * **FIFO per lane** — messages on one `(src, dst, channel)` lane
+///   arrive in send order; distinct lanes are unordered relative to each
+///   other.
+/// * **Integrity** — a delivered message is byte-identical to the sent
+///   one; a backend that cannot guarantee this (a real wire) must detect
+///   and reject the damage instead of delivering it.
+/// * **No tapping** — `recv(src, dst, ..)` only ever yields messages sent
+///   by `src` to `dst`.
+pub trait Transport: Send + Sync + fmt::Debug + 'static {
+    /// Number of ranks in the world.
+    fn world(&self) -> usize;
+
+    /// Sends `bytes` on the `(src, dst, channel)` lane. Non-blocking.
+    fn send(
+        &self,
+        src: usize,
+        dst: usize,
+        channel: u64,
+        bytes: Vec<u8>,
+    ) -> Result<(), TransportError>;
+
+    /// Receives the next message on the `(src, dst, channel)` lane,
+    /// blocking up to `timeout`.
+    fn recv(
+        &self,
+        src: usize,
+        dst: usize,
+        channel: u64,
+        timeout: Duration,
+    ) -> Result<Vec<u8>, TransportError>;
+
+    /// Non-blocking receive: `Ok(None)` if the lane is currently empty.
+    fn try_recv(
+        &self,
+        src: usize,
+        dst: usize,
+        channel: u64,
+    ) -> Result<Option<Vec<u8>>, TransportError>;
+}
+
+type Lane = (Sender<Vec<u8>>, Receiver<Vec<u8>>);
+
+/// Shared map of lanes, keyed by lane identity.
+type LaneMap<K> = Arc<Mutex<HashMap<K, Lane>>>;
+
+/// The in-process backend: every lane is a crossbeam channel in shared
+/// memory, so one clone per worker *thread* wires up a whole
+/// single-process world. Extracted verbatim from the pre-transport
+/// runtime — message order, blocking behavior, and (trivially) payload
+/// bits are identical.
+#[derive(Clone, Default)]
+pub struct LocalTransport {
+    world: usize,
+    lanes: LaneMap<(usize, usize, u64)>,
+}
+
+impl fmt::Debug for LocalTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LocalTransport(world={})", self.world)
+    }
+}
+
+impl LocalTransport {
+    /// Creates an in-process transport over `world` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world == 0`.
+    pub fn new(world: usize) -> Self {
+        assert!(world > 0, "world size must be positive");
+        Self {
+            world,
+            lanes: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn lane(&self, key: (usize, usize, u64)) -> Lane {
+        let mut lanes = self.lanes.lock();
+        let (s, r) = lanes.entry(key).or_insert_with(unbounded);
+        (s.clone(), r.clone())
+    }
+
+    fn check_ranks(&self, src: usize, dst: usize) {
+        assert!(
+            src < self.world && dst < self.world,
+            "rank out of range (src {src}, dst {dst}, world {})",
+            self.world
+        );
+    }
+}
+
+impl Transport for LocalTransport {
+    fn world(&self) -> usize {
+        self.world
+    }
+
+    fn send(
+        &self,
+        src: usize,
+        dst: usize,
+        channel: u64,
+        bytes: Vec<u8>,
+    ) -> Result<(), TransportError> {
+        self.check_ranks(src, dst);
+        // The transport holds both lane ends, so the send cannot fail.
+        let (tx, _rx) = self.lane((src, dst, channel));
+        tx.send(bytes).expect("local lane receiver dropped");
+        Ok(())
+    }
+
+    fn recv(
+        &self,
+        src: usize,
+        dst: usize,
+        channel: u64,
+        timeout: Duration,
+    ) -> Result<Vec<u8>, TransportError> {
+        self.check_ranks(src, dst);
+        let (_tx, rx) = self.lane((src, dst, channel));
+        match rx.recv_timeout(timeout) {
+            Ok(bytes) => Ok(bytes),
+            Err(RecvTimeoutError::Timeout) => Err(TransportError::Timeout {
+                src,
+                dst,
+                channel,
+                waited_ms: timeout.as_millis(),
+            }),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Disconnected { peer: src }),
+        }
+    }
+
+    fn try_recv(
+        &self,
+        src: usize,
+        dst: usize,
+        channel: u64,
+    ) -> Result<Option<Vec<u8>>, TransportError> {
+        self.check_ranks(src, dst);
+        let (_tx, rx) = self.lane((src, dst, channel));
+        Ok(rx.try_recv().ok())
+    }
+}
+
+/// Encodes one wire frame carrying `bytes` on `channel` for rank `dst`,
+/// using the shared `opt-ckpt` framing (magic, version, length, FNV-1a).
+///
+/// Public so tests can hand-craft (and tamper with) frames.
+pub fn wire_frame(channel: u64, dst: usize, bytes: &[u8]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(16 + bytes.len());
+    body.extend_from_slice(&channel.to_le_bytes());
+    body.extend_from_slice(&(dst as u64).to_le_bytes());
+    body.extend_from_slice(bytes);
+    framing::frame(WIRE_MAGIC, WIRE_FORMAT_VERSION, &body)
+}
+
+/// The hello frame a connecting rank sends first on a new connection,
+/// identifying itself. Public so tests can impersonate a peer.
+pub fn wire_hello(rank: usize) -> Vec<u8> {
+    framing::frame(
+        WIRE_MAGIC,
+        WIRE_FORMAT_VERSION,
+        &(rank as u64).to_le_bytes(),
+    )
+}
+
+/// State shared between a peer's writer handle and its reader thread.
+struct Peer {
+    writer: Mutex<TcpStream>,
+    /// Cleared by the reader thread on EOF or I/O error.
+    alive: Arc<AtomicBool>,
+    /// Set by the reader thread when a frame fails validation.
+    corrupt: Arc<AtomicBool>,
+}
+
+/// The real-wire backend: one OS process per rank, a full mesh of TCP
+/// connections, every message in a checksummed frame.
+///
+/// Construction is two-phase so the caller controls rendezvous:
+/// [`TcpTransport::bind`] grabs a listener (so the endpoint can be
+/// published), then [`TcpBound::establish`] connects the full mesh once
+/// every peer endpoint is known. [`tcp_rendezvous`] wraps both phases
+/// behind a shared-directory rendezvous for same-host worlds.
+///
+/// A `TcpTransport` *is* one rank: `send` requires `src` to be this rank
+/// and `recv` requires `dst` to be this rank — a process can neither
+/// forge another rank's traffic nor read it.
+pub struct TcpTransport {
+    world: usize,
+    rank: usize,
+    peers: Vec<Option<Peer>>,
+    inbox: LaneMap<(usize, u64)>,
+}
+
+impl fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TcpTransport(rank={}/{})", self.rank, self.world)
+    }
+}
+
+/// A bound-but-unconnected TCP rank: holds the listener whose address
+/// peers must learn before [`TcpBound::establish`] can mesh the world.
+pub struct TcpBound {
+    world: usize,
+    rank: usize,
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl TcpBound {
+    /// The address peers should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connects the full mesh: dials every lower rank, accepts every
+    /// higher rank, exchanging hello frames to identify peers. Blocks up
+    /// to `timeout`.
+    ///
+    /// `endpoints[r]` must hold rank `r`'s listener address for `r` below
+    /// this rank (higher entries are ignored — those peers dial us).
+    pub fn establish(
+        self,
+        endpoints: &[SocketAddr],
+        timeout: Duration,
+    ) -> Result<TcpTransport, TransportError> {
+        let deadline = Instant::now() + timeout;
+        let world = self.world;
+        let rank = self.rank;
+        assert!(endpoints.len() >= rank, "missing endpoints for lower ranks");
+        let inbox: LaneMap<(usize, u64)> = Arc::new(Mutex::new(HashMap::new()));
+        let mut peers: Vec<Option<Peer>> = (0..world).map(|_| None).collect();
+
+        // Dial every lower rank (their listeners are up before their
+        // endpoint is visible, so connect may only transiently fail).
+        for (p, &ep) in endpoints.iter().enumerate().take(rank) {
+            let mut stream = loop {
+                match TcpStream::connect(ep) {
+                    Ok(s) => break s,
+                    Err(e) if Instant::now() < deadline => {
+                        let _ = e;
+                        std::thread::sleep(POLL_SLICE);
+                    }
+                    Err(e) => {
+                        return Err(TransportError::Rendezvous {
+                            detail: format!("connecting to rank {p} at {ep}: {e}"),
+                        })
+                    }
+                }
+            };
+            stream.set_nodelay(true).map_err(TransportError::io)?;
+            stream
+                .write_all(&wire_hello(rank))
+                .map_err(TransportError::io)?;
+            peers[p] = Some(spawn_peer(p, stream, &inbox)?);
+        }
+
+        // Accept every higher rank; the hello frame tells us who called.
+        self.listener
+            .set_nonblocking(true)
+            .map_err(TransportError::io)?;
+        let mut expected = world - rank - 1;
+        while expected > 0 {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false).map_err(TransportError::io)?;
+                    stream.set_nodelay(true).map_err(TransportError::io)?;
+                    stream
+                        .set_read_timeout(Some(
+                            deadline
+                                .saturating_duration_since(Instant::now())
+                                .max(POLL_SLICE),
+                        ))
+                        .map_err(TransportError::io)?;
+                    let mut clone = stream.try_clone().map_err(TransportError::io)?;
+                    let hello = read_frame_body(&mut clone)?;
+                    if hello.len() != 8 {
+                        return Err(TransportError::Corrupt {
+                            detail: "hello frame has wrong length".to_string(),
+                        });
+                    }
+                    let peer = u64::from_le_bytes(hello.try_into().unwrap()) as usize;
+                    if peer >= world || peers[peer].is_some() || peer == rank {
+                        return Err(TransportError::Rendezvous {
+                            detail: format!("unexpected hello from rank {peer}"),
+                        });
+                    }
+                    stream.set_read_timeout(None).map_err(TransportError::io)?;
+                    peers[peer] = Some(spawn_peer(peer, stream, &inbox)?);
+                    expected -= 1;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(TransportError::Rendezvous {
+                            detail: format!("{expected} peer(s) never connected"),
+                        });
+                    }
+                    std::thread::sleep(POLL_SLICE);
+                }
+                Err(e) => return Err(TransportError::io(e)),
+            }
+        }
+
+        Ok(TcpTransport {
+            world,
+            rank,
+            peers,
+            inbox,
+        })
+    }
+}
+
+/// Reads one frame (header + body + checksum) off `stream`, validating
+/// magic, version, length, and checksum. Returns the body.
+fn read_frame_body(stream: &mut TcpStream) -> Result<Vec<u8>, TransportError> {
+    let mut header = [0u8; HEADER_LEN];
+    stream.read_exact(&mut header).map_err(TransportError::io)?;
+    let body_len =
+        framing::parse_header(&header, WIRE_MAGIC, WIRE_FORMAT_VERSION).map_err(|e| {
+            TransportError::Corrupt {
+                detail: e.to_string(),
+            }
+        })?;
+    if body_len > MAX_WIRE_BODY {
+        return Err(TransportError::Corrupt {
+            detail: format!("frame body claims {body_len} bytes (cap {MAX_WIRE_BODY})"),
+        });
+    }
+    let mut rest = vec![0u8; body_len as usize + 8];
+    stream.read_exact(&mut rest).map_err(TransportError::io)?;
+    let mut full = Vec::with_capacity(HEADER_LEN + rest.len());
+    full.extend_from_slice(&header);
+    full.extend_from_slice(&rest);
+    framing::unframe(&full, WIRE_MAGIC, WIRE_FORMAT_VERSION)
+        .map(<[u8]>::to_vec)
+        .map_err(|e| TransportError::Corrupt {
+            detail: e.to_string(),
+        })
+}
+
+/// Registers a peer connection and spawns its reader thread, which
+/// demultiplexes incoming frames into per-`(src, channel)` inbox lanes.
+fn spawn_peer(
+    peer_rank: usize,
+    stream: TcpStream,
+    inbox: &LaneMap<(usize, u64)>,
+) -> Result<Peer, TransportError> {
+    let alive = Arc::new(AtomicBool::new(true));
+    let corrupt = Arc::new(AtomicBool::new(false));
+    let mut reader = stream.try_clone().map_err(TransportError::io)?;
+    let inbox = Arc::clone(inbox);
+    let t_alive = Arc::clone(&alive);
+    let t_corrupt = Arc::clone(&corrupt);
+    std::thread::Builder::new()
+        .name(format!("net-rx-{peer_rank}"))
+        .spawn(move || loop {
+            match read_frame_body(&mut reader) {
+                Ok(body) => {
+                    if body.len() < 16 {
+                        t_corrupt.store(true, Ordering::SeqCst);
+                        t_alive.store(false, Ordering::SeqCst);
+                        return;
+                    }
+                    let channel = u64::from_le_bytes(body[..8].try_into().unwrap());
+                    let payload = body[16..].to_vec();
+                    let tx = {
+                        let mut map = inbox.lock();
+                        map.entry((peer_rank, channel))
+                            .or_insert_with(unbounded)
+                            .0
+                            .clone()
+                    };
+                    // The inbox map owns the receiver; send cannot fail.
+                    let _ = tx.send(payload);
+                }
+                Err(TransportError::Corrupt { .. }) => {
+                    t_corrupt.store(true, Ordering::SeqCst);
+                    t_alive.store(false, Ordering::SeqCst);
+                    return;
+                }
+                Err(_) => {
+                    // EOF or I/O error: the peer is gone.
+                    t_alive.store(false, Ordering::SeqCst);
+                    return;
+                }
+            }
+        })
+        .map_err(TransportError::io)?;
+    Ok(Peer {
+        writer: Mutex::new(stream),
+        alive,
+        corrupt,
+    })
+}
+
+impl TcpTransport {
+    /// Binds rank `rank` of a `world`-rank TCP world on `bind_addr`
+    /// (typically `127.0.0.1:0`), returning the bound-but-unconnected
+    /// endpoint whose address peers must learn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world == 0` or `rank >= world`.
+    pub fn bind(world: usize, rank: usize, bind_addr: &str) -> Result<TcpBound, TransportError> {
+        assert!(world > 0, "world size must be positive");
+        assert!(rank < world, "rank {rank} outside world {world}");
+        let listener = TcpListener::bind(bind_addr).map_err(TransportError::io)?;
+        let addr = listener.local_addr().map_err(TransportError::io)?;
+        Ok(TcpBound {
+            world,
+            rank,
+            listener,
+            addr,
+        })
+    }
+
+    /// This process's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn peer(&self, rank: usize) -> &Peer {
+        self.peers[rank]
+            .as_ref()
+            .expect("no connection for own rank")
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        // Shut the sockets down explicitly: reader threads hold clones of
+        // every stream, so merely dropping the writer halves would leave
+        // the connections open and peers would never observe our death.
+        for peer in self.peers.iter().flatten() {
+            let _ = peer.writer.lock().shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn world(&self) -> usize {
+        self.world
+    }
+
+    fn send(
+        &self,
+        src: usize,
+        dst: usize,
+        channel: u64,
+        bytes: Vec<u8>,
+    ) -> Result<(), TransportError> {
+        assert!(
+            src == self.rank,
+            "TcpTransport rank {} cannot send as rank {src}",
+            self.rank
+        );
+        assert!(
+            dst < self.world && dst != self.rank,
+            "bad destination {dst}"
+        );
+        let frame = wire_frame(channel, dst, &bytes);
+        let peer = self.peer(dst);
+        if !peer.alive.load(Ordering::SeqCst) {
+            return Err(TransportError::Disconnected { peer: dst });
+        }
+        let mut w = peer.writer.lock();
+        w.write_all(&frame)
+            .map_err(|_| TransportError::Disconnected { peer: dst })?;
+        w.flush()
+            .map_err(|_| TransportError::Disconnected { peer: dst })?;
+        Ok(())
+    }
+
+    fn recv(
+        &self,
+        src: usize,
+        dst: usize,
+        channel: u64,
+        timeout: Duration,
+    ) -> Result<Vec<u8>, TransportError> {
+        assert!(
+            dst == self.rank,
+            "TcpTransport rank {} cannot receive as rank {dst}",
+            self.rank
+        );
+        assert!(src < self.world && src != self.rank, "bad source {src}");
+        let rx = {
+            let mut map = self.inbox.lock();
+            map.entry((src, channel))
+                .or_insert_with(unbounded)
+                .1
+                .clone()
+        };
+        let start = Instant::now();
+        let deadline = start + timeout;
+        loop {
+            let slice = deadline
+                .saturating_duration_since(Instant::now())
+                .min(POLL_SLICE);
+            match rx.recv_timeout(slice) {
+                Ok(bytes) => return Ok(bytes),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(TransportError::Disconnected { peer: src })
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    let peer = self.peer(src);
+                    // Drain wins over death: only report a dead peer once
+                    // its lane is empty.
+                    if rx.is_empty() {
+                        if peer.corrupt.load(Ordering::SeqCst) {
+                            return Err(TransportError::Corrupt {
+                                detail: format!(
+                                    "connection from rank {src} failed frame validation"
+                                ),
+                            });
+                        }
+                        if !peer.alive.load(Ordering::SeqCst) {
+                            return Err(TransportError::Disconnected { peer: src });
+                        }
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(TransportError::Timeout {
+                            src,
+                            dst,
+                            channel,
+                            waited_ms: start.elapsed().as_millis(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_recv(
+        &self,
+        src: usize,
+        dst: usize,
+        channel: u64,
+    ) -> Result<Option<Vec<u8>>, TransportError> {
+        assert!(dst == self.rank, "bad destination {dst}");
+        let rx = {
+            let mut map = self.inbox.lock();
+            map.entry((src, channel))
+                .or_insert_with(unbounded)
+                .1
+                .clone()
+        };
+        Ok(rx.try_recv().ok())
+    }
+}
+
+/// Meshes a TCP world through a shared rendezvous directory: every rank
+/// binds an ephemeral loopback listener, publishes `ep-<rank>` (atomic
+/// write, so a reader never sees a half-written address), waits for all
+/// peers to publish, then [`TcpBound::establish`]es the full mesh.
+///
+/// The directory must be fresh per world incarnation — stale endpoint
+/// files from a previous run would be read as live peers.
+pub fn tcp_rendezvous(
+    dir: impl Into<PathBuf>,
+    world: usize,
+    rank: usize,
+    timeout: Duration,
+) -> Result<TcpTransport, TransportError> {
+    let dir = dir.into();
+    std::fs::create_dir_all(&dir).map_err(TransportError::io)?;
+    let bound = TcpTransport::bind(world, rank, "127.0.0.1:0")?;
+    publish_endpoint(&dir, rank, bound.addr())?;
+    let deadline = Instant::now() + timeout;
+    let mut endpoints = Vec::with_capacity(world);
+    for peer in 0..world {
+        loop {
+            match read_endpoint(&dir, peer) {
+                Some(addr) => {
+                    endpoints.push(addr);
+                    break;
+                }
+                None if Instant::now() < deadline => std::thread::sleep(POLL_SLICE),
+                None => {
+                    return Err(TransportError::Rendezvous {
+                        detail: format!("rank {peer} never published an endpoint in {dir:?}"),
+                    })
+                }
+            }
+        }
+    }
+    bound.establish(
+        &endpoints,
+        deadline.saturating_duration_since(Instant::now()),
+    )
+}
+
+/// Publishes this rank's listener address into the rendezvous directory.
+fn publish_endpoint(dir: &Path, rank: usize, addr: SocketAddr) -> Result<(), TransportError> {
+    framing::atomic_write(&dir.join(format!("ep-{rank}")), addr.to_string().as_bytes()).map_err(
+        |e| TransportError::Rendezvous {
+            detail: format!("publishing endpoint for rank {rank}: {e}"),
+        },
+    )
+}
+
+/// Reads a peer's published listener address, if present yet.
+fn read_endpoint(dir: &Path, rank: usize) -> Option<SocketAddr> {
+    let bytes = std::fs::read(dir.join(format!("ep-{rank}"))).ok()?;
+    String::from_utf8(bytes).ok()?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn local_lanes_are_fifo_and_independent() {
+        let t = LocalTransport::new(2);
+        for i in 0..5u8 {
+            t.send(0, 1, 7, vec![i]).unwrap();
+        }
+        t.send(1, 0, 7, vec![99]).unwrap();
+        t.send(0, 1, 8, vec![42]).unwrap();
+        for i in 0..5u8 {
+            assert_eq!(t.recv(0, 1, 7, net_timeout()).unwrap(), vec![i]);
+        }
+        assert_eq!(t.recv(1, 0, 7, net_timeout()).unwrap(), vec![99]);
+        assert_eq!(t.recv(0, 1, 8, net_timeout()).unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn local_timeout_reports_lane() {
+        let t = LocalTransport::new(2);
+        let err = t.recv(0, 1, 3, Duration::from_millis(10)).unwrap_err();
+        match err {
+            TransportError::Timeout {
+                src, dst, channel, ..
+            } => {
+                assert_eq!((src, dst, channel), (0, 1, 3));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains("src 0 -> dst 1"));
+    }
+
+    #[test]
+    fn local_try_recv_is_nonblocking() {
+        let t = LocalTransport::new(2);
+        assert_eq!(t.try_recv(0, 1, 0).unwrap(), None);
+        t.send(0, 1, 0, vec![5]).unwrap();
+        assert_eq!(t.try_recv(0, 1, 0).unwrap(), Some(vec![5]));
+    }
+
+    /// Establishes an n-rank loopback TCP world inside one test process.
+    fn tcp_world(n: usize) -> Vec<TcpTransport> {
+        let dir = std::env::temp_dir().join(format!(
+            "opt-tcp-test-{}-{:?}",
+            std::process::id(),
+            thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let handles: Vec<_> = (0..n)
+            .map(|r| {
+                let dir = dir.clone();
+                thread::spawn(move || {
+                    tcp_rendezvous(dir, n, r, Duration::from_secs(20)).expect("rendezvous")
+                })
+            })
+            .collect();
+        let out = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let _ = std::fs::remove_dir_all(&dir);
+        out
+    }
+
+    #[test]
+    fn tcp_world_exchanges_fifo_messages() {
+        let world = tcp_world(3);
+        // Every ordered pair exchanges a couple of messages, in order.
+        thread::scope(|s| {
+            for t in &world {
+                s.spawn(move || {
+                    let me = t.rank();
+                    for dst in 0..t.world() {
+                        if dst == me {
+                            continue;
+                        }
+                        for k in 0..3u8 {
+                            t.send(me, dst, 1, vec![me as u8, k]).unwrap();
+                        }
+                    }
+                    for src in 0..t.world() {
+                        if src == me {
+                            continue;
+                        }
+                        for k in 0..3u8 {
+                            let got = t.recv(src, me, 1, Duration::from_secs(10)).unwrap();
+                            assert_eq!(got, vec![src as u8, k]);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn tcp_large_payload_roundtrips_exactly() {
+        let world = tcp_world(2);
+        let payload: Vec<u8> = (0..1_000_000u32).map(|i| (i % 251) as u8).collect();
+        let expect = payload.clone();
+        thread::scope(|s| {
+            let t0 = &world[0];
+            let t1 = &world[1];
+            s.spawn(move || t0.send(0, 1, 9, payload).unwrap());
+            let got = t1.recv(0, 1, 9, Duration::from_secs(20)).unwrap();
+            assert_eq!(got, expect);
+        });
+    }
+
+    #[test]
+    fn tcp_detects_dead_peer() {
+        let mut world = tcp_world(2);
+        let t1 = world.pop().unwrap();
+        let t0 = world.pop().unwrap();
+        drop(t1); // rank 1's connections close
+        let err = t0.recv(1, 0, 0, Duration::from_secs(5)).unwrap_err();
+        assert_eq!(err, TransportError::Disconnected { peer: 1 });
+        // Sending to the dead peer fails too (possibly after the OS
+        // notices the close).
+        let mut saw_disconnect = false;
+        for _ in 0..50 {
+            if t0.send(0, 1, 0, vec![1]).is_err() {
+                saw_disconnect = true;
+                break;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert!(saw_disconnect, "send to dead peer never failed");
+    }
+
+    #[test]
+    fn tcp_rejects_tampered_frame() {
+        // Rank 0 is a real transport endpoint; the "peer" is a raw socket
+        // that completes the hello handshake and then sends a frame with
+        // one flipped payload bit. The transport must refuse to deliver
+        // it and surface Corrupt instead.
+        let bound = TcpTransport::bind(2, 0, "127.0.0.1:0").expect("bind");
+        let addr = bound.addr();
+        let attacker = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&wire_hello(1)).expect("hello");
+            let mut frame = wire_frame(4, 0, b"legitimate payload");
+            let n = frame.len();
+            frame[n - 12] ^= 0x01; // flip one payload bit
+            s.write_all(&frame).expect("tampered frame");
+            s.flush().expect("flush");
+            // Keep the socket open so EOF cannot mask the corruption.
+            thread::sleep(Duration::from_secs(2));
+        });
+        let t0 = bound.establish(&[], Duration::from_secs(10)).expect("mesh");
+        let err = t0.recv(1, 0, 4, Duration::from_secs(5)).unwrap_err();
+        assert!(
+            matches!(err, TransportError::Corrupt { .. }),
+            "tampered frame yielded {err:?}"
+        );
+        attacker.join().unwrap();
+    }
+
+    #[test]
+    fn timeout_env_knob_is_read() {
+        // Not set in the test environment: default applies.
+        assert_eq!(net_timeout(), Duration::from_millis(DEFAULT_TIMEOUT_MS));
+    }
+
+    #[test]
+    fn channel_ids_partition_by_namespace() {
+        assert_ne!(channel_id(1, 0), channel_id(2, 0));
+        assert_ne!(channel_id(1, 0), channel_id(1, 1));
+        assert_eq!(channel_id(3, 7), channel_id(3, 7));
+    }
+}

@@ -13,6 +13,19 @@ use crate::{simulate, SimConfig};
 use opt_ckpt::FaultPlan;
 use serde::{Deserialize, Serialize};
 
+/// Which wire a shard moves over — the transport dimension of the cost
+/// model, matching `opt-net`'s two `ShardStore` deployments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StoreTransport {
+    /// In-process store (`MemShardStore` reached through shared memory):
+    /// a memory copy, no connection setup, no framing on a wire.
+    Local,
+    /// Remote store over TCP (`TcpShardStore` -> `ShardStoreServer`): one
+    /// connection round-trip per operation plus the NIC-bound transfer of
+    /// the framed request/response.
+    Tcp,
+}
+
 /// Cost model for checkpoint I/O and failure handling.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CkptCostModel {
@@ -31,13 +44,22 @@ pub struct CkptCostModel {
     /// Seconds to resolve the shard manifest (the rendezvous round-trip a
     /// restarting worker pays before its fetch starts).
     pub rendezvous_s: f64,
+    /// In-process copy bandwidth in bytes/s — what a shard operation
+    /// costs when the store is local memory rather than a wire
+    /// ([`StoreTransport::Local`]).
+    pub mem_bw: f64,
+    /// Per-operation TCP setup cost in seconds (connect + request
+    /// round-trip framing) on [`StoreTransport::Tcp`] — the real
+    /// `TcpShardStore` opens one connection per put/get.
+    pub tcp_connect_s: f64,
 }
 
 impl CkptCostModel {
     /// Defaults in the spirit of the paper's 128×A100 cluster: a 30 s
     /// NCCL-timeout detection, 60 s relaunch, 10 GB/s aggregate burst
     /// buffer bandwidth, 25 GB/s per-rank shard fetches (200 Gb/s
-    /// Infiniband HDR), and a 1 s manifest rendezvous.
+    /// Infiniband HDR), a 1 s manifest rendezvous, 100 GB/s in-process
+    /// memory copies, and a 0.5 ms per-operation TCP setup.
     pub fn paper_cluster() -> Self {
         Self {
             detection_s: 30.0,
@@ -45,6 +67,8 @@ impl CkptCostModel {
             disk_bw: 10e9,
             shard_fetch_bw: 25e9,
             rendezvous_s: 1.0,
+            mem_bw: 100e9,
+            tcp_connect_s: 0.5e-3,
         }
     }
 
@@ -58,7 +82,8 @@ impl CkptCostModel {
     /// Wall-clock seconds for a sharded restore: one manifest rendezvous,
     /// then all `world` ranks fetch their own `bytes / world` shard in
     /// parallel — the slowest rank (any rank, they are symmetric) gates
-    /// completion.
+    /// completion. Priced at NIC bandwidth (the historical default,
+    /// equivalent to [`StoreTransport::Tcp`] minus per-op setup).
     pub fn sharded_io_s(&self, bytes: f64, world: usize) -> f64 {
         self.rendezvous_s + self.sharded_publish_s(bytes, world)
     }
@@ -69,6 +94,46 @@ impl CkptCostModel {
     /// put is a few hundred bytes — negligible).
     pub fn sharded_publish_s(&self, bytes: f64, world: usize) -> f64 {
         bytes / world.max(1) as f64 / self.shard_fetch_bw
+    }
+
+    /// Bandwidth one rank sees to the store over `transport`.
+    pub fn store_bw(&self, transport: StoreTransport) -> f64 {
+        match transport {
+            StoreTransport::Local => self.mem_bw,
+            StoreTransport::Tcp => self.shard_fetch_bw,
+        }
+    }
+
+    /// Per-operation fixed cost of the store over `transport`: zero for a
+    /// shared-memory store, a connection setup for the TCP store.
+    pub fn store_op_s(&self, transport: StoreTransport) -> f64 {
+        match transport {
+            StoreTransport::Local => 0.0,
+            StoreTransport::Tcp => self.tcp_connect_s,
+        }
+    }
+
+    /// [`CkptCostModel::sharded_publish_s`] with the transport dimension:
+    /// each rank pays one store operation plus its `bytes / world` slice
+    /// at the transport's bandwidth (the ~28-byte frame around each
+    /// request is noise against megabyte shards and is folded into the
+    /// per-op constant).
+    pub fn sharded_publish_s_via(
+        &self,
+        bytes: f64,
+        world: usize,
+        transport: StoreTransport,
+    ) -> f64 {
+        self.store_op_s(transport) + bytes / world.max(1) as f64 / self.store_bw(transport)
+    }
+
+    /// [`CkptCostModel::sharded_io_s`] with the transport dimension: a
+    /// restore additionally pays the manifest rendezvous (itself one more
+    /// store operation on the wire).
+    pub fn sharded_io_s_via(&self, bytes: f64, world: usize, transport: StoreTransport) -> f64 {
+        self.rendezvous_s
+            + self.store_op_s(transport)
+            + self.sharded_publish_s_via(bytes, world, transport)
     }
 }
 
@@ -165,7 +230,19 @@ pub fn simulate_with_faults(
     plan: &FaultPlan,
     costs: &CkptCostModel,
 ) -> FaultSimResult {
-    simulate_with_faults_impl(cfg, iters, plan, costs, false)
+    simulate_with_faults_impl(cfg, iters, plan, costs, CkptIo::Monolithic)
+}
+
+/// How checkpoint bytes move in a simulated run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CkptIo {
+    /// Monolithic snapshot through the shared filesystem.
+    Monolithic,
+    /// Per-rank shards at NIC bandwidth (the historical sharded pricing,
+    /// no per-operation cost).
+    Sharded,
+    /// Per-rank shards over an explicit store transport.
+    ShardedVia(StoreTransport),
 }
 
 /// [`simulate_with_faults`], but checkpointing through per-rank shards:
@@ -198,7 +275,40 @@ pub fn simulate_with_faults_sharded(
     plan: &FaultPlan,
     costs: &CkptCostModel,
 ) -> FaultSimResult {
-    simulate_with_faults_impl(cfg, iters, plan, costs, true)
+    simulate_with_faults_impl(cfg, iters, plan, costs, CkptIo::Sharded)
+}
+
+/// [`simulate_with_faults_sharded`] with the transport dimension: prices
+/// every shard publish/fetch over `transport` —
+/// [`StoreTransport::Local`] (in-process memory store) or
+/// [`StoreTransport::Tcp`] (the real wire: per-operation connection
+/// setup plus NIC-bound framed transfers). This is the cost twin of
+/// `optimus_cc::run_with_faults_sharded` (Local) versus
+/// `optimus_cc::run_with_faults_sharded_proc` (Tcp).
+///
+/// # Example
+///
+/// ```
+/// use opt_ckpt::FaultPlan;
+/// use opt_sim::{simulate_with_faults_sharded_via, CkptCostModel, SimConfig, StoreTransport};
+///
+/// let cfg = SimConfig::paper_gpt_2_5b();
+/// let costs = CkptCostModel::paper_cluster();
+/// let plan = FaultPlan::new(3, 55, 10);
+/// let local = simulate_with_faults_sharded_via(&cfg, 100, &plan, &costs, StoreTransport::Local);
+/// let tcp = simulate_with_faults_sharded_via(&cfg, 100, &plan, &costs, StoreTransport::Tcp);
+/// // Same failure, same replay — the real wire only costs more I/O time.
+/// assert_eq!(local.replay_time_s, tcp.replay_time_s);
+/// assert!(local.snapshot_overhead_s < tcp.snapshot_overhead_s);
+/// ```
+pub fn simulate_with_faults_sharded_via(
+    cfg: &SimConfig,
+    iters: u64,
+    plan: &FaultPlan,
+    costs: &CkptCostModel,
+    transport: StoreTransport,
+) -> FaultSimResult {
+    simulate_with_faults_impl(cfg, iters, plan, costs, CkptIo::ShardedVia(transport))
 }
 
 fn simulate_with_faults_impl(
@@ -206,20 +316,23 @@ fn simulate_with_faults_impl(
     iters: u64,
     plan: &FaultPlan,
     costs: &CkptCostModel,
-    sharded: bool,
+    io: CkptIo,
 ) -> FaultSimResult {
     let t_iter = simulate(cfg).iteration_time_s;
     let bytes = snapshot_bytes(cfg);
     let world = cfg.tp * cfg.dp * cfg.pp;
     // Writes publish in parallel with no rendezvous; restores pay the
     // manifest round-trip before their fetch.
-    let (t_snap, t_read) = if sharded {
-        (
+    let (t_snap, t_read) = match io {
+        CkptIo::Monolithic => (costs.monolithic_io_s(bytes), costs.monolithic_io_s(bytes)),
+        CkptIo::Sharded => (
             costs.sharded_publish_s(bytes, world),
             costs.sharded_io_s(bytes, world),
-        )
-    } else {
-        (costs.monolithic_io_s(bytes), costs.monolithic_io_s(bytes))
+        ),
+        CkptIo::ShardedVia(t) => (
+            costs.sharded_publish_s_via(bytes, world, t),
+            costs.sharded_io_s_via(bytes, world, t),
+        ),
     };
     let ideal_time_s = t_iter * iters as f64;
 
@@ -399,6 +512,53 @@ mod tests {
             shard.total_time_s,
             sum
         );
+    }
+
+    #[test]
+    fn transport_dimension_prices_the_real_wire() {
+        let (cfg, costs) = base();
+        let bytes = snapshot_bytes(&cfg);
+        let world = cfg.tp * cfg.dp * cfg.pp;
+        // Local shard ops are a memory copy: no per-op cost, faster pipe.
+        assert_eq!(costs.store_op_s(StoreTransport::Local), 0.0);
+        assert!(costs.store_bw(StoreTransport::Local) > costs.store_bw(StoreTransport::Tcp));
+        let local = costs.sharded_publish_s_via(bytes, world, StoreTransport::Local);
+        let tcp = costs.sharded_publish_s_via(bytes, world, StoreTransport::Tcp);
+        assert!(local < tcp, "local {local} !< tcp {tcp}");
+        // The TCP publish is the historical NIC pricing plus one
+        // connection setup.
+        let legacy = costs.sharded_publish_s(bytes, world);
+        assert!((tcp - legacy - costs.tcp_connect_s).abs() < 1e-12);
+        // A restore pays the rendezvous plus one extra store op (the
+        // manifest fetch) on top of the shard fetch.
+        let io_tcp = costs.sharded_io_s_via(bytes, world, StoreTransport::Tcp);
+        assert!((io_tcp - (costs.rendezvous_s + costs.tcp_connect_s + tcp)).abs() < 1e-12);
+        // Even over the real wire, sharded restore beats the monolithic
+        // broadcast at paper scale.
+        assert!(io_tcp < costs.monolithic_io_s(bytes));
+    }
+
+    #[test]
+    fn sharded_fault_sim_transport_dimension_only_moves_io_time() {
+        let (cfg, costs) = base();
+        let plan = FaultPlan::new(2, 45, 10);
+        let local =
+            simulate_with_faults_sharded_via(&cfg, 60, &plan, &costs, StoreTransport::Local);
+        let tcp = simulate_with_faults_sharded_via(&cfg, 60, &plan, &costs, StoreTransport::Tcp);
+        // The failure story is transport-independent.
+        assert_eq!(local.events.len(), tcp.events.len());
+        assert_eq!(local.replay_time_s, tcp.replay_time_s);
+        assert_eq!(local.ideal_time_s, tcp.ideal_time_s);
+        // Only checkpoint I/O differs, in the local store's favor.
+        assert!(local.snapshot_overhead_s < tcp.snapshot_overhead_s);
+        assert!(local.restart_overhead_s < tcp.restart_overhead_s);
+        assert!(local.total_time_s < tcp.total_time_s);
+        // And both still account exactly.
+        for r in [&local, &tcp] {
+            let sum =
+                r.ideal_time_s + r.snapshot_overhead_s + r.restart_overhead_s + r.replay_time_s;
+            assert!((r.total_time_s - sum).abs() < 1e-6 * r.total_time_s);
+        }
     }
 
     #[test]

@@ -314,6 +314,54 @@ impl Persist for Matrix {
     }
 }
 
+/// Scalar encodings, so wire messages and composite state can nest
+/// primitives through the same one-codec path as tensors.
+macro_rules! persist_scalar {
+    ($($ty:ty => $write:ident / $read:ident),* $(,)?) => {
+        $(impl Persist for $ty {
+            fn persist(&self, w: &mut Writer) {
+                w.$write(*self);
+            }
+
+            fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+                r.$read()
+            }
+        })*
+    };
+}
+
+persist_scalar!(
+    u8 => u8 / u8,
+    u32 => u32 / u32,
+    u64 => u64 / u64,
+    usize => usize / usize,
+    f32 => f32 / f32,
+    f64 => f64 / f64,
+);
+
+impl Persist for String {
+    fn persist(&self, w: &mut Writer) {
+        w.bytes(self.as_bytes());
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        String::from_utf8(r.bytes()?).map_err(|_| PersistError::Invalid {
+            what: "string is not valid UTF-8",
+        })
+    }
+}
+
+impl<A: Persist, B: Persist> Persist for (A, B) {
+    fn persist(&self, w: &mut Writer) {
+        self.0.persist(w);
+        self.1.persist(w);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok((A::restore(r)?, B::restore(r)?))
+    }
+}
+
 impl<T: Persist> Persist for Option<T> {
     fn persist(&self, w: &mut Writer) {
         match self {

@@ -8,8 +8,9 @@
 //!
 //! Run with: `cargo run --release --example elastic_restore`
 //!
-//! Shards are written to `./elastic-restore-shards` (override with
-//! `OPT_SHARD_DIR`) and left on disk so CI can archive the manifest.
+//! Shards are written to `target/elastic-restore-shards` — build scratch,
+//! never the repository working tree (override with `OPT_SHARD_DIR`) —
+//! and left on disk so CI can archive the manifest.
 
 use optimus::ckpt::{CkptError, ShardManifest, MANIFEST_FILE};
 use optimus::core::{QualityConfig, Trainer, TrainerConfig};
@@ -20,7 +21,8 @@ fn main() {
     let total: u64 = 20;
     let snap_at: u64 = 10;
     let cfg = || TrainerConfig::small_test(QualityConfig::cb_fe_sc(), total);
-    let dir = std::env::var("OPT_SHARD_DIR").unwrap_or_else(|_| "elastic-restore-shards".into());
+    let dir =
+        std::env::var("OPT_SHARD_DIR").unwrap_or_else(|_| "target/elastic-restore-shards".into());
     let fs = FsShardStore::new(&dir);
     let store: Arc<dyn ShardStore> = Arc::new(fs.clone());
 

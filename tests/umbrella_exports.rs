@@ -41,6 +41,34 @@ fn remaining_subsystem_reexports_resolve() {
 }
 
 #[test]
+fn transport_reexports_resolve() {
+    use optimus::net::{LocalTransport, Transport};
+    // The pluggable transport surface: both backends, the wire framing
+    // constants, the tunable timeout, and the remote shard store.
+    let local = LocalTransport::new(2);
+    local
+        .send(0, 1, optimus::net::channel_id(7, 0), vec![1, 2])
+        .expect("send");
+    assert_eq!(local.world(), 2);
+    let _ = optimus::net::net_timeout();
+    assert_eq!(optimus::net::WIRE_MAGIC, b"OPTWIRE\0");
+    let _ = optimus::net::WIRE_OVERHEAD_BYTES;
+    let _ = optimus::net::TcpShardStore::connect("127.0.0.1:9".parse().unwrap());
+    let _ = optimus::ckpt::framing::fnv1a64(b"shared framing");
+    // The multi-process runtime surface.
+    let _ = optimus::core::ProcOptions {
+        worker_bin: "opt-worker".into(),
+        store_addr: "127.0.0.1:9".parse().unwrap(),
+        scratch_dir: std::env::temp_dir(),
+    };
+    let _ = optimus::core::ProcFaultOptions {
+        worker_bin: "opt-worker".into(),
+        scratch_dir: std::env::temp_dir(),
+        store_dir: None,
+    };
+}
+
+#[test]
 fn elastic_restore_reexports_resolve() {
     // The sharded-checkpoint surface: formats in ckpt, the store in net,
     // the cost model in sim.
