@@ -5,6 +5,9 @@
 //! Not a paper figure — this exercises the `opt-ckpt` subsystem the way an
 //! operator would: pick a snapshot cadence, lose a worker mid-run, and pay
 //! detection + relaunch + snapshot read + replay.
+//!
+//! Knobs: `OPT_QUALITY_ITERS` (default 30) sets the small-model
+//! quality-proxy training iterations; CI smoke uses `OPT_QUALITY_ITERS=5`.
 
 use opt_bench::{banner, fmt, print_table};
 use opt_ckpt::FaultPlan;

@@ -1,5 +1,8 @@
 //! Fig. 3: motivational breakdown on GPT-2.5B (125K iterations) and the
 //! model-quality damage of naive compression versus Optimus-CC.
+//!
+//! Knobs: `OPT_QUALITY_ITERS` (default 300) sets the small-model
+//! quality-proxy training iterations; CI smoke uses `OPT_QUALITY_ITERS=5`.
 
 use opt_bench::{banner, days, print_table};
 use opt_sim::{breakdown, CompressionPlan, SimConfig};

@@ -1,5 +1,8 @@
 //! Fig. 9: validation perplexity curves over training for the four
 //! Table-2 configurations (small-model numerical proxy).
+//!
+//! Knobs: `OPT_QUALITY_ITERS` (default 300) sets the small-model
+//! quality-proxy training iterations; CI smoke uses `OPT_QUALITY_ITERS=5`.
 
 use opt_bench::{banner, print_table};
 use optimus_cc::{QualityConfig, Trainer, TrainerConfig};

@@ -1,5 +1,8 @@
 //! Fig. 11: empirical validation of Eq. 14 — the preserved compression
 //! error is near-zero-mean and independent of the activation differences.
+//!
+//! Knobs: `OPT_QUALITY_ITERS` (default 150) sets the small-model
+//! quality-proxy training iterations; CI smoke uses `OPT_QUALITY_ITERS=5`.
 
 use opt_bench::{banner, print_table};
 use optimus_cc::{QualityConfig, Trainer, TrainerConfig};

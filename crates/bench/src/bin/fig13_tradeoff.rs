@@ -1,5 +1,8 @@
 //! Fig. 13: speed/quality trade-off — selective stage compression
 //! (varying the stage fraction) versus adjusting the PowerSGD rank.
+//!
+//! Knobs: `OPT_QUALITY_ITERS` (default 250) sets the small-model
+//! quality-proxy training iterations; CI smoke uses `OPT_QUALITY_ITERS=5`.
 
 use opt_bench::{banner, print_table, speedup_pct};
 use opt_sim::{simulate, CompressionPlan, ScPlan, SimConfig};

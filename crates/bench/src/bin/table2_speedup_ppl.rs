@@ -4,6 +4,9 @@
 //! Training time comes from the cluster simulator at paper scale (230K
 //! iterations); validation perplexity comes from real training of the
 //! small numerical model under the corresponding quality config.
+//!
+//! Knobs: `OPT_QUALITY_ITERS` (default 300) sets the small-model
+//! quality-proxy training iterations; CI smoke uses `OPT_QUALITY_ITERS=5`.
 
 use opt_bench::{banner, days, print_table, speedup_pct};
 use opt_sim::{simulate, CompressionPlan, SimConfig};

@@ -1,6 +1,9 @@
 //! Table 3: zero-shot task accuracy of pretrained models under the four
 //! configurations, on the five synthetic probes (LAMBADA/PIQA/MathQA/
 //! WinoGrande/RACE substitutes).
+//!
+//! Knobs: `OPT_QUALITY_ITERS` (default 400) sets the small-model
+//! quality-proxy training iterations; CI smoke uses `OPT_QUALITY_ITERS=5`.
 
 use opt_bench::{banner, print_table};
 use opt_data::ZeroShotTask;

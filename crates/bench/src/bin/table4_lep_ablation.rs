@@ -1,5 +1,8 @@
 //! Table 4: effect of lazy error propagation on zero-shot accuracy —
 //! Baseline vs CB without LEP vs CB with LEP.
+//!
+//! Knobs: `OPT_QUALITY_ITERS` (default 400) sets the small-model
+//! quality-proxy training iterations; CI smoke uses `OPT_QUALITY_ITERS=5`.
 
 use opt_bench::{banner, print_table};
 use opt_data::ZeroShotTask;
