@@ -10,7 +10,10 @@
 //! Before measuring anything it *prices* the corresponding paper-scale
 //! configurations through `opt-sim`, so every wall-clock number sits next
 //! to the simulator's prediction of what the axis costs on the real
-//! cluster.
+//! cluster. The parallelism axis additionally runs each configuration
+//! once under `TraceMode::Spans` (a separate run — never the timed one)
+//! and records the mean per-rank `bubble_frac` / `comm_overlap` from
+//! `opt_trace::analyze` as row metrics.
 //!
 //! Knobs:
 //!
@@ -43,7 +46,8 @@ use opt_tensor::{
     naive, orthonormalize_columns, set_kernel_threads, set_parallel_flop_threshold, Matrix,
     SeedStream,
 };
-use optimus_cc::{ProcOptions, QualityConfig, Trainer, TrainerConfig};
+use opt_trace::RankSummary;
+use optimus_cc::{ProcOptions, QualityConfig, TraceMode, Trainer, TrainerConfig};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -386,6 +390,27 @@ fn run_model(b: &Budget) -> BenchFile {
     }
 }
 
+/// Trace-derived pipeline stats for a config: a *separate* spans-mode run
+/// (never the timed one — tracing, however cheap, must not touch the
+/// gated numbers), analyzed for the structural bubble fraction and the
+/// wall-clock comm/compute overlap, averaged over ranks. The bubble
+/// number is bit-deterministic across reruns; the overlap is a
+/// measurement.
+fn trace_stats(b: &Budget, cfg: TrainerConfig) -> Vec<(String, f64)> {
+    let mut t = Trainer::launch_with_trace(cfg, TraceMode::Spans);
+    t.train_more(b.train_iters);
+    let trace = t.take_trace().expect("spans mode is enabled");
+    t.shutdown();
+    let report = opt_trace::analyze(&trace, 0);
+    let mean = |f: fn(&RankSummary) -> f64| {
+        report.ranks.iter().map(f).sum::<f64>() / report.ranks.len().max(1) as f64
+    };
+    vec![
+        ("bubble_frac".to_string(), mean(|r| r.bubble_fraction)),
+        ("comm_overlap".to_string(), mean(|r| r.overlap_ratio)),
+    ]
+}
+
 /// The pp×dp axis on the tiny model, priced on GPT-2.5B at paper scale.
 fn run_parallelism(b: &Budget) -> BenchFile {
     opt_bench::banner("dimension: parallelism (pp x dp on GPT-tiny)");
@@ -400,9 +425,10 @@ fn run_parallelism(b: &Budget) -> BenchFile {
                 .with_tp_pp(8, pp.max(2))
                 .with_dp(dp),
         );
-        let (ns, mut metrics) = time_training(b, cfg);
+        let (ns, mut metrics) = time_training(b, cfg.clone());
         metrics.push(("world".to_string(), (pp * dp) as f64));
         metrics.push(("sim_paper_iter_s".to_string(), priced.iteration_time_s));
+        metrics.extend(trace_stats(b, cfg));
         rows.push(Row {
             label: format!("pp{pp}xdp{dp}"),
             config: vec![

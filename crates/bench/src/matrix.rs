@@ -14,9 +14,10 @@
 //! * **Schema-versioned.** Every file records [`SCHEMA_VERSION`]; readers
 //!   refuse unknown versions instead of guessing.
 //! * **Self-describing provenance.** Machine fingerprint (CPU model, core
-//!   count, OS), git revision, build profile, and warmup/repetition
-//!   counts are recorded in the file, so a number can never be quoted
-//!   without its measurement conditions.
+//!   count, OS, plus any [`PROVENANCE_ENV_VARS`] overrides in effect),
+//!   git revision, build profile, and warmup/repetition counts are
+//!   recorded in the file, so a number can never be quoted without its
+//!   measurement conditions.
 //! * **Serde-free.** The codec is the repo's own [`crate::json`] module —
 //!   deterministic writer, strict parser — mirroring how `opt-ckpt` owns
 //!   its snapshot bytes.
@@ -45,6 +46,12 @@ pub const DEFAULT_THRESHOLD_PCT: f64 = 15.0;
 /// File name of the committed run trajectory (appended per matrix run).
 pub const TRAJECTORY_FILE: &str = "BENCH_trajectory.json";
 
+/// Environment knobs recorded in the machine fingerprint when set: they
+/// change what a benchmark *measures* (kernel-pool width, net timeouts),
+/// so a run under an override must never be silently compared against a
+/// baseline measured without it.
+pub const PROVENANCE_ENV_VARS: [&str; 2] = ["OPT_KERNEL_THREADS", "OPT_NET_TIMEOUT_MS"];
+
 /// Machine fingerprint recorded in every benchmark file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Machine {
@@ -54,6 +61,10 @@ pub struct Machine {
     pub cores: u64,
     /// Operating system (`std::env::consts::OS`).
     pub os: String,
+    /// Environment overrides from [`PROVENANCE_ENV_VARS`] that were set
+    /// when the run was measured, in that order. Empty (and absent from
+    /// the JSON) when none were set.
+    pub env: Vec<(String, String)>,
 }
 
 /// Reads the machine fingerprint of the current host.
@@ -73,7 +84,22 @@ pub fn machine() -> Machine {
             .map(|n| n.get() as u64)
             .unwrap_or(1),
         os: std::env::consts::OS.to_string(),
+        env: PROVENANCE_ENV_VARS
+            .iter()
+            .filter_map(|&k| std::env::var(k).ok().map(|v| (k.to_string(), v)))
+            .collect(),
     }
+}
+
+/// Renders a machine's env overrides for human-readable notes.
+fn fmt_env(env: &[(String, String)]) -> String {
+    if env.is_empty() {
+        return "none".to_string();
+    }
+    env.iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 /// The short git revision of the working tree, or `"unknown"` outside a
@@ -188,12 +214,28 @@ impl BenchFile {
         let _ = writeln!(out, "  \"mode\": \"{}\",", escape(&m.mode));
         let _ = writeln!(out, "  \"profile\": \"{}\",", escape(&m.profile));
         let _ = writeln!(out, "  \"git_rev\": \"{}\",", escape(&m.git_rev));
+        // The env member appears only when overrides were set, so files
+        // measured without overrides keep their historical byte layout.
+        let mut env_json = String::new();
+        if !m.machine.env.is_empty() {
+            env_json.push_str(", \"env\": { ");
+            for (j, (k, v)) in m.machine.env.iter().enumerate() {
+                let sep = if j + 1 == m.machine.env.len() {
+                    ""
+                } else {
+                    ", "
+                };
+                let _ = write!(env_json, "\"{}\": \"{}\"{sep}", escape(k), escape(v));
+            }
+            env_json.push_str(" }");
+        }
         let _ = writeln!(
             out,
-            "  \"machine\": {{ \"cpu\": \"{}\", \"cores\": {}, \"os\": \"{}\" }},",
+            "  \"machine\": {{ \"cpu\": \"{}\", \"cores\": {}, \"os\": \"{}\"{} }},",
             escape(&m.machine.cpu),
             m.machine.cores,
-            escape(&m.machine.os)
+            escape(&m.machine.os),
+            env_json
         );
         let _ = writeln!(
             out,
@@ -270,6 +312,20 @@ impl BenchFile {
                     .and_then(Json::as_str)
                     .ok_or("missing machine.os")?
                     .to_string(),
+                // Absent in files measured without overrides.
+                env: match machine_obj.get("env") {
+                    None => Vec::new(),
+                    Some(obj) => obj
+                        .as_object()
+                        .ok_or("machine.env is not an object")?
+                        .iter()
+                        .map(|(k, v)| {
+                            v.as_str()
+                                .map(|s| (k.clone(), s.to_string()))
+                                .ok_or_else(|| format!("non-string machine.env value for {k}"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                },
             },
             warmup: num(timing_obj, "warmup")?,
             reps: num(timing_obj, "reps")?,
@@ -500,7 +556,16 @@ pub fn gate_dimension(
         ));
         hard_fail = true;
     }
-    if baseline.meta.machine != current.meta.machine {
+    if baseline.meta.machine.env != current.meta.machine.env {
+        notes.push(format!(
+            "env-override mismatch: baseline measured with [{}], current with [{}] — knobs like OPT_KERNEL_THREADS change what is measured; rerun without overrides or refresh the baseline",
+            fmt_env(&baseline.meta.machine.env),
+            fmt_env(&current.meta.machine.env)
+        ));
+    }
+    if baseline.meta.machine != current.meta.machine
+        && baseline.meta.machine.env == current.meta.machine.env
+    {
         notes.push(format!(
             "cross-machine comparison: baseline on \"{}\" ({} cores), current on \"{}\" ({} cores) — absolute times are noisy; refresh baselines from the gating box if this persists",
             baseline.meta.machine.cpu,
@@ -774,6 +839,24 @@ pub fn trajectory_entry(files: &[BenchFile], unix_time: u64) -> TrajectoryEntry 
                 git_rev(),
             )
         });
+    let mut headline: Vec<(String, f64)> = files
+        .iter()
+        .map(|f| {
+            let bests: Vec<f64> = f.rows.iter().map(|r| r.best_ns).collect();
+            (f.meta.dimension.clone(), median(&bests))
+        })
+        .collect();
+    // Trace-derived stats ride along when a dimension measured them: the
+    // median over the rows carrying the metric, keyed
+    // `<dimension>_<metric>` (older entries simply lack the keys).
+    for f in files {
+        for stat in ["bubble_frac", "comm_overlap"] {
+            let vals: Vec<f64> = f.rows.iter().filter_map(|r| r.metric(stat)).collect();
+            if !vals.is_empty() {
+                headline.push((format!("{}_{stat}", f.meta.dimension), median(&vals)));
+            }
+        }
+    }
     TrajectoryEntry {
         unix_time,
         git_rev: git,
@@ -781,13 +864,7 @@ pub fn trajectory_entry(files: &[BenchFile], unix_time: u64) -> TrajectoryEntry 
         profile,
         cpu: machine.cpu,
         cores: machine.cores,
-        headline: files
-            .iter()
-            .map(|f| {
-                let bests: Vec<f64> = f.rows.iter().map(|r| r.best_ns).collect();
-                (f.meta.dimension.clone(), median(&bests))
-            })
-            .collect(),
+        headline,
     }
 }
 
@@ -806,6 +883,7 @@ mod tests {
                     cpu: "TestCPU".to_string(),
                     cores: 4,
                     os: "linux".to_string(),
+                    env: Vec::new(),
                 },
                 warmup: 1,
                 reps: 5,
@@ -830,6 +908,66 @@ mod tests {
         let back = BenchFile::parse(&text).expect("parse");
         assert_eq!(back, f);
         assert_eq!(back.to_json(), text, "writer is not canonical");
+    }
+
+    #[test]
+    fn machine_env_overrides_round_trip_and_stay_absent_when_empty() {
+        // No overrides: the machine line keeps its historical layout.
+        let plain = sample_file("kernels", &[("a", 100.0)]);
+        let text = plain.to_json();
+        assert!(
+            !text.contains("\"env\""),
+            "env member must be absent when no overrides were set"
+        );
+
+        // Overrides: recorded inside the machine object and parsed back.
+        let mut tuned = plain.clone();
+        tuned.meta.machine.env = vec![
+            ("OPT_KERNEL_THREADS".to_string(), "4".to_string()),
+            ("OPT_NET_TIMEOUT_MS".to_string(), "500".to_string()),
+        ];
+        let text = tuned.to_json();
+        assert!(text.contains("\"env\": { \"OPT_KERNEL_THREADS\": \"4\""));
+        let back = BenchFile::parse(&text).expect("parse");
+        assert_eq!(back, tuned);
+        assert_eq!(back.to_json(), text, "writer is not canonical with env");
+    }
+
+    #[test]
+    fn gate_notes_env_override_mismatch_without_failing() {
+        let base = sample_file("kernels", &[("a", 100.0)]);
+        let mut cur = base.clone();
+        cur.meta.machine.env = vec![("OPT_KERNEL_THREADS".to_string(), "4".to_string())];
+        let v = gate_dimension(&base, &cur, 1.15, &Allowlist::default());
+        assert!(v.pass, "env divergence warns, it does not fail the gate");
+        assert!(
+            v.notes.iter().any(|n| n.contains("env-override mismatch")
+                && n.contains("OPT_KERNEL_THREADS=4")
+                && n.contains("none")),
+            "notes: {:?}",
+            v.notes
+        );
+    }
+
+    #[test]
+    fn trajectory_entry_carries_trace_stats_when_measured() {
+        let mut files = vec![sample_file("parallelism", &[("pp2xdp1", 100.0)])];
+        files[0].rows[0]
+            .metrics
+            .push(("bubble_frac".to_string(), 0.25));
+        files[0].rows[0]
+            .metrics
+            .push(("comm_overlap".to_string(), 0.5));
+        let e = trajectory_entry(&files, 7);
+        assert!(e
+            .headline
+            .contains(&("parallelism_bubble_frac".to_string(), 0.25)));
+        assert!(e
+            .headline
+            .contains(&("parallelism_comm_overlap".to_string(), 0.5)));
+        // A file without the metrics contributes no stat keys.
+        let e = trajectory_entry(&[sample_file("kernels", &[("a", 1.0)])], 7);
+        assert!(e.headline.iter().all(|(k, _)| !k.contains("bubble")));
     }
 
     #[test]

@@ -8,9 +8,10 @@
 
 use opt_ckpt::{FaultPlan, ShardManifest, MANIFEST_FILE};
 use opt_net::{MemShardStore, ShardStore, ShardStoreServer, TcpShardStore};
+use opt_trace::Trace;
 use optimus_cc::{
     run_with_faults_sharded, run_with_faults_sharded_proc, ProcFaultOptions, ProcOptions,
-    QualityConfig, Trainer, TrainerConfig,
+    QualityConfig, TraceMode, Trainer, TrainerConfig,
 };
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -123,6 +124,85 @@ fn killed_process_self_restores_from_tcp_store_bit_for_bit() {
             entry.name
         );
     }
+}
+
+/// Spans-mode run of a real TCP process world: returns the merged trace.
+fn traced_proc_run(cfg: &TrainerConfig, tag: &str, iters: u64) -> Trace {
+    let store: Arc<dyn ShardStore> = Arc::new(MemShardStore::new());
+    let server = ShardStoreServer::spawn(store, "127.0.0.1:0").expect("store server");
+    let mut world = Trainer::launch_processes_traced(
+        cfg.clone(),
+        ProcOptions {
+            worker_bin: worker_bin(),
+            store_addr: server.addr(),
+            scratch_dir: scratch(tag),
+        },
+        TraceMode::Spans,
+    )
+    .expect("traced process world");
+    world.train_more(iters).expect("traced train");
+    let trace = world
+        .take_trace()
+        .expect("fetching traces")
+        .expect("spans mode is enabled");
+    world.shutdown().expect("shutdown");
+    trace
+}
+
+#[test]
+fn traced_process_world_exports_deterministic_chrome_trace() {
+    // The observability acceptance gate: a 2x2 pp×dp world of real OS
+    // processes under OPT_TRACE=spans yields one merged trace whose
+    // *structure* (span kinds, nesting, ordering, byte counts) and
+    // bubble-replay numbers are identical across reruns AND identical to
+    // the in-process LocalTransport world — only wall-clock timestamps
+    // may differ.
+    let cfg = TrainerConfig::tiny_test(QualityConfig::cb_fe_sc(), 4);
+    let iters = 4;
+
+    let mut in_proc = Trainer::launch_with_trace(cfg.clone(), TraceMode::Spans);
+    in_proc.train_more(iters);
+    let local_trace = in_proc.take_trace().expect("spans mode is enabled");
+    in_proc.shutdown();
+
+    let proc_trace = traced_proc_run(&cfg, "trace-a", iters);
+    let rerun_trace = traced_proc_run(&cfg, "trace-b", iters);
+
+    assert_eq!(local_trace.buffers.len(), cfg.pp * cfg.dp);
+    assert!(local_trace.compute_span_count() > 0, "no compute spans");
+    assert_eq!(
+        proc_trace.structural_digest(),
+        rerun_trace.structural_digest(),
+        "process-world trace structure is not reproducible"
+    );
+    assert_eq!(
+        local_trace.structural_digest(),
+        proc_trace.structural_digest(),
+        "LocalTransport and TCP worlds recorded different span trees"
+    );
+
+    // The bubble analysis is a pure function of the structure, so the
+    // per-rank fractions are bit-equal across backends and reruns.
+    let bubbles = |t: &Trace| -> Vec<f64> {
+        opt_trace::analyze(t, 0)
+            .ranks
+            .iter()
+            .map(|r| r.bubble_fraction)
+            .collect()
+    };
+    assert_eq!(bubbles(&local_trace), bubbles(&proc_trace));
+    assert_eq!(bubbles(&proc_trace), bubbles(&rerun_trace));
+
+    // Export the merged trace where CI archives it and trace_report
+    // asserts on it (a directory of its own: the fault-tolerance test
+    // clears target/multiproc-smoke at will).
+    let out_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target")
+        .join("multiproc-trace");
+    std::fs::create_dir_all(&out_dir).expect("trace out dir");
+    let json = proc_trace.to_chrome_json();
+    assert!(json.contains("\"traceEvents\""));
+    std::fs::write(out_dir.join("trace.json"), json).expect("writing trace.json");
 }
 
 #[test]

@@ -82,6 +82,7 @@ impl<C: Compressor> LazyErrorPropagator<C> {
     ///
     /// Returns the wire payload and the post-call error statistics.
     pub fn process(&mut self, grad: &Matrix, compress: bool) -> (Compressed, LinkErrorStats) {
+        let span = opt_trace::begin(opt_trace::SpanKind::Encode, 0, opt_trace::NO_MICRO, 0, 0);
         // Fold the gradient into the retired error buffer in place (IEEE
         // addition commutes, so `e + g` is bit-identical to the seed
         // code's `g + e`) instead of allocating a corrected copy.
@@ -108,6 +109,7 @@ impl<C: Compressor> LazyErrorPropagator<C> {
             wire_bytes: payload.wire_bytes(),
             compressed: compress,
         };
+        span.set_bytes(stats.wire_bytes as u64);
         (payload, stats)
     }
 

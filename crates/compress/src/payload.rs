@@ -144,6 +144,13 @@ impl Compressed {
     /// assert_eq!(c.decompress()[(1, 1)], 5.0);
     /// ```
     pub fn decompress(&self) -> Matrix {
+        let _span = opt_trace::begin(
+            opt_trace::SpanKind::Decode,
+            0,
+            opt_trace::NO_MICRO,
+            self.wire_bytes() as u64,
+            0,
+        );
         match self {
             Compressed::Dense { matrix } => matrix.clone(),
             Compressed::LowRank { p, q } => p.matmul_t(q),

@@ -75,3 +75,8 @@ pub use proc::{
 };
 pub use stats::{ErrorStatPoint, TrainReport, ValPoint};
 pub use trainer::Trainer;
+
+// Tracing types surface in the trainer API (`Trainer::launch_with_trace`,
+// `Trainer::take_trace`), so re-export them for callers that do not
+// depend on `opt-trace` directly.
+pub use opt_trace::{Trace, TraceMode};

@@ -35,14 +35,17 @@
 
 use crate::config::TrainerConfig;
 use crate::stats::{Collector, RawSamples, TrainReport};
-use crate::worker::{build_groups, run_worker, Cmd, WorkerAck, WorkerCtx, WorldGroups};
+use crate::worker::{
+    build_groups, run_worker, Cmd, WorkerAck, WorkerCtx, WorldGroups, CH_BWD, CH_FWD,
+};
 use crossbeam::channel::unbounded;
 use opt_ckpt::{CkptError, ShardEntry, ShardManifest, MANIFEST_FILE};
 use opt_net::{
-    channel_id, tcp_rendezvous, CollectiveWorld, P2pMesh, ShardStore, TcpShardStore, TcpTransport,
-    TrafficLedger, TrafficSnapshot, Transport, TransportError,
+    channel_id, tcp_rendezvous, ChannelStat, CollectiveWorld, P2pMesh, ShardStore, TcpShardStore,
+    TcpTransport, TrafficBreakdown, TrafficLedger, TrafficSnapshot, Transport, TransportError,
 };
 use opt_tensor::{Persist, PersistError, Reader, Writer};
+use opt_trace::{Trace, TraceBuffer, TraceMode, ENV_TRACE};
 use std::fmt;
 use std::net::SocketAddr;
 use std::path::PathBuf;
@@ -51,15 +54,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Channel namespace 1: the two pipeline meshes.
-const CH_FWD: u64 = channel_id(1, 0);
-const CH_BWD: u64 = channel_id(1, 1);
-/// Channel namespace 3: the coordinator <-> worker control plane.
+/// Channel namespace 3: the coordinator <-> worker control plane. (The
+/// pipeline-mesh channels `CH_FWD`/`CH_BWD` live in `crate::worker`,
+/// shared with the in-process trainer.)
 const CH_CMD: u64 = channel_id(3, 0);
 const CH_ACK: u64 = channel_id(3, 1);
 const CH_SHARD: u64 = channel_id(3, 2);
 const CH_RESTORE: u64 = channel_id(3, 3);
 const CH_METRICS: u64 = channel_id(3, 4);
+const CH_TRACE: u64 = channel_id(3, 5);
 
 /// How long the coordinator waits for one control-plane response. A
 /// barrier ack covers a whole batch of training iterations, so this is
@@ -138,6 +141,7 @@ enum WireCmd {
     PublishShard { id: u64, iter: u64 },
     SelfRestore { id: u64 },
     FetchMetrics { id: u64 },
+    FetchTrace { id: u64 },
     Stop,
 }
 
@@ -172,6 +176,10 @@ impl Persist for WireCmd {
                 w.u64(*id);
             }
             WireCmd::Stop => w.u8(6),
+            WireCmd::FetchTrace { id } => {
+                w.u8(7);
+                w.u64(*id);
+            }
         }
     }
 
@@ -191,6 +199,7 @@ impl Persist for WireCmd {
             4 => WireCmd::SelfRestore { id: r.u64()? },
             5 => WireCmd::FetchMetrics { id: r.u64()? },
             6 => WireCmd::Stop,
+            7 => WireCmd::FetchTrace { id: r.u64()? },
             tag => {
                 return Err(PersistError::BadTag {
                     what: "WireCmd",
@@ -315,6 +324,7 @@ pub struct ProcTrainer {
     children: Vec<Child>,
     /// The coordinator's own client view of the shard store.
     store: TcpShardStore,
+    trace: TraceMode,
     next_id: u64,
     trained_iters: u64,
 }
@@ -335,6 +345,16 @@ impl ProcTrainer {
     /// Spawns the worker processes and meshes the world. The coordinator
     /// participates in the TCP world as rank `pp * dp`.
     pub(crate) fn launch(cfg: TrainerConfig, opts: ProcOptions) -> Result<ProcTrainer, ProcError> {
+        Self::launch_traced(cfg, opts, TraceMode::from_env())
+    }
+
+    /// [`ProcTrainer::launch`] with an explicit trace mode, propagated to
+    /// every worker process through the [`ENV_TRACE`] variable.
+    pub(crate) fn launch_traced(
+        cfg: TrainerConfig,
+        opts: ProcOptions,
+        trace: TraceMode,
+    ) -> Result<ProcTrainer, ProcError> {
         assert!(cfg.pp > 0 && cfg.dp > 0, "pp and dp must be positive");
         let world = cfg.pp * cfg.dp;
         let coord = world;
@@ -351,6 +371,7 @@ impl ProcTrainer {
                 .env(ENV_CFG, &cfg_hex)
                 .env(ENV_RDV, &rdv_dir)
                 .env(ENV_STORE, opts.store_addr.to_string())
+                .env(ENV_TRACE, trace.as_str())
                 .spawn();
             match child {
                 Ok(c) => children.push(c),
@@ -380,6 +401,7 @@ impl ProcTrainer {
             opts,
             transport,
             children,
+            trace,
             next_id: 0,
             trained_iters: 0,
         })
@@ -501,12 +523,16 @@ impl ProcTrainer {
         Ok(collector.into_report(self.trained_iters, traffic))
     }
 
-    /// Quiesces the workers and returns the merged traffic counters.
-    pub fn traffic(&mut self) -> Result<TrafficSnapshot, ProcError> {
+    /// Quiesces the workers and returns the merged traffic counters:
+    /// per-class totals plus the per-(src, dst, channel) breakdown. Each
+    /// worker ships only its own transport's half of every lane (its sends
+    /// and its receives); the merge reassembles full lanes, so the result
+    /// is identical to the in-process trainer's single shared ledger.
+    pub fn traffic(&mut self) -> Result<TrafficBreakdown, ProcError> {
         Ok(self.gather_metrics()?.1)
     }
 
-    fn gather_metrics(&mut self) -> Result<(Collector, TrafficSnapshot), ProcError> {
+    fn gather_metrics(&mut self) -> Result<(Collector, TrafficBreakdown), ProcError> {
         // The barrier quiesces every worker; FetchMetrics is then handled
         // by the worker's control bridge while its loop is idle.
         self.barrier()?;
@@ -514,18 +540,42 @@ impl ProcTrainer {
         let id = self.next_id;
         self.broadcast(&WireCmd::FetchMetrics { id })?;
         let collector = Collector::default();
-        let mut traffic = TrafficSnapshot::default();
+        let mut traffic = TrafficBreakdown::default();
         for rank in 0..self.world() {
-            let (raw, snap) = self.recv_matching(rank, CH_METRICS, id, |r| {
+            let (raw, breakdown) = self.recv_matching(rank, CH_METRICS, id, |r| {
                 let got = r.u64()?;
                 let raw = RawSamples::restore(r)?;
                 let snap = TrafficSnapshot::restore(r)?;
-                Ok((got, (raw, snap)))
+                let stats = Vec::<ChannelStat>::restore(r)?;
+                Ok((got, (raw, TrafficBreakdown::new(snap, stats))))
             })?;
             collector.absorb(&raw);
-            traffic.absorb(&snap);
+            traffic.absorb(&breakdown);
         }
         Ok((collector, traffic))
+    }
+
+    /// Drains every worker process's trace buffer over the control plane
+    /// into one merged [`Trace`] — the multi-process mirror of
+    /// [`crate::Trainer::take_trace`]. Returns `None` when the world was
+    /// launched with tracing off.
+    pub fn take_trace(&mut self) -> Result<Option<Trace>, ProcError> {
+        if !self.trace.enabled() {
+            return Ok(None);
+        }
+        self.barrier()?;
+        self.next_id += 1;
+        let id = self.next_id;
+        self.broadcast(&WireCmd::FetchTrace { id })?;
+        let mut buffers = Vec::with_capacity(self.world());
+        for rank in 0..self.world() {
+            buffers.push(self.recv_matching(rank, CH_TRACE, id, |r| {
+                let got = r.u64()?;
+                let buf = TraceBuffer::restore(r)?;
+                Ok((got, buf))
+            })?);
+        }
+        Ok(Some(Trace::merge(buffers)))
     }
 
     /// Captures a sharded checkpoint: every worker process publishes its
@@ -687,6 +737,9 @@ pub fn worker_main() -> Result<(), ProcError> {
     let store_addr: SocketAddr = env(ENV_STORE)?
         .parse()
         .map_err(|_| ProcError::Protocol(format!("{ENV_STORE} is not an address")))?;
+    // Trace mode travels in the environment like the rest of the launch
+    // protocol; the coordinator sets it explicitly on every spawn.
+    let trace = TraceMode::from_env();
 
     let pp = cfg.pp;
     let dp = cfg.dp;
@@ -721,6 +774,7 @@ pub fn worker_main() -> Result<(), ProcError> {
     let (shard_tx, shard_rx) = unbounded();
     let (restore_tx, restore_rx) = unbounded();
     let (predict_tx, predict_rx) = unbounded();
+    let (trace_tx, trace_rx) = unbounded();
     let collector = Collector::default();
     let ledger = TrafficLedger::new();
 
@@ -754,6 +808,8 @@ pub fn worker_main() -> Result<(), ProcError> {
         predict_out: predict_tx,
         collector: collector.clone(),
         ledger: ledger.clone(),
+        trace,
+        trace_out: trace_tx,
     };
 
     // Control bridge in: TCP command lane -> worker command channel.
@@ -800,9 +856,13 @@ pub fn worker_main() -> Result<(), ProcError> {
                     w.u64(id);
                     bridge_collector.raw_samples().persist(&mut w);
                     bridge_ledger.snapshot().persist(&mut w);
+                    // This process's half of every lane it touched; the
+                    // coordinator reassembles full lanes across ranks.
+                    bridge_transport.channel_stats().persist(&mut w);
                     let _ = bridge_transport.send(rank, coord, CH_METRICS, w.into_bytes());
                     continue;
                 }
+                WireCmd::FetchTrace { id } => Cmd::FetchTrace { id },
                 WireCmd::Stop => {
                     let _ = cmd_tx.send(Cmd::Stop);
                     return;
@@ -841,6 +901,15 @@ pub fn worker_main() -> Result<(), ProcError> {
             let _ = restore_transport.send(rank, coord, CH_RESTORE, w.into_bytes());
         }
     });
+    let trace_transport = Arc::clone(&transport);
+    let trace_bridge = std::thread::spawn(move || {
+        while let Ok((id, buf)) = trace_rx.recv() {
+            let mut w = Writer::new();
+            w.u64(id);
+            buf.persist(&mut w);
+            let _ = trace_transport.send(rank, coord, CH_TRACE, w.into_bytes());
+        }
+    });
 
     // The worker loop proper — identical code to the in-process threads.
     run_worker(ctx);
@@ -855,6 +924,7 @@ pub fn worker_main() -> Result<(), ProcError> {
     let _ = ack_bridge.join();
     let _ = shard_bridge.join();
     let _ = restore_bridge.join();
+    let _ = trace_bridge.join();
     Ok(())
 }
 
@@ -875,6 +945,7 @@ mod tests {
             WireCmd::PublishShard { id: 1, iter: 2 },
             WireCmd::SelfRestore { id: 5 },
             WireCmd::FetchMetrics { id: 6 },
+            WireCmd::FetchTrace { id: 8 },
             WireCmd::Stop,
         ];
         for cmd in cmds {

@@ -1,6 +1,6 @@
 //! Metrics collected during a training run.
 
-use opt_net::TrafficSnapshot;
+use opt_net::TrafficBreakdown;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -66,8 +66,9 @@ pub struct TrainReport {
     pub val_points: Vec<ValPoint>,
     /// Fig. 11 error statistics (empty unless enabled).
     pub error_stats: Vec<ErrorStatPoint>,
-    /// Per-class wire traffic of the whole run.
-    pub traffic: TrafficSnapshot,
+    /// Wire traffic of the whole run: per-class totals plus the
+    /// per-(src, dst, channel) breakdown behind them.
+    pub traffic: TrafficBreakdown,
 }
 
 impl TrainReport {
@@ -148,7 +149,7 @@ impl Collector {
     }
 
     /// Aggregates the raw samples into a [`TrainReport`].
-    pub fn into_report(self, iters: u64, traffic: TrafficSnapshot) -> TrainReport {
+    pub fn into_report(self, iters: u64, traffic: TrafficBreakdown) -> TrainReport {
         let inner = Arc::try_unwrap(self.inner)
             .map(Mutex::into_inner)
             .unwrap_or_else(|arc| {
@@ -225,7 +226,7 @@ mod tests {
         c.record_train(0, 4.0);
         c.record_train(1, 1.0);
         c.record_val(1, 0.5);
-        let report = c.into_report(2, TrafficSnapshot::default());
+        let report = c.into_report(2, TrafficBreakdown::default());
         assert_eq!(report.train_loss, vec![3.0, 1.0]);
         assert_eq!(report.val_points.len(), 1);
         assert!((report.final_val_ppl() - 0.5f32.exp()).abs() < 1e-6);
@@ -234,7 +235,7 @@ mod tests {
     #[test]
     fn empty_report_is_nan() {
         let c = Collector::default();
-        let report = c.into_report(1, TrafficSnapshot::default());
+        let report = c.into_report(1, TrafficBreakdown::default());
         assert!(report.train_loss[0].is_nan());
         assert!(report.final_val_ppl().is_nan());
     }

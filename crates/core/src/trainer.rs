@@ -2,7 +2,9 @@
 
 use crate::config::TrainerConfig;
 use crate::stats::{Collector, TrainReport};
-use crate::worker::{decode_cb_link, decode_dp_state, run_worker, Cmd, WorkerAck, WorkerCtx};
+use crate::worker::{
+    decode_cb_link, decode_dp_state, run_worker, Cmd, WorkerAck, WorkerCtx, CH_BWD, CH_FWD,
+};
 use crate::MemoryReport;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use opt_ckpt::{
@@ -10,8 +12,12 @@ use opt_ckpt::{
 };
 use opt_data::{TaskScore, ZeroShotTask};
 use opt_model::{Adam, Stage};
-use opt_net::{CollectiveWorld, P2pMesh, ShardStore, TrafficLedger, TrafficSnapshot};
+use opt_net::{
+    CollectiveWorld, LocalTransport, P2pMesh, ShardStore, TrafficBreakdown, TrafficLedger,
+    Transport,
+};
 use opt_tensor::Persist;
+use opt_trace::{Trace, TraceBuffer, TraceMode};
 use std::path::Path;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -76,9 +82,14 @@ pub struct Trainer {
     shard_rx: Receiver<(u64, Result<ShardEntry, CkptError>)>,
     restore_rx: Receiver<(u64, usize, usize, Result<u64, CkptError>)>,
     predict_rx: Receiver<(u64, Vec<usize>)>,
+    trace_rx: Receiver<(u64, TraceBuffer)>,
     handles: Vec<JoinHandle<()>>,
     collector: Collector,
     ledger: TrafficLedger,
+    /// The shared transport carrying meshes and collectives — kept so
+    /// reports can read its per-channel traffic stats.
+    transport: Arc<LocalTransport>,
+    trace: TraceMode,
     next_id: u64,
     trained_iters: u64,
 }
@@ -102,13 +113,28 @@ impl Trainer {
     ///
     /// Panics if `pp` or `dp` is zero, or `pp > model.n_layers`.
     pub fn launch(cfg: TrainerConfig) -> Trainer {
+        Self::launch_with_trace(cfg, TraceMode::from_env())
+    }
+
+    /// [`Trainer::launch`] with an explicit trace mode instead of the
+    /// `OPT_TRACE` environment variable. With [`TraceMode::Spans`] (or
+    /// `Full`) every worker thread records a span tree that
+    /// [`Trainer::take_trace`] later drains; with [`TraceMode::Off`] the
+    /// run is byte-identical to an uninstrumented one.
+    pub fn launch_with_trace(cfg: TrainerConfig, trace: TraceMode) -> Trainer {
         assert!(cfg.pp > 0 && cfg.dp > 0, "pp and dp must be positive");
         let pp = cfg.pp;
         let dp = cfg.dp;
         let world_size = pp * dp;
-        let fwd_mesh: P2pMesh<opt_tensor::Matrix> = P2pMesh::new(world_size);
-        let bwd_mesh: P2pMesh<opt_compress::Compressed> = P2pMesh::new(world_size);
-        let world = CollectiveWorld::new(world_size);
+        // One shared transport for both meshes and all collectives, on the
+        // same channel ids the multi-process world uses — so per-channel
+        // traffic stats agree between the two worlds.
+        let transport = Arc::new(LocalTransport::new(world_size));
+        let fwd_mesh: P2pMesh<opt_tensor::Matrix, _> =
+            P2pMesh::over(Arc::clone(&transport), CH_FWD);
+        let bwd_mesh: P2pMesh<opt_compress::Compressed, _> =
+            P2pMesh::over(Arc::clone(&transport), CH_BWD);
+        let world = CollectiveWorld::over(Arc::clone(&transport));
         let collector = Collector::default();
         let ledger = TrafficLedger::new();
         let (ack_tx, ack_rx) = unbounded();
@@ -116,6 +142,7 @@ impl Trainer {
         let (shard_tx, shard_rx) = unbounded();
         let (restore_tx, restore_rx) = unbounded();
         let (predict_tx, predict_rx) = unbounded();
+        let (trace_tx, trace_rx) = unbounded();
 
         // Shared groups: one DP group per stage, one 2-way embedding pair
         // per dp rank, one fused group over all end-stage ranks — built by
@@ -161,6 +188,8 @@ impl Trainer {
                     predict_out: predict_tx.clone(),
                     collector: collector.clone(),
                     ledger: ledger.clone(),
+                    trace,
+                    trace_out: trace_tx.clone(),
                 };
                 let name = format!("worker-s{s}-d{d}");
                 handles.push(
@@ -182,9 +211,12 @@ impl Trainer {
             shard_rx,
             restore_rx,
             predict_rx,
+            trace_rx,
             handles,
             collector,
             ledger,
+            transport,
+            trace,
             next_id: 0,
             trained_iters: 0,
         }
@@ -208,6 +240,18 @@ impl Trainer {
         opts: crate::ProcOptions,
     ) -> Result<crate::ProcTrainer, crate::ProcError> {
         crate::proc::ProcTrainer::launch(cfg, opts)
+    }
+
+    /// [`Trainer::launch_processes`] with an explicit trace mode: the
+    /// coordinator propagates it to every worker process, whose span
+    /// buffers [`crate::ProcTrainer::take_trace`] later ships back over
+    /// the control plane.
+    pub fn launch_processes_traced(
+        cfg: TrainerConfig,
+        opts: crate::ProcOptions,
+        trace: TraceMode,
+    ) -> Result<crate::ProcTrainer, crate::ProcError> {
+        crate::proc::ProcTrainer::launch_traced(cfg, opts, trace)
     }
 
     fn broadcast(&self, cmd: Cmd) {
@@ -258,7 +302,7 @@ impl Trainer {
         self.trained_iters = iters.max(self.trained_iters);
         self.collector
             .clone()
-            .into_report(self.trained_iters, self.ledger.snapshot())
+            .into_report(self.trained_iters, self.traffic_breakdown())
     }
 
     /// Runs extra training iterations beyond `cfg.iters` (used by
@@ -277,10 +321,16 @@ impl Trainer {
         self.trained_iters
     }
 
-    /// Quiesces the workers and returns the traffic counters so far.
-    pub fn traffic(&mut self) -> TrafficSnapshot {
+    /// Quiesces the workers and returns the traffic counters so far:
+    /// per-class totals plus the per-(src, dst, channel) breakdown read
+    /// off the shared transport.
+    pub fn traffic(&mut self) -> TrafficBreakdown {
         self.barrier();
-        self.ledger.snapshot()
+        self.traffic_breakdown()
+    }
+
+    fn traffic_breakdown(&self) -> TrafficBreakdown {
+        TrafficBreakdown::new(self.ledger.snapshot(), self.transport.channel_stats())
     }
 
     /// Quiesces the workers and aggregates the metrics recorded so far
@@ -290,7 +340,31 @@ impl Trainer {
         self.barrier();
         self.collector
             .clone()
-            .into_report(self.trained_iters, self.ledger.snapshot())
+            .into_report(self.trained_iters, self.traffic_breakdown())
+    }
+
+    /// Drains every worker's trace buffer into one merged [`Trace`]
+    /// (buffers ordered by rank, spans by sequence number). Returns `None`
+    /// when the trainer was launched with tracing off. Repeated calls
+    /// return disjoint traces: each drain covers the spans recorded since
+    /// the previous one.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        if !self.trace.enabled() {
+            return None;
+        }
+        self.barrier();
+        self.next_id += 1;
+        let id = self.next_id;
+        self.broadcast(Cmd::FetchTrace { id });
+        let world = self.cmd_txs.len();
+        let mut buffers = Vec::with_capacity(world);
+        while buffers.len() < world {
+            let (got, buf) = self.trace_rx.recv().expect("worker dropped trace channel");
+            if got == id {
+                buffers.push(buf);
+            }
+        }
+        Some(Trace::merge(buffers))
     }
 
     /// Captures a complete training snapshot: every worker serializes its

@@ -10,11 +10,20 @@ use opt_ckpt::{
 use opt_compress::{Compressed, LazyErrorPropagator, PowerSgd, TopK, FP16_BYTES};
 use opt_data::SyntheticCorpus;
 use opt_model::{cross_entropy, Adam, Optimizer, Stage};
-use opt_net::{CollectiveGroup, P2pMesh, ShardStore, TrafficClass, TrafficLedger, Transport};
+use opt_net::{
+    channel_id, CollectiveGroup, P2pMesh, ShardStore, TrafficClass, TrafficLedger, Transport,
+};
 use opt_schedule::{is_epilogue_send, one_f_one_b, Op};
 use opt_tensor::{cosine_similarity, Matrix, Persist, PersistError, Reader, Writer};
+use opt_trace::{SpanKind, TraceBuffer, TraceMode, NO_MICRO};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+
+/// Channel namespace 1: the two pipeline meshes. Shared by the in-process
+/// trainer (over `LocalTransport`) and the multi-process world (over
+/// `TcpTransport`), so per-channel traffic stats line up across the two.
+pub(crate) const CH_FWD: u64 = channel_id(1, 0);
+pub(crate) const CH_BWD: u64 = channel_id(1, 1);
 
 /// Commands broadcast from the trainer to every worker.
 #[derive(Debug, Clone)]
@@ -38,6 +47,11 @@ pub(crate) enum Cmd {
     /// Sent point-to-point (each worker gets its own section), unlike the
     /// broadcast commands above.
     Restore { id: u64, section: Box<RankSection> },
+    /// Drain the worker's trace buffer (spans recorded since the last
+    /// drain) and send it on the trace channel. Commands are processed in
+    /// order, so every prior iteration's spans are closed — barrier
+    /// semantics, like `Snapshot`.
+    FetchTrace { id: u64 },
     /// Serialize all training state into a per-rank [`Shard`] and publish
     /// it to the shard store under this rank's well-known name, reporting
     /// the resulting manifest entry (or the failure) on the shard channel.
@@ -107,6 +121,10 @@ pub(crate) struct WorkerCtx<Tr: Transport> {
     pub predict_out: Sender<(u64, Vec<usize>)>,
     pub collector: Collector,
     pub ledger: TrafficLedger,
+    /// Trace mode this worker installs on its own thread at startup.
+    pub trace: TraceMode,
+    /// Drained [`TraceBuffer`]s from `Cmd::FetchTrace`.
+    pub trace_out: Sender<(u64, TraceBuffer)>,
 }
 
 /// The collective groups of a `pp x dp` world, carved out of one
@@ -246,6 +264,7 @@ pub(crate) fn decode_dp_state(bytes: &[u8]) -> Result<Option<DistPowerSgd>, Pers
 
 /// Runs the worker loop until [`Cmd::Stop`].
 pub(crate) fn run_worker<Tr: Transport>(mut ctx: WorkerCtx<Tr>) {
+    opt_trace::install(ctx.trace);
     let pp = ctx.cfg.pp;
     let s = ctx.stage_idx;
     let d = ctx.dp_idx;
@@ -376,6 +395,12 @@ pub(crate) fn run_worker<Tr: Transport>(mut ctx: WorkerCtx<Tr>) {
                         + dp_state.as_ref().map_or(0, DistPowerSgd::buffer_elems),
                 };
                 ctx.acks.send(ack).expect("trainer dropped ack channel");
+            }
+            Cmd::FetchTrace { id } => {
+                let buf = opt_trace::take_buffer(my_rank as u32, s as u32, d as u32);
+                ctx.trace_out
+                    .send((id, buf))
+                    .expect("trainer dropped trace channel");
             }
             Cmd::Stop => return,
         }
@@ -513,7 +538,12 @@ fn train_iter<Tr: Transport>(
     let mut recv_acts: HashMap<usize, Matrix> = HashMap::new();
     let mut act_diffs: HashMap<usize, Matrix> = HashMap::new();
 
+    // Root span of the iteration; every slot below nests under it. The
+    // guard is declared first so it closes last.
+    let _iter_span = opt_trace::begin(SpanKind::Iteration, iter, NO_MICRO, 0, 0);
+
     for op in schedule.device_ops(s) {
+        let _slot = opt_schedule::slot_guard(op, iter, s, pp, n_micro);
         match *op {
             Op::Forward { micro } => {
                 let hidden = if is_first {
@@ -522,10 +552,15 @@ fn train_iter<Tr: Transport>(
                         .train_batch(ctx.cfg.micro_batch, batch_key(iter, d, micro));
                     ctx.stage.forward_tokens(&batch.tokens)
                 } else {
-                    let act = ctx
-                        .fwd_mesh
-                        .recv(my_rank - 1, my_rank)
-                        .expect("forward activation lost");
+                    let act = {
+                        let span = opt_trace::begin(SpanKind::Recv, iter, micro as u32, 0, 0);
+                        let act = ctx
+                            .fwd_mesh
+                            .recv(my_rank - 1, my_rank)
+                            .expect("forward activation lost");
+                        span.set_bytes(act_dense_bytes(&act));
+                        act
+                    };
                     if collect_stats {
                         if let Some(prev) = recv_acts.get(&(micro.wrapping_sub(1))) {
                             act_diffs.insert(micro.wrapping_sub(1), prev.sub(&act));
@@ -543,8 +578,9 @@ fn train_iter<Tr: Transport>(
                     ctx.collector.record_train(iter, out.loss);
                     grad_queue.push_back(out.grad_logits);
                 } else {
-                    ctx.ledger
-                        .record(TrafficClass::InterStage, act_dense_bytes(&hidden));
+                    let bytes = act_dense_bytes(&hidden);
+                    ctx.ledger.record(TrafficClass::InterStage, bytes);
+                    let _send = opt_trace::begin(SpanKind::Send, iter, micro as u32, bytes, 0);
                     ctx.fwd_mesh.send(my_rank, my_rank + 1, hidden);
                 }
             }
@@ -552,10 +588,13 @@ fn train_iter<Tr: Transport>(
                 let grad_in = if is_last {
                     grad_queue.pop_front().expect("logits gradient queued")
                 } else {
+                    let span = opt_trace::begin(SpanKind::Recv, iter, micro as u32, 0, 0);
                     let payload = ctx
                         .bwd_mesh
                         .recv(my_rank + 1, my_rank)
                         .expect("backward gradient lost");
+                    span.set_bytes(payload.wire_bytes() as u64);
+                    drop(span);
                     payload.decompress()
                 };
                 let upstream = ctx.stage.backward(&grad_in);
@@ -586,8 +625,9 @@ fn train_iter<Tr: Transport>(
                             opt_compress::LinkErrorStats::default(),
                         ),
                     };
-                    ctx.ledger
-                        .record(TrafficClass::InterStage, payload.wire_bytes() as u64);
+                    let bytes = payload.wire_bytes() as u64;
+                    ctx.ledger.record(TrafficClass::InterStage, bytes);
+                    let _send = opt_trace::begin(SpanKind::Send, iter, micro as u32, bytes, 0);
                     ctx.bwd_mesh.send(my_rank, my_rank - 1, payload);
                 }
             }
@@ -601,6 +641,7 @@ fn train_iter<Tr: Transport>(
 
     // ----- Data-parallel gradient exchange ------------------------------
     {
+        let _dp_span = opt_trace::begin(SpanKind::DpExchange, iter, NO_MICRO, 0, 0);
         let mut params = ctx.stage.non_embedding_params();
         match dp_state {
             Some(state) => {
@@ -621,6 +662,7 @@ fn train_iter<Tr: Transport>(
     }
 
     // ----- Embedding synchronization (§6) -------------------------------
+    let emb_span = opt_trace::begin(SpanKind::EmbeddingSync, iter, NO_MICRO, 0, 0);
     if pp == 1 {
         // Single replica: the table gradient rides the plain DP path.
         if let Some(g) = ctx.stage.embedding_grad().cloned() {
@@ -660,7 +702,10 @@ fn train_iter<Tr: Transport>(
         }
     }
 
+    drop(emb_span);
+
     // ----- Optimizer step ------------------------------------------------
+    let _opt_span = opt_trace::begin(SpanKind::Optimizer, iter, NO_MICRO, 0, 0);
     let mut params = ctx.stage.params();
     optimizer.step(&mut params);
     ctx.stage.zero_grad();
@@ -668,6 +713,7 @@ fn train_iter<Tr: Transport>(
 
 /// Validation forward pass over `n_seq` held-out sequences (dp rank 0).
 fn validate<Tr: Transport>(ctx: &mut WorkerCtx<Tr>, iter: u64, index: u64, n_seq: usize) {
+    let _span = opt_trace::begin(SpanKind::Validate, iter, NO_MICRO, 0, 0);
     let pp = ctx.cfg.pp;
     let s = ctx.stage_idx;
     let my_rank = s; // dp rank 0 => global rank == stage index

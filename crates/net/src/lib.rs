@@ -29,6 +29,7 @@
 //! [`ShardStoreServer`]) through which restarted workers resolve the
 //! checkpoint manifest and fetch only their own shard.
 
+mod chanstats;
 mod collective;
 mod cost;
 mod p2p;
@@ -37,6 +38,7 @@ mod topology;
 mod traffic;
 mod transport;
 
+pub use chanstats::{ChannelClass, ChannelLedger, ChannelStat, TrafficBreakdown};
 pub use collective::{CollectiveGroup, CollectiveWorld};
 pub use cost::{all_reduce_time_s, p2p_time_s, ring_all_reduce_wire_bytes, CostModel};
 pub use p2p::{P2pMesh, RecvError};

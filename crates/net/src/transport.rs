@@ -26,7 +26,9 @@
 //! the `OPT_NET_TIMEOUT_MS` environment variable (handy when stepping
 //! through real-transport runs in a debugger).
 
+use crate::chanstats::{ChannelLedger, ChannelStat};
 use opt_ckpt::framing::{self, FRAME_OVERHEAD, HEADER_LEN};
+use opt_trace::{SpanKind, NO_MICRO};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
@@ -198,6 +200,13 @@ pub trait Transport: Send + Sync + fmt::Debug + 'static {
         dst: usize,
         channel: u64,
     ) -> Result<Option<Vec<u8>>, TransportError>;
+
+    /// Per-lane send/recv counters this transport endpoint has observed
+    /// (payload bytes, frame overhead excluded). Backends without
+    /// accounting return an empty list.
+    fn channel_stats(&self) -> Vec<ChannelStat> {
+        Vec::new()
+    }
 }
 
 type Lane = (Sender<Vec<u8>>, Receiver<Vec<u8>>);
@@ -214,6 +223,7 @@ type LaneMap<K> = Arc<Mutex<HashMap<K, Lane>>>;
 pub struct LocalTransport {
     world: usize,
     lanes: LaneMap<(usize, usize, u64)>,
+    stats: ChannelLedger,
 }
 
 impl fmt::Debug for LocalTransport {
@@ -233,6 +243,7 @@ impl LocalTransport {
         Self {
             world,
             lanes: Arc::new(Mutex::new(HashMap::new())),
+            stats: ChannelLedger::new(),
         }
     }
 
@@ -264,6 +275,8 @@ impl Transport for LocalTransport {
         bytes: Vec<u8>,
     ) -> Result<(), TransportError> {
         self.check_ranks(src, dst);
+        let _span = opt_trace::begin_full(SpanKind::Send, 0, NO_MICRO, bytes.len() as u64, 0);
+        self.stats.record_send(src, dst, channel, bytes.len());
         // The transport holds both lane ends, so the send cannot fail.
         let (tx, _rx) = self.lane((src, dst, channel));
         tx.send(bytes).expect("local lane receiver dropped");
@@ -278,9 +291,14 @@ impl Transport for LocalTransport {
         timeout: Duration,
     ) -> Result<Vec<u8>, TransportError> {
         self.check_ranks(src, dst);
+        let span = opt_trace::begin_full(SpanKind::Recv, 0, NO_MICRO, 0, 0);
         let (_tx, rx) = self.lane((src, dst, channel));
         match rx.recv_timeout(timeout) {
-            Ok(bytes) => Ok(bytes),
+            Ok(bytes) => {
+                span.set_bytes(bytes.len() as u64);
+                self.stats.record_recv(src, dst, channel, bytes.len());
+                Ok(bytes)
+            }
             Err(RecvTimeoutError::Timeout) => Err(TransportError::Timeout {
                 src,
                 dst,
@@ -299,7 +317,15 @@ impl Transport for LocalTransport {
     ) -> Result<Option<Vec<u8>>, TransportError> {
         self.check_ranks(src, dst);
         let (_tx, rx) = self.lane((src, dst, channel));
-        Ok(rx.try_recv().ok())
+        let got = rx.try_recv().ok();
+        if let Some(bytes) = &got {
+            self.stats.record_recv(src, dst, channel, bytes.len());
+        }
+        Ok(got)
+    }
+
+    fn channel_stats(&self) -> Vec<ChannelStat> {
+        self.stats.snapshot()
     }
 }
 
@@ -351,6 +377,7 @@ pub struct TcpTransport {
     rank: usize,
     peers: Vec<Option<Peer>>,
     inbox: LaneMap<(usize, u64)>,
+    stats: ChannelLedger,
 }
 
 impl fmt::Debug for TcpTransport {
@@ -467,6 +494,7 @@ impl TcpBound {
             rank,
             peers,
             inbox,
+            stats: ChannelLedger::new(),
         })
     }
 }
@@ -619,6 +647,7 @@ impl Transport for TcpTransport {
             dst < self.world && dst != self.rank,
             "bad destination {dst}"
         );
+        let _span = opt_trace::begin_full(SpanKind::Send, 0, NO_MICRO, bytes.len() as u64, 0);
         let frame = wire_frame(channel, dst, &bytes);
         let peer = self.peer(dst);
         if !peer.alive.load(Ordering::SeqCst) {
@@ -629,6 +658,7 @@ impl Transport for TcpTransport {
             .map_err(|_| TransportError::Disconnected { peer: dst })?;
         w.flush()
             .map_err(|_| TransportError::Disconnected { peer: dst })?;
+        self.stats.record_send(src, dst, channel, bytes.len());
         Ok(())
     }
 
@@ -652,6 +682,7 @@ impl Transport for TcpTransport {
                 .1
                 .clone()
         };
+        let span = opt_trace::begin_full(SpanKind::Recv, 0, NO_MICRO, 0, 0);
         let start = Instant::now();
         let deadline = start + timeout;
         loop {
@@ -659,7 +690,11 @@ impl Transport for TcpTransport {
                 .saturating_duration_since(Instant::now())
                 .min(POLL_SLICE);
             match rx.recv_timeout(slice) {
-                Ok(bytes) => return Ok(bytes),
+                Ok(bytes) => {
+                    span.set_bytes(bytes.len() as u64);
+                    self.stats.record_recv(src, dst, channel, bytes.len());
+                    return Ok(bytes);
+                }
                 Err(RecvTimeoutError::Disconnected) => {
                     return Err(TransportError::Disconnected { peer: src })
                 }
@@ -706,7 +741,15 @@ impl Transport for TcpTransport {
                 .1
                 .clone()
         };
-        Ok(rx.try_recv().ok())
+        let got = rx.try_recv().ok();
+        if let Some(bytes) = &got {
+            self.stats.record_recv(src, dst, channel, bytes.len());
+        }
+        Ok(got)
+    }
+
+    fn channel_stats(&self) -> Vec<ChannelStat> {
+        self.stats.snapshot()
     }
 }
 
@@ -921,6 +964,42 @@ mod tests {
             "tampered frame yielded {err:?}"
         );
         attacker.join().unwrap();
+    }
+
+    #[test]
+    fn channel_stats_agree_between_local_and_tcp() {
+        // Same message pattern over both backends: the per-lane counters
+        // must be identical once the TCP halves are merged, because lane
+        // accounting counts payload bytes only (no frame overhead).
+        let local = LocalTransport::new(2);
+        local.send(0, 1, channel_id(1, 0), vec![0; 100]).unwrap();
+        local.send(0, 1, channel_id(1, 0), vec![0; 20]).unwrap();
+        local.recv(0, 1, channel_id(1, 0), net_timeout()).unwrap();
+        local.recv(0, 1, channel_id(1, 0), net_timeout()).unwrap();
+
+        let world = tcp_world(2);
+        world[0].send(0, 1, channel_id(1, 0), vec![0; 100]).unwrap();
+        world[0].send(0, 1, channel_id(1, 0), vec![0; 20]).unwrap();
+        world[1]
+            .recv(0, 1, channel_id(1, 0), Duration::from_secs(10))
+            .unwrap();
+        world[1]
+            .recv(0, 1, channel_id(1, 0), Duration::from_secs(10))
+            .unwrap();
+
+        let mut merged = crate::TrafficBreakdown::new(
+            crate::TrafficSnapshot::default(),
+            world[0].channel_stats(),
+        );
+        merged.absorb(&crate::TrafficBreakdown::new(
+            crate::TrafficSnapshot::default(),
+            world[1].channel_stats(),
+        ));
+        let reference =
+            crate::TrafficBreakdown::new(crate::TrafficSnapshot::default(), local.channel_stats());
+        assert_eq!(merged, reference);
+        assert_eq!(merged.channels[0].send_bytes, 120);
+        assert_eq!(merged.channels[0].recv_bytes, 120);
     }
 
     #[test]

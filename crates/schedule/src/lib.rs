@@ -27,6 +27,7 @@
 mod epilogue;
 mod interleaved;
 mod schedule;
+mod slot;
 
 pub use epilogue::{epilogue_sends, is_epilogue_send};
 pub use interleaved::{
@@ -34,3 +35,4 @@ pub use interleaved::{
     virtual_stages_of_device,
 };
 pub use schedule::{bubble_fraction, gpipe, one_f_one_b, Op, PipelineSchedule};
+pub use slot::slot_guard;

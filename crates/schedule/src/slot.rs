@@ -1,0 +1,60 @@
+//! Trace instrumentation for pipeline slot execution.
+
+use crate::epilogue::is_epilogue_send;
+use crate::schedule::Op;
+use opt_trace::{SpanGuard, SpanKind, FLAG_EPILOGUE};
+
+/// Opens the trace span for executing `op` on `stage` of an
+/// `n_stages`-deep pipeline running `n_micro` micro-batches in iteration
+/// `iter`. Backward slots whose upstream send falls on the compression
+/// epilogue (see [`is_epilogue_send`]) carry [`FLAG_EPILOGUE`], so a trace
+/// shows exactly which slots the paper's §5.2 epilogue-only compression
+/// would compress.
+///
+/// Returns an inert guard when the calling thread records nothing.
+pub fn slot_guard(op: &Op, iter: u64, stage: usize, n_stages: usize, n_micro: usize) -> SpanGuard {
+    let (kind, flags) = match *op {
+        Op::Forward { .. } => (SpanKind::Forward, 0),
+        Op::Backward { micro } => {
+            let epilogue = stage > 0 && is_epilogue_send(stage, micro, n_stages, n_micro);
+            (SpanKind::Backward, if epilogue { FLAG_EPILOGUE } else { 0 })
+        }
+    };
+    opt_trace::begin(kind, iter, op.micro() as u32, 0, flags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opt_trace::{take_buffer, TraceMode};
+
+    #[test]
+    fn slot_guard_records_kind_micro_and_epilogue_flag() {
+        opt_trace::install(TraceMode::Spans);
+        let (n_stages, n_micro) = (2, 4);
+        for op in [
+            Op::Forward { micro: 0 },
+            Op::Backward { micro: 0 },
+            Op::Backward { micro: 3 },
+        ] {
+            drop(slot_guard(&op, 5, 1, n_stages, n_micro));
+        }
+        let buf = take_buffer(1, 1, 0);
+        opt_trace::install(TraceMode::Off);
+        assert_eq!(buf.spans.len(), 3);
+        assert_eq!(buf.spans[0].kind, SpanKind::Forward);
+        assert_eq!(buf.spans[0].micro, 0);
+        assert_eq!(buf.spans[0].iter, 5);
+        // micro 0 from stage 1 of a pp=2, M=4 run is not an epilogue send;
+        // micro 3 is (micro >= M + stage - S = 4 + 1 - 2 = 3).
+        assert_eq!(buf.spans[1].flags, 0);
+        assert_eq!(buf.spans[2].flags, FLAG_EPILOGUE);
+    }
+
+    #[test]
+    fn slot_guard_is_inert_without_tracer() {
+        opt_trace::install(TraceMode::Off);
+        let g = slot_guard(&Op::Forward { micro: 1 }, 0, 0, 2, 4);
+        assert!(!g.is_active());
+    }
+}

@@ -1,0 +1,523 @@
+//! Trace analysis: pipeline-bubble fraction, comm/compute overlap, and
+//! top-k slowest spans.
+//!
+//! The bubble fraction is computed by a **structural replay**: the
+//! recorded forward/backward slots of each data-parallel replica are
+//! re-scheduled with unit cost per slot under the real pipeline
+//! dependencies (a forward needs the previous stage's forward of the same
+//! microbatch, a backward needs the next stage's backward, stages execute
+//! their recorded order serially). Because the replay only reads
+//! *structural* span fields, the bubble numbers are bit-deterministic
+//! across reruns, kernel-thread counts, and transport backends — and for
+//! an ideal 1F1B trace they reduce exactly to
+//! `opt_schedule::bubble_fraction`. The overlap ratio, by contrast, is a
+//! wall-clock measurement and is only as stable as the machine it ran on.
+
+use crate::chrome::Trace;
+use crate::record::{SpanKind, TraceBuffer, NO_MICRO};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Per-rank analysis results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankSummary {
+    /// Global rank.
+    pub rank: u32,
+    /// Pipeline stage of the rank.
+    pub stage: u32,
+    /// Data-parallel index of the rank.
+    pub dp: u32,
+    /// Number of compute spans (forward/backward slots, optimizer steps).
+    pub compute_spans: usize,
+    /// Wall-clock nanoseconds inside compute spans.
+    pub compute_ns: u64,
+    /// Wall-clock nanoseconds inside communication spans (may overlap
+    /// compute spans that contain them).
+    pub comm_ns: u64,
+    /// Structural pipeline-bubble fraction (deterministic; see module
+    /// docs). 0 when the trace holds no training slots for this rank.
+    pub bubble_fraction: f64,
+    /// Fraction of this rank's communication wall-time during which some
+    /// *other* rank was inside pure compute (wall-clock; not
+    /// deterministic).
+    pub overlap_ratio: f64,
+}
+
+/// One entry of the top-k slowest span list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowSpan {
+    /// Rank the span was recorded on.
+    pub rank: u32,
+    /// Span kind.
+    pub kind: SpanKind,
+    /// Iteration of the span.
+    pub iter: u64,
+    /// Microbatch, or [`NO_MICRO`].
+    pub micro: u32,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// The full analysis of a merged trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// Per-rank summaries, in rank order.
+    pub ranks: Vec<RankSummary>,
+    /// The `top_k` slowest non-iteration spans, slowest first.
+    pub top_slowest: Vec<SlowSpan>,
+}
+
+/// Analyzes a merged trace; `top_k` bounds the slow-span list.
+pub fn analyze(trace: &Trace, top_k: usize) -> TraceReport {
+    let bubbles = bubble_fractions(trace);
+    let compute_iv: Vec<Vec<(u64, u64)>> = trace
+        .buffers
+        .iter()
+        .map(|b| {
+            let compute = union(spans_of(b, SpanKind::is_compute));
+            let comm = union(spans_of(b, SpanKind::is_comm));
+            subtract(&compute, &comm)
+        })
+        .collect();
+
+    let mut ranks = Vec::with_capacity(trace.buffers.len());
+    for (i, b) in trace.buffers.iter().enumerate() {
+        let comm = union(spans_of(b, SpanKind::is_comm));
+        let comm_total = total_len(&comm);
+        let others: Vec<(u64, u64)> = union(
+            compute_iv
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .flat_map(|(_, iv)| iv.iter().copied())
+                .collect(),
+        );
+        let overlap_ratio = if comm_total == 0 {
+            0.0
+        } else {
+            intersect_len(&comm, &others) as f64 / comm_total as f64
+        };
+        ranks.push(RankSummary {
+            rank: b.rank,
+            stage: b.stage,
+            dp: b.dp,
+            compute_spans: b.spans.iter().filter(|s| s.kind.is_compute()).count(),
+            compute_ns: b
+                .spans
+                .iter()
+                .filter(|s| s.kind.is_compute())
+                .map(|s| s.dur_ns)
+                .sum(),
+            comm_ns: b
+                .spans
+                .iter()
+                .filter(|s| s.kind.is_comm())
+                .map(|s| s.dur_ns)
+                .sum(),
+            bubble_fraction: bubbles.get(&b.rank).copied().unwrap_or(0.0),
+            overlap_ratio,
+        });
+    }
+
+    let mut slow: Vec<SlowSpan> = trace
+        .buffers
+        .iter()
+        .flat_map(|b| {
+            b.spans
+                .iter()
+                .filter(|s| s.kind != SpanKind::Iteration)
+                .map(|s| (b.rank, s))
+        })
+        .map(|(rank, s)| SlowSpan {
+            rank,
+            kind: s.kind,
+            iter: s.iter,
+            micro: s.micro,
+            dur_ns: s.dur_ns,
+        })
+        .collect();
+    slow.sort_by(|a, b| {
+        b.dur_ns
+            .cmp(&a.dur_ns)
+            .then(a.rank.cmp(&b.rank))
+            .then(a.iter.cmp(&b.iter))
+            .then(a.micro.cmp(&b.micro))
+    });
+    slow.truncate(top_k);
+
+    TraceReport {
+        ranks,
+        top_slowest: slow,
+    }
+}
+
+/// Renders the report as plain text.
+pub fn render(report: &TraceReport) -> String {
+    let mut out = String::new();
+    out.push_str("rank  stage  dp  compute  compute_ms  comm_ms  bubble  overlap\n");
+    for r in &report.ranks {
+        let _ = writeln!(
+            out,
+            "{:<4}  {:<5}  {:<2}  {:<7}  {:<10.3}  {:<7.3}  {:<6.4}  {:.4}",
+            r.rank,
+            r.stage,
+            r.dp,
+            r.compute_spans,
+            r.compute_ns as f64 / 1e6,
+            r.comm_ns as f64 / 1e6,
+            r.bubble_fraction,
+            r.overlap_ratio,
+        );
+    }
+    if !report.top_slowest.is_empty() {
+        let _ = writeln!(out, "top {} slowest spans:", report.top_slowest.len());
+        for s in &report.top_slowest {
+            let micro = if s.micro == NO_MICRO {
+                "-".to_string()
+            } else {
+                s.micro.to_string()
+            };
+            let _ = writeln!(
+                out,
+                "  rank {:<3} {:<14} iter {:<4} micro {:<4} {:.3} ms",
+                s.rank,
+                s.kind.name(),
+                s.iter,
+                micro,
+                s.dur_ns as f64 / 1e6,
+            );
+        }
+    }
+    out
+}
+
+fn spans_of(b: &TraceBuffer, pred: impl Fn(SpanKind) -> bool) -> Vec<(u64, u64)> {
+    b.spans
+        .iter()
+        .filter(|s| pred(s.kind))
+        .map(|s| (s.start_ns, s.start_ns + s.dur_ns))
+        .collect()
+}
+
+/// Merges intervals into a sorted, disjoint union.
+fn union(mut iv: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    iv.retain(|&(a, b)| b > a);
+    iv.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(iv.len());
+    for (a, b) in iv {
+        match out.last_mut() {
+            Some(last) if a <= last.1 => last.1 = last.1.max(b),
+            _ => out.push((a, b)),
+        }
+    }
+    out
+}
+
+/// `a \ b` for sorted disjoint interval lists.
+fn subtract(a: &[(u64, u64)], b: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    let mut bi = 0;
+    for &(mut lo, hi) in a {
+        while lo < hi {
+            while bi < b.len() && b[bi].1 <= lo {
+                bi += 1;
+            }
+            match b.get(bi) {
+                Some(&(blo, bhi)) if blo < hi => {
+                    if lo < blo {
+                        out.push((lo, blo));
+                    }
+                    lo = bhi.max(lo);
+                }
+                _ => {
+                    out.push((lo, hi));
+                    lo = hi;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Total covered length of the intersection of two sorted disjoint lists.
+fn intersect_len(a: &[(u64, u64)], b: &[(u64, u64)]) -> u64 {
+    let (mut i, mut j, mut len) = (0, 0, 0u64);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            len += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    len
+}
+
+fn total_len(iv: &[(u64, u64)]) -> u64 {
+    iv.iter().map(|&(a, b)| b - a).sum()
+}
+
+/// Structural bubble replay (see module docs). Returns rank → mean bubble
+/// fraction over the iterations present in the trace.
+fn bubble_fractions(trace: &Trace) -> BTreeMap<u32, f64> {
+    // Group ranks by data-parallel replica; within a replica, by stage.
+    let mut replicas: BTreeMap<u32, Vec<&TraceBuffer>> = BTreeMap::new();
+    for b in &trace.buffers {
+        replicas.entry(b.dp).or_default().push(b);
+    }
+    let mut out = BTreeMap::new();
+    for bufs in replicas.values_mut() {
+        bufs.sort_by_key(|b| b.stage);
+        let iters: std::collections::BTreeSet<u64> = bufs
+            .iter()
+            .flat_map(|b| b.spans.iter())
+            .filter(|s| matches!(s.kind, SpanKind::Forward | SpanKind::Backward))
+            .map(|s| s.iter)
+            .collect();
+        let mut acc: Vec<(f64, u64)> = vec![(0.0, 0); bufs.len()];
+        for &iter in &iters {
+            // ops[s] = the slots stage s recorded for this iteration, in
+            // execution order: (is_forward, micro).
+            let ops: Vec<Vec<(bool, u32)>> = bufs
+                .iter()
+                .map(|b| {
+                    b.spans
+                        .iter()
+                        .filter(|s| {
+                            s.iter == iter
+                                && s.micro != NO_MICRO
+                                && matches!(s.kind, SpanKind::Forward | SpanKind::Backward)
+                        })
+                        .map(|s| (s.kind == SpanKind::Forward, s.micro))
+                        .collect()
+                })
+                .collect();
+            if let Some(per_stage) = replay(&ops) {
+                for (s, bubble) in per_stage.into_iter().enumerate() {
+                    acc[s].0 += bubble;
+                    acc[s].1 += 1;
+                }
+            }
+        }
+        for (b, (sum, n)) in bufs.iter().zip(acc) {
+            out.insert(b.rank, if n == 0 { 0.0 } else { sum / n as f64 });
+        }
+    }
+    out
+}
+
+/// List-schedules one iteration's slots with unit cost per slot and the
+/// 1F1B dependency structure; returns the per-stage bubble fraction
+/// `(makespan - busy) / makespan`, or `None` when the recorded order is
+/// not schedulable (a malformed trace).
+fn replay(ops: &[Vec<(bool, u32)>]) -> Option<Vec<f64>> {
+    let n_stages = ops.len();
+    let mut f_fin: BTreeMap<(usize, u32), u64> = BTreeMap::new();
+    let mut b_fin: BTreeMap<(usize, u32), u64> = BTreeMap::new();
+    let mut next = vec![0usize; n_stages];
+    let mut stage_time = vec![0u64; n_stages];
+    loop {
+        let mut progressed = false;
+        for s in 0..n_stages {
+            while next[s] < ops[s].len() {
+                let (is_fwd, micro) = ops[s][next[s]];
+                let dep = if is_fwd {
+                    if s == 0 {
+                        Some(0)
+                    } else {
+                        f_fin.get(&(s - 1, micro)).copied()
+                    }
+                } else if s + 1 == n_stages {
+                    f_fin.get(&(s, micro)).copied()
+                } else {
+                    b_fin.get(&(s + 1, micro)).copied()
+                };
+                let Some(dep) = dep else { break };
+                let fin = stage_time[s].max(dep) + 1;
+                stage_time[s] = fin;
+                if is_fwd {
+                    f_fin.insert((s, micro), fin);
+                } else {
+                    b_fin.insert((s, micro), fin);
+                }
+                next[s] += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    if next.iter().zip(ops).any(|(&n, o)| n < o.len()) {
+        return None;
+    }
+    let makespan = stage_time.iter().copied().max().unwrap_or(0);
+    if makespan == 0 {
+        return None;
+    }
+    Some(
+        ops.iter()
+            .map(|o| (makespan - o.len() as u64) as f64 / makespan as f64)
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{SpanRecord, NO_PARENT};
+
+    /// Builds the per-stage 1F1B op order for `n_stages`/`n_micro`
+    /// (warmup forwards, steady 1F1B, cooldown backwards), as
+    /// `opt_schedule::one_f_one_b` would emit it.
+    fn one_f_one_b_ops(n_stages: usize, n_micro: u32, stage: usize) -> Vec<(bool, u32)> {
+        let warmup = (n_stages - stage).min(n_micro as usize) as u32;
+        let mut ops = Vec::new();
+        for m in 0..warmup {
+            ops.push((true, m));
+        }
+        let (mut f, mut b) = (warmup, 0u32);
+        while b < n_micro {
+            ops.push((false, b));
+            b += 1;
+            if f < n_micro {
+                ops.push((true, f));
+                f += 1;
+            }
+        }
+        ops
+    }
+
+    fn slot_trace(n_stages: usize, n_micro: u32, iters: u64) -> Trace {
+        let buffers = (0..n_stages)
+            .map(|stage| {
+                let mut spans = Vec::new();
+                let mut seq = 0u64;
+                for iter in 0..iters {
+                    for (is_fwd, micro) in one_f_one_b_ops(n_stages, n_micro, stage) {
+                        spans.push(SpanRecord {
+                            seq,
+                            parent: NO_PARENT,
+                            kind: if is_fwd {
+                                SpanKind::Forward
+                            } else {
+                                SpanKind::Backward
+                            },
+                            iter,
+                            micro,
+                            bytes: 0,
+                            flags: 0,
+                            start_ns: seq * 10,
+                            dur_ns: 5,
+                        });
+                        seq += 1;
+                    }
+                }
+                TraceBuffer {
+                    rank: stage as u32,
+                    stage: stage as u32,
+                    dp: 0,
+                    spans,
+                }
+            })
+            .collect();
+        Trace::merge(buffers)
+    }
+
+    #[test]
+    fn ideal_1f1b_bubble_matches_closed_form() {
+        for (s, m) in [(1usize, 4u32), (2, 4), (2, 8), (4, 8)] {
+            let trace = slot_trace(s, m, 2);
+            let report = analyze(&trace, 0);
+            let expect = (s as f64 - 1.0) / (m as f64 + s as f64 - 1.0);
+            for r in &report.ranks {
+                assert!(
+                    (r.bubble_fraction - expect).abs() < 1e-12,
+                    "pp={s} m={m} rank {}: got {} want {expect}",
+                    r.rank,
+                    r.bubble_fraction
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interval_helpers() {
+        assert_eq!(union(vec![(5, 8), (0, 3), (2, 4)]), vec![(0, 4), (5, 8)]);
+        assert_eq!(
+            subtract(&[(0, 10)], &[(2, 4), (6, 7)]),
+            vec![(0, 2), (4, 6), (7, 10)]
+        );
+        assert_eq!(
+            subtract(&[(0, 5), (6, 12)], &[(4, 8)]),
+            vec![(0, 4), (8, 12)]
+        );
+        assert_eq!(intersect_len(&[(0, 5), (8, 12)], &[(3, 9)]), 2 + 1);
+        assert_eq!(total_len(&[(0, 4), (5, 8)]), 7);
+    }
+
+    #[test]
+    fn top_slowest_is_sorted_and_truncated() {
+        let trace = slot_trace(2, 4, 1);
+        let report = analyze(&trace, 3);
+        assert_eq!(report.top_slowest.len(), 3);
+        for pair in report.top_slowest.windows(2) {
+            assert!(pair[0].dur_ns >= pair[1].dur_ns);
+        }
+    }
+
+    #[test]
+    fn overlap_counts_comm_against_other_ranks_compute() {
+        // Rank 0: compute [0, 100). Rank 1: comm [50, 150).
+        let buffers = vec![
+            TraceBuffer {
+                rank: 0,
+                stage: 0,
+                dp: 0,
+                spans: vec![SpanRecord {
+                    seq: 0,
+                    parent: NO_PARENT,
+                    kind: SpanKind::Forward,
+                    iter: 0,
+                    micro: 0,
+                    bytes: 0,
+                    flags: 0,
+                    start_ns: 0,
+                    dur_ns: 100,
+                }],
+            },
+            TraceBuffer {
+                rank: 1,
+                stage: 1,
+                dp: 0,
+                spans: vec![SpanRecord {
+                    seq: 0,
+                    parent: NO_PARENT,
+                    kind: SpanKind::Recv,
+                    iter: 0,
+                    micro: 0,
+                    bytes: 64,
+                    flags: 0,
+                    start_ns: 50,
+                    dur_ns: 100,
+                }],
+            },
+        ];
+        let report = analyze(&Trace::merge(buffers), 0);
+        assert!((report.ranks[1].overlap_ratio - 0.5).abs() < 1e-12);
+        assert_eq!(report.ranks[0].overlap_ratio, 0.0);
+        assert_eq!(report.ranks[1].comm_ns, 100);
+    }
+
+    #[test]
+    fn render_mentions_every_rank() {
+        let trace = slot_trace(2, 2, 1);
+        let text = render(&analyze(&trace, 2));
+        assert!(text.contains("bubble"));
+        assert!(text.contains("top 2 slowest"));
+    }
+}

@@ -1,0 +1,92 @@
+//! The `OPT_TRACE` mode knob.
+
+/// Environment variable selecting the trace mode (`off`, `spans`, `full`).
+pub const ENV_TRACE: &str = "OPT_TRACE";
+
+/// How much the tracer records.
+///
+/// * [`TraceMode::Off`] (the default) — nothing is recorded; the
+///   instrumentation points reduce to one thread-local read and a branch,
+///   so a traced binary pays no measurable cost when tracing is off.
+/// * [`TraceMode::Spans`] — the deterministic span tree: iteration,
+///   pipeline slots, optimizer/DP/embedding phases, compressor
+///   encode/decode, and the worker-level send/recv spans. The *structure*
+///   of this tree (everything except wall-clock timestamps) is identical
+///   across kernel-thread counts and across Local vs TCP transports.
+/// * [`TraceMode::Full`] — additionally records a span around every
+///   transport send and blocking receive (per-lane latency). These extra
+///   spans depend on which backend carries the bytes, so `full` traces
+///   are *not* covered by the structural-determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Record nothing (the default).
+    #[default]
+    Off,
+    /// Record the deterministic span tree.
+    Spans,
+    /// Record the span tree plus transport-level send/recv latency spans.
+    Full,
+}
+
+impl TraceMode {
+    /// Parses a knob value (`"off"`, `"spans"`, `"full"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "off" => Some(TraceMode::Off),
+            "spans" => Some(TraceMode::Spans),
+            "full" => Some(TraceMode::Full),
+            _ => None,
+        }
+    }
+
+    /// Reads the mode from `OPT_TRACE`; unset or unrecognized means
+    /// [`TraceMode::Off`].
+    pub fn from_env() -> Self {
+        std::env::var(ENV_TRACE)
+            .ok()
+            .and_then(|v| Self::parse(&v))
+            .unwrap_or_default()
+    }
+
+    /// Whether any recording happens at all.
+    pub fn enabled(self) -> bool {
+        self != TraceMode::Off
+    }
+
+    /// Whether transport-level latency spans are recorded too.
+    pub fn full(self) -> bool {
+        self == TraceMode::Full
+    }
+
+    /// The canonical knob spelling of this mode.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceMode::Off => "off",
+            TraceMode::Spans => "spans",
+            TraceMode::Full => "full",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_canonical_spellings() {
+        for mode in [TraceMode::Off, TraceMode::Spans, TraceMode::Full] {
+            assert_eq!(TraceMode::parse(mode.as_str()), Some(mode));
+        }
+        assert_eq!(TraceMode::parse("verbose"), None);
+        assert_eq!(TraceMode::parse(""), None);
+    }
+
+    #[test]
+    fn default_is_off() {
+        assert_eq!(TraceMode::default(), TraceMode::Off);
+        assert!(!TraceMode::Off.enabled());
+        assert!(TraceMode::Spans.enabled());
+        assert!(!TraceMode::Spans.full());
+        assert!(TraceMode::Full.full());
+    }
+}

@@ -18,4 +18,5 @@ pub use opt_net as net;
 pub use opt_schedule as schedule;
 pub use opt_sim as sim;
 pub use opt_tensor as tensor;
+pub use opt_trace as trace;
 pub use optimus_cc as core;

@@ -69,6 +69,23 @@ fn transport_reexports_resolve() {
 }
 
 #[test]
+fn trace_reexports_resolve() {
+    use optimus::trace::{SpanKind, Trace, TraceMode};
+    // The observability surface: the env-gated mode, the merged trace
+    // with its structural digest, the analyzer, and the core aliases.
+    assert_eq!(TraceMode::parse("spans"), Some(TraceMode::Spans));
+    assert_eq!(TraceMode::default(), TraceMode::Off);
+    let trace = Trace::merge(Vec::new());
+    assert_eq!(trace.span_count(), 0);
+    assert_eq!(SpanKind::Forward.name(), "forward");
+    let report = optimus::trace::analyze(&trace, 1);
+    assert!(report.ranks.is_empty());
+    let _ = optimus::trace::render(&report);
+    // The trainer-facing aliases re-exported through optimus::core.
+    let _: optimus::core::TraceMode = optimus::trace::TraceMode::Spans;
+}
+
+#[test]
 fn elastic_restore_reexports_resolve() {
     // The sharded-checkpoint surface: formats in ckpt, the store in net,
     // the cost model in sim.
