@@ -6,15 +6,16 @@
 //! `CARGO_BIN_EXE_opt_worker` points at the compiled worker binary; cargo
 //! builds it before running this test.
 
-use opt_ckpt::{FaultPlan, ShardManifest, MANIFEST_FILE};
+use opt_ckpt::{shard_file_name, FaultPlan, ShardManifest, MANIFEST_FILE};
 use opt_net::{MemShardStore, ShardStore, ShardStoreServer, TcpShardStore};
 use opt_trace::Trace;
 use optimus_cc::{
     run_with_faults_sharded, run_with_faults_sharded_proc, ProcFaultOptions, ProcOptions,
-    QualityConfig, TraceMode, Trainer, TrainerConfig,
+    QualityConfig, TraceMode, Trainer, TrainerConfig, WorldError,
 };
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn worker_bin() -> PathBuf {
     PathBuf::from(env!("CARGO_BIN_EXE_opt_worker"))
@@ -203,6 +204,191 @@ fn traced_process_world_exports_deterministic_chrome_trace() {
     let json = proc_trace.to_chrome_json();
     assert!(json.contains("\"traceEvents\""));
     std::fs::write(out_dir.join("trace.json"), json).expect("writing trace.json");
+}
+
+#[test]
+fn sigkilled_rank_rejoins_with_survivors_untouched_bit_for_bit() {
+    // The elastic-rejoin acceptance gate (and the CI chaos smoke job,
+    // which runs it under OPT_TRACE=spans): SIGKILL one rank of a 2x2 TCP
+    // world mid-training, let the coordinator's heartbeat detector notice
+    // (no survivor recv timeout), splice a replacement into the live
+    // mesh, and finish — survivors keep their PIDs and the final losses
+    // and post-rejoin wire traffic are bit-identical to an uninterrupted
+    // run.
+    let cfg = TrainerConfig::tiny_test(QualityConfig::cb_fe_sc(), 8);
+
+    // Uninterrupted in-process reference, snapshotting the ledger at the
+    // same segment boundary the faulted world rejoins at.
+    let mut reference = Trainer::launch(cfg.clone());
+    reference.train_more(4);
+    let ref_mid = reference.traffic();
+    reference.train_more(4);
+    let ref_tail = reference.traffic().delta_since(&ref_mid);
+    let ref_report = reference.report();
+    reference.shutdown();
+
+    let store: Arc<dyn ShardStore> = Arc::new(MemShardStore::new());
+    let server = ShardStoreServer::spawn(store, "127.0.0.1:0").expect("store server");
+    let mut world = Trainer::launch_processes_traced(
+        cfg,
+        ProcOptions {
+            worker_bin: worker_bin(),
+            store_addr: server.addr(),
+            scratch_dir: scratch("rejoin"),
+        },
+        TraceMode::from_env(),
+    )
+    .expect("process world");
+
+    world.train_more(4).expect("train to snapshot");
+    // False-positive guard: every rank is alive (if slow), so even after
+    // a long gap without polling, draining the queued beats flags nobody.
+    assert_eq!(world.await_failure(Duration::from_millis(50)), None);
+
+    world.save_sharded().expect("publish shards"); // iter 4
+    let pids_before = world.worker_pids();
+    world.train_more(2).expect("train past snapshot"); // iters 4, 5
+
+    world.kill_rank(0).expect("SIGKILL rank 0");
+    let dead = world
+        .await_failure(Duration::from_secs(60))
+        .expect("heartbeat detector flags the SIGKILLed rank");
+    assert_eq!(dead, 0);
+    assert_eq!(world.rejoin_rank(0).expect("rejoin"), 4);
+
+    // Only the dead rank was re-execed; every survivor kept its PID.
+    let pids_after = world.worker_pids();
+    assert_ne!(pids_before[0], pids_after[0], "dead rank kept its process");
+    assert_eq!(
+        pids_before[1..],
+        pids_after[1..],
+        "a survivor was relaunched"
+    );
+
+    // Replay 4..6 and train on to 8: the post-rejoin traffic segment
+    // matches the reference's iterations 4..8 lane for lane.
+    let mid = world.traffic().expect("traffic");
+    world.train_more(4).expect("replay and finish");
+    let tail = world.traffic().expect("traffic").delta_since(&mid);
+    assert_eq!(ref_tail, tail, "post-rejoin wire traffic diverged");
+
+    let report = world.report().expect("report");
+    assert!(
+        report.train_loss.iter().all(|l| l.is_finite()),
+        "rejoin left holes in the loss curve"
+    );
+    assert_bit_identical(&ref_report.train_loss, &report.train_loss);
+
+    // Double-kill the same rank: a second detect/quiesce/rejoin cycle
+    // against the same survivors.
+    world.save_sharded().expect("publish shards again"); // iter 8
+    world.kill_rank(0).expect("SIGKILL rank 0 again");
+    assert_eq!(
+        world.await_failure(Duration::from_secs(60)),
+        Some(0),
+        "second failure went undetected"
+    );
+    assert_eq!(world.rejoin_rank(0).expect("second rejoin"), 8);
+    let pids_final = world.worker_pids();
+    assert_eq!(
+        pids_after[1..],
+        pids_final[1..],
+        "survivors must outlive the second rejoin"
+    );
+    let report = world.report().expect("report after second rejoin");
+    assert_bit_identical(&ref_report.train_loss, &report.train_loss);
+
+    // Under OPT_TRACE=spans (the CI chaos job) the coordinator recorded
+    // the detect/rejoin/restore spans; export them for the artifact.
+    if let Some(trace) = world.take_trace().expect("fetching traces") {
+        let json = trace.to_chrome_json();
+        assert!(json.contains("detect"), "recovery spans missing from trace");
+        assert!(json.contains("rejoin"), "recovery spans missing from trace");
+        let out_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target")
+            .join("chaos-trace");
+        std::fs::create_dir_all(&out_dir).expect("trace out dir");
+        std::fs::write(out_dir.join("trace.json"), json).expect("writing trace.json");
+    }
+    world.shutdown().expect("shutdown");
+}
+
+#[test]
+fn rejoin_without_a_snapshot_is_typed_unrecoverable() {
+    // Graceful degradation: a death before any checkpoint was committed
+    // cannot be healed by rejoin — the caller gets a typed error, never a
+    // hung recv timeout.
+    let cfg = TrainerConfig::tiny_test(QualityConfig::cb(), 4);
+    let store: Arc<dyn ShardStore> = Arc::new(MemShardStore::new());
+    let server = ShardStoreServer::spawn(store, "127.0.0.1:0").expect("store server");
+    let mut world = Trainer::launch_processes(
+        cfg,
+        ProcOptions {
+            worker_bin: worker_bin(),
+            store_addr: server.addr(),
+            scratch_dir: scratch("unrecoverable"),
+        },
+    )
+    .expect("process world");
+    world.train_more(1).expect("train");
+    world.kill_rank(1).expect("kill");
+    let err = world.rejoin_rank(1).expect_err("nothing to restore from");
+    assert!(
+        matches!(err, WorldError::Unrecoverable { .. }),
+        "wrong escalation: {err}"
+    );
+    assert!(err.to_string().contains("no committed checkpoint manifest"));
+    world.abort();
+}
+
+#[test]
+fn rejoin_survives_interrupted_publish_and_refuses_corrupt_shards() {
+    let cfg = TrainerConfig::tiny_test(QualityConfig::cb_fe_sc(), 8);
+    let store: Arc<dyn ShardStore> = Arc::new(MemShardStore::new());
+    let server = ShardStoreServer::spawn(Arc::clone(&store), "127.0.0.1:0").expect("store server");
+    let mut world = Trainer::launch_processes(
+        cfg.clone(),
+        ProcOptions {
+            worker_bin: worker_bin(),
+            store_addr: server.addr(),
+            scratch_dir: scratch("matrix"),
+        },
+    )
+    .expect("process world");
+    world.train_more(2).expect("train");
+    let manifest = world.save_sharded().expect("save"); // iter 2
+    world.train_more(2).expect("train on"); // iters 2, 3
+
+    // A save that died between shard upload and manifest commit leaves
+    // orphan blobs in the store; the previous checkpoint must stay
+    // restorable through a rejoin.
+    for entry in &manifest.shards {
+        let half_published = shard_file_name(entry.stage, entry.dp, 4);
+        store
+            .put(&half_published, b"torn mid-upload")
+            .expect("orphan blob");
+    }
+    world.kill_rank(0).expect("kill during interrupted publish");
+    assert_eq!(
+        world.rejoin_rank(0).expect("previous manifest restorable"),
+        2
+    );
+    world.train_more(1).expect("world is live after rejoin");
+
+    // A corrupted shard is refused by the replacement (digest validation)
+    // and the world escalates with a typed error instead of hanging.
+    let name = shard_file_name(0, 0, 2); // rank 0 = (stage 0, dp 0)
+    let mut blob = store.get(&name).expect("fetch shard");
+    let mid = blob.len() / 2;
+    blob[mid] ^= 0x40;
+    store.put(&name, &blob).expect("corrupt the shard in place");
+    world.kill_rank(0).expect("kill again");
+    let err = world.rejoin_rank(0).expect_err("corrupt shard accepted");
+    assert!(
+        matches!(err, WorldError::Proc(_)),
+        "wrong escalation: {err}"
+    );
+    world.abort();
 }
 
 #[test]

@@ -4,12 +4,13 @@
 //! fetched per **process** from a TCP shard store (the real thing:
 //! [`run_with_faults_sharded_proc`]).
 
-use crate::proc::{ProcError, ProcOptions, ProcTrainer};
+use crate::proc::{ProcError, ProcOptions, ProcTrainer, WorldError};
 use crate::{TrainReport, Trainer, TrainerConfig};
 use opt_ckpt::{CkptError, FaultPlan, Snapshot};
 use opt_net::{FsShardStore, MemShardStore, ShardStore, ShardStoreServer};
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// What a faulted run went through, alongside its final metrics.
 #[derive(Debug, Clone)]
@@ -183,6 +184,101 @@ pub fn run_with_faults_sharded_proc(
                     resumed_from = Some(0);
                     trainer = ProcTrainer::launch(cfg.clone(), popts.clone())?;
                     completed = 0;
+                }
+            }
+        }
+    }
+    let report = trainer.report()?;
+    trainer.shutdown()?;
+    Ok(FaultOutcome {
+        report,
+        snapshots_taken,
+        restarts,
+        lost_iters,
+        resumed_from,
+    })
+}
+
+/// [`run_with_faults_sharded_proc`], but recovering through the **elastic
+/// single-rank rejoin protocol** instead of a wholesale world relaunch:
+/// the scripted `SIGKILL` is *detected* by the coordinator's heartbeat
+/// failure detector (no survivor ever trips a recv timeout), survivors
+/// quiesce at a barrier while only the dead rank is re-execed, the
+/// replacement self-restores its shard from the last committed manifest
+/// and splices back into the survivors' live mesh, and training resumes
+/// from the checkpoint iteration — survivors keep their PIDs, sockets to
+/// each other, and already-recorded metrics (rolled-back iterations are
+/// truncated, so the final report stays bit-identical to an uninterrupted
+/// run).
+///
+/// A failure before any snapshot was committed is unrecoverable by
+/// rejoin — there is nothing to restore the replacement from — and
+/// surfaces as a typed [`WorldError::Unrecoverable`] after the world is
+/// torn down cleanly, never as a hung recv timeout.
+pub fn run_with_faults_rejoin(
+    cfg: &TrainerConfig,
+    plan: &FaultPlan,
+    opts: &ProcFaultOptions,
+) -> Result<FaultOutcome, WorldError> {
+    assert!(
+        plan.kill_rank < cfg.pp * cfg.dp,
+        "kill_rank {} outside the {}x{} world",
+        plan.kill_rank,
+        cfg.pp,
+        cfg.dp
+    );
+    let inner: Arc<dyn ShardStore> = match &opts.store_dir {
+        Some(dir) => Arc::new(FsShardStore::new(dir)),
+        None => Arc::new(MemShardStore::new()),
+    };
+    let server = ShardStoreServer::spawn(inner, "127.0.0.1:0")
+        .map_err(|e| ProcError::Protocol(format!("shard store server: {e}")))?;
+    let popts = ProcOptions {
+        worker_bin: opts.worker_bin.clone(),
+        store_addr: server.addr(),
+        scratch_dir: opts.scratch_dir.clone(),
+    };
+
+    let total = cfg.iters;
+    let mut trainer = ProcTrainer::launch(cfg.clone(), popts)?;
+    let mut snapshots_taken = 0;
+    let mut restarts = 0;
+    let mut lost_iters = 0;
+    let mut resumed_from = None;
+    let mut failed = false;
+
+    let mut completed: u64 = 0;
+    while completed < total {
+        trainer.train_more(1)?;
+        completed += 1;
+        if plan.snapshot_due(completed) && completed < total {
+            trainer.save_sharded()?;
+            snapshots_taken += 1;
+        }
+        if !failed && completed == plan.kill_at_iter {
+            failed = true;
+            restarts += 1;
+            trainer.kill_rank(plan.kill_rank)?;
+            // The heartbeat detector — not a survivor's recv timeout —
+            // notices the death.
+            let Some(dead) = trainer.await_failure(Duration::from_secs(60)) else {
+                trainer.abort();
+                return Err(WorldError::Unrecoverable {
+                    reason: format!(
+                        "killed rank {} was never flagged by the failure detector",
+                        plan.kill_rank
+                    ),
+                });
+            };
+            match trainer.rejoin_rank(dead) {
+                Ok(iter) => {
+                    lost_iters += completed - iter;
+                    resumed_from = Some(iter);
+                    completed = iter;
+                }
+                Err(e) => {
+                    trainer.abort();
+                    return Err(e);
                 }
             }
         }

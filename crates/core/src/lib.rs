@@ -66,12 +66,13 @@ mod worker;
 pub use config::{CbMethod, CbQuality, QualityConfig, ScQuality, TrainerConfig};
 pub use dp_compress::DistPowerSgd;
 pub use fault::{
-    run_with_faults, run_with_faults_sharded, run_with_faults_sharded_proc, FaultOutcome,
-    ProcFaultOptions,
+    run_with_faults, run_with_faults_rejoin, run_with_faults_sharded, run_with_faults_sharded_proc,
+    FaultOutcome, ProcFaultOptions,
 };
 pub use memory::MemoryReport;
 pub use proc::{
-    worker_main, ProcError, ProcOptions, ProcTrainer, ENV_CFG, ENV_RANK, ENV_RDV, ENV_STORE,
+    worker_main, ProcError, ProcOptions, ProcTrainer, WorldError, ENV_CFG, ENV_RANK, ENV_RDV,
+    ENV_REJOIN, ENV_STORE,
 };
 pub use stats::{ErrorStatPoint, TrainReport, ValPoint};
 pub use trainer::Trainer;

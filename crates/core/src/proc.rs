@@ -41,18 +41,19 @@ use crate::worker::{
 use crossbeam::channel::unbounded;
 use opt_ckpt::{CkptError, ShardEntry, ShardManifest, MANIFEST_FILE};
 use opt_net::{
-    channel_id, tcp_rendezvous, ChannelStat, CollectiveWorld, P2pMesh, ShardStore, TcpShardStore,
-    TcpTransport, TrafficBreakdown, TrafficLedger, TrafficSnapshot, Transport, TransportError,
+    channel_id, tcp_rejoin, tcp_rendezvous, ChannelStat, CollectiveWorld, FailureDetector,
+    HeartbeatConfig, P2pMesh, ShardStore, TcpShardStore, TcpTransport, TrafficBreakdown,
+    TrafficLedger, TrafficSnapshot, Transport, TransportError, CH_HEARTBEAT,
 };
 use opt_tensor::{Persist, PersistError, Reader, Writer};
-use opt_trace::{Trace, TraceBuffer, TraceMode, ENV_TRACE};
+use opt_trace::{SpanKind, Trace, TraceBuffer, TraceMode, ENV_TRACE};
 use std::fmt;
 use std::net::SocketAddr;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::Child;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Channel namespace 3: the coordinator <-> worker control plane. (The
 /// pipeline-mesh channels `CH_FWD`/`CH_BWD` live in `crate::worker`,
@@ -77,6 +78,10 @@ pub const ENV_RANK: &str = "OPT_WORKER_RANK";
 pub const ENV_CFG: &str = "OPT_WORKER_CFG";
 pub const ENV_RDV: &str = "OPT_WORKER_RDV";
 pub const ENV_STORE: &str = "OPT_WORKER_STORE";
+/// Set to `"1"` on a replacement process: instead of the initial
+/// rendezvous barrier it re-meshes into the live world via
+/// [`opt_net::tcp_rejoin`], splicing over its dead predecessor.
+pub const ENV_REJOIN: &str = "OPT_WORKER_REJOIN";
 
 /// Why a multi-process operation failed.
 #[derive(Debug)]
@@ -89,6 +94,14 @@ pub enum ProcError {
     Ckpt(CkptError),
     /// A control-plane message violated the protocol.
     Protocol(String),
+    /// Killing or reaping a worker process failed; the rank is attached
+    /// so a failed fence is attributable instead of silently dropped.
+    Reap {
+        /// Global rank of the worker being reaped.
+        rank: usize,
+        /// What the kill/wait syscall reported.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ProcError {
@@ -98,6 +111,9 @@ impl fmt::Display for ProcError {
             ProcError::Transport(e) => write!(f, "worker fabric failed: {e}"),
             ProcError::Ckpt(e) => write!(f, "checkpoint operation failed: {e}"),
             ProcError::Protocol(d) => write!(f, "control protocol violation: {d}"),
+            ProcError::Reap { rank, detail } => {
+                write!(f, "reaping worker rank {rank} failed: {detail}")
+            }
         }
     }
 }
@@ -125,6 +141,45 @@ impl From<CkptError> for ProcError {
 impl From<PersistError> for ProcError {
     fn from(e: PersistError) -> Self {
         ProcError::Protocol(format!("malformed control message: {e}"))
+    }
+}
+
+/// Why an elastic-membership operation could not keep the world alive.
+///
+/// [`ProcTrainer::rejoin_rank`] (and the [`crate::run_with_faults_rejoin`]
+/// harness on top of it) distinguishes *recoverable-layer* failures
+/// ([`WorldError::Proc`]) from the terminal case: a dead rank with **no
+/// committed checkpoint to restore a replacement from**. The latter is
+/// surfaced as [`WorldError::Unrecoverable`] so the caller can tear the
+/// survivors down cleanly instead of leaving them to die one by one on
+/// recv timeouts.
+#[derive(Debug)]
+pub enum WorldError {
+    /// The world cannot be made whole again; escalate and tear down.
+    Unrecoverable {
+        /// Why recovery is impossible.
+        reason: String,
+    },
+    /// A multi-process operation failed for an ordinary reason.
+    Proc(ProcError),
+}
+
+impl fmt::Display for WorldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorldError::Unrecoverable { reason } => {
+                write!(f, "world is unrecoverable: {reason}")
+            }
+            WorldError::Proc(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorldError {}
+
+impl From<ProcError> for WorldError {
+    fn from(e: ProcError) -> Self {
+        WorldError::Proc(e)
     }
 }
 
@@ -311,6 +366,68 @@ pub struct ProcOptions {
 /// directory never share a rendezvous namespace.
 static INCARNATION: AtomicU64 = AtomicU64::new(0);
 
+/// One spawned worker process plus whether it has been reaped.
+/// `Child::kill` on an already-reaped child fails with `InvalidInput`;
+/// the flag keeps fences idempotent and makes reap failures attributable
+/// to a rank instead of silently swallowed.
+struct WorkerSlot {
+    child: Child,
+    reaped: bool,
+}
+
+impl WorkerSlot {
+    /// Kills and reaps the process if it has not been reaped yet.
+    fn reap(&mut self, rank: usize) -> Result<(), ProcError> {
+        if self.reaped {
+            return Ok(());
+        }
+        let wrap = |what: &str, e: std::io::Error| ProcError::Reap {
+            rank,
+            detail: format!("{what}: {e}"),
+        };
+        self.child.kill().map_err(|e| wrap("kill", e))?;
+        self.child.wait().map_err(|e| wrap("wait", e))?;
+        self.reaped = true;
+        Ok(())
+    }
+}
+
+/// Kills and reaps every not-yet-reaped worker, collecting (rank, error)
+/// pairs instead of aborting on the first failure — teardown must visit
+/// every child even when one refuses to die.
+fn reap_all(children: &mut [WorkerSlot]) -> Vec<(usize, ProcError)> {
+    let mut failures = Vec::new();
+    for (rank, slot) in children.iter_mut().enumerate() {
+        if let Err(e) = slot.reap(rank) {
+            failures.push((rank, e));
+        }
+    }
+    failures
+}
+
+/// Spawns one `opt-worker` process with the launch environment; `rejoin`
+/// marks a replacement that must re-mesh into a live world instead of
+/// waiting at the initial rendezvous barrier.
+fn spawn_worker(
+    cfg: &TrainerConfig,
+    opts: &ProcOptions,
+    rdv_dir: &Path,
+    trace: TraceMode,
+    rank: usize,
+    rejoin: bool,
+) -> Result<Child, ProcError> {
+    let mut cmd = std::process::Command::new(&opts.worker_bin);
+    cmd.env(ENV_RANK, rank.to_string())
+        .env(ENV_CFG, to_hex(&cfg.to_bytes()))
+        .env(ENV_RDV, rdv_dir)
+        .env(ENV_STORE, opts.store_addr.to_string())
+        .env(ENV_TRACE, trace.as_str());
+    if rejoin {
+        cmd.env(ENV_REJOIN, "1");
+    }
+    cmd.spawn().map_err(ProcError::Io)
+}
+
 /// The coordinator of a multi-process training world: spawns one
 /// `opt-worker` OS process per `(stage, dp)` rank, meshes with them over
 /// TCP as the extra rank `pp * dp`, and drives the same command protocol
@@ -321,12 +438,19 @@ pub struct ProcTrainer {
     cfg: TrainerConfig,
     opts: ProcOptions,
     transport: Arc<TcpTransport>,
-    children: Vec<Child>,
+    children: Vec<WorkerSlot>,
     /// The coordinator's own client view of the shard store.
     store: TcpShardStore,
     trace: TraceMode,
     next_id: u64,
     trained_iters: u64,
+    /// The rendezvous directory this world meshed in; survivors' endpoint
+    /// files stay valid for the world's whole life, so a replacement rank
+    /// can [`opt_net::tcp_rejoin`] through the same directory.
+    rdv_dir: PathBuf,
+    /// Heartbeat bookkeeping over the worker ranks, fed by
+    /// [`ProcTrainer::await_failure`].
+    detector: FailureDetector,
 }
 
 impl fmt::Debug for ProcTrainer {
@@ -363,38 +487,38 @@ impl ProcTrainer {
             .scratch_dir
             .join(format!("rdv-{}-{incarnation}", std::process::id()));
         std::fs::create_dir_all(&rdv_dir)?;
-        let cfg_hex = to_hex(&cfg.to_bytes());
-        let mut children = Vec::with_capacity(world);
+        let mut children: Vec<WorkerSlot> = Vec::with_capacity(world);
         for rank in 0..world {
-            let child = std::process::Command::new(&opts.worker_bin)
-                .env(ENV_RANK, rank.to_string())
-                .env(ENV_CFG, &cfg_hex)
-                .env(ENV_RDV, &rdv_dir)
-                .env(ENV_STORE, opts.store_addr.to_string())
-                .env(ENV_TRACE, trace.as_str())
-                .spawn();
-            match child {
-                Ok(c) => children.push(c),
+            match spawn_worker(&cfg, &opts, &rdv_dir, trace, rank, false) {
+                Ok(child) => children.push(WorkerSlot {
+                    child,
+                    reaped: false,
+                }),
                 Err(e) => {
-                    // Reap anything already spawned before reporting.
-                    for mut c in children {
-                        let _ = c.kill();
-                        let _ = c.wait();
+                    // Reap anything already spawned before reporting; a
+                    // reap failure on top of a failed launch is logged
+                    // rather than masking the original error.
+                    for (r, re) in reap_all(&mut children) {
+                        eprintln!("coordinator: cleanup after failed launch, rank {r}: {re}");
                     }
-                    return Err(ProcError::Io(e));
+                    return Err(e);
                 }
             }
         }
         let transport = match tcp_rendezvous(&rdv_dir, world + 1, coord, RDV_TIMEOUT) {
             Ok(t) => Arc::new(t),
             Err(e) => {
-                for c in &mut children {
-                    let _ = c.kill();
-                    let _ = c.wait();
+                for (r, re) in reap_all(&mut children) {
+                    eprintln!("coordinator: cleanup after failed rendezvous, rank {r}: {re}");
                 }
                 return Err(ProcError::Transport(e));
             }
         };
+        // The coordinator records its own (recovery) spans: failure
+        // detection and rejoin orchestration happen here, not in any
+        // worker, so observability of those phases needs a tracer on this
+        // thread. `take_trace` drains this buffer alongside the workers'.
+        opt_trace::install(trace);
         Ok(ProcTrainer {
             cfg,
             store: TcpShardStore::connect(opts.store_addr),
@@ -404,6 +528,8 @@ impl ProcTrainer {
             trace,
             next_id: 0,
             trained_iters: 0,
+            rdv_dir,
+            detector: FailureDetector::new(HeartbeatConfig::from_env(), world, Instant::now()),
         })
     }
 
@@ -475,6 +601,149 @@ impl ProcTrainer {
             })?);
         }
         Ok(acks)
+    }
+
+    /// The quiesce step of the rejoin protocol: barriers every rank
+    /// *except* the dead one and collects the survivors' acks, proving
+    /// they are idle (no in-flight pipeline or collective frames) before
+    /// a replacement splices into their mesh.
+    fn barrier_except(&mut self, skip: usize) -> Result<Vec<WorkerAck>, ProcError> {
+        self.next_id += 1;
+        let id = self.next_id;
+        let coord = self.coord();
+        let bytes = WireCmd::Barrier { id }.to_bytes();
+        for rank in (0..self.world()).filter(|&r| r != skip) {
+            self.transport.send(coord, rank, CH_CMD, bytes.clone())?;
+        }
+        let mut acks = Vec::with_capacity(self.world().saturating_sub(1));
+        for rank in (0..self.world()).filter(|&r| r != skip) {
+            acks.push(self.recv_matching(rank, CH_ACK, id, |r| {
+                let ack = WorkerAck::restore(r)?;
+                Ok((ack.id, ack))
+            })?);
+        }
+        Ok(acks)
+    }
+
+    /// Drains every queued heartbeat into the failure detector.
+    fn poll_heartbeats(&mut self) {
+        let coord = self.coord();
+        let now = Instant::now();
+        for rank in 0..self.world() {
+            while let Ok(Some(_)) = self.transport.try_recv(rank, coord, CH_HEARTBEAT) {
+                self.detector.record_beat(rank, now);
+            }
+        }
+    }
+
+    /// Watches the heartbeat lanes for up to `timeout` and returns the
+    /// first rank the failure detector declares dead — silence longer
+    /// than `OPT_NET_HEARTBEAT_MS × OPT_NET_HEARTBEAT_MISSES`. Returns
+    /// `None` if every rank kept beating for the whole window.
+    ///
+    /// This is how a dead rank is *detected*: the coordinator notices the
+    /// missing beats instead of a survivor tripping a long recv timeout
+    /// deep inside a collective.
+    pub fn await_failure(&mut self, timeout: Duration) -> Option<usize> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.poll_heartbeats();
+            if let Some(rank) = self.detector.first_dead(Instant::now()) {
+                // Zero-length marker span: the instant of detection, with
+                // the detected rank in the micro field.
+                drop(opt_trace::begin(
+                    SpanKind::Detect,
+                    self.trained_iters,
+                    rank as u32,
+                    0,
+                    0,
+                ));
+                return Some(rank);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(
+                self.detector
+                    .config()
+                    .interval
+                    .min(Duration::from_millis(25)),
+            );
+        }
+    }
+
+    /// Replaces a dead rank without touching the survivors — the
+    /// coordinator half of the elastic rejoin protocol:
+    ///
+    /// 1. **Fence** the dead process (kill + reap, idempotent), so the
+    ///    rank identity cannot be claimed while its old incarnation
+    ///    lingers.
+    /// 2. Check a committed checkpoint manifest exists; without one the
+    ///    world cannot be made whole and the caller gets a typed
+    ///    [`WorldError::Unrecoverable`] instead of hung recv timeouts.
+    /// 3. **Quiesce** the survivors at a barrier (they are never
+    ///    re-execed — same PIDs, same sockets to each other).
+    /// 4. Relaunch *only* the dead rank with [`ENV_REJOIN`] set; it
+    ///    re-meshes via [`opt_net::tcp_rejoin`] and every survivor's
+    ///    background acceptor splices the fresh connection over the dead
+    ///    one, draining stale per-lane state.
+    /// 5. Wait for the splice to land in the coordinator's own mesh.
+    /// 6. Roll the whole world back to the manifest
+    ///    ([`ProcTrainer::self_restore_all`]): the replacement fetches
+    ///    its shard from the store, survivors re-apply theirs and
+    ///    truncate replayed metrics.
+    /// 7. Re-arm the failure detector for the replacement.
+    ///
+    /// Returns the checkpoint iteration the world resumed at.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` lies outside the world.
+    pub fn rejoin_rank(&mut self, rank: usize) -> Result<u64, WorldError> {
+        assert!(rank < self.world(), "rank {rank} outside the world");
+        let _rejoin_span =
+            opt_trace::begin(SpanKind::Rejoin, self.trained_iters, rank as u32, 0, 0);
+        self.children[rank].reap(rank)?;
+        let manifest_iter = match self.store.get(MANIFEST_FILE) {
+            Ok(bytes) => {
+                ShardManifest::decode(&bytes)
+                    .map_err(ProcError::Ckpt)?
+                    .meta
+                    .iter
+            }
+            Err(e) => {
+                return Err(WorldError::Unrecoverable {
+                    reason: format!(
+                        "rank {rank} is dead and no committed checkpoint manifest exists \
+                         to restore a replacement from: {e}"
+                    ),
+                })
+            }
+        };
+        self.barrier_except(rank)?;
+        let generation = self.transport.peer_generation(rank);
+        let child = spawn_worker(&self.cfg, &self.opts, &self.rdv_dir, self.trace, rank, true)?;
+        self.children[rank] = WorkerSlot {
+            child,
+            reaped: false,
+        };
+        self.transport
+            .wait_peer_generation(rank, generation, RDV_TIMEOUT)
+            .map_err(ProcError::Transport)?;
+        let resumed = {
+            let _restore_span =
+                opt_trace::begin(SpanKind::Restore, manifest_iter, rank as u32, 0, 0);
+            self.self_restore_all()?
+        };
+        self.detector.reset(rank, Instant::now());
+        Ok(resumed)
+    }
+
+    /// OS process ids of the current worker incarnations, indexed by
+    /// rank. A rejoin replaces exactly one entry; the failure-matrix
+    /// tests pin the survivors' entries across it.
+    pub fn worker_pids(&self) -> Vec<u32> {
+        self.children.iter().map(|s| s.child.id()).collect()
     }
 
     /// Runs extra training iterations, leaving the world quiesced.
@@ -567,13 +836,22 @@ impl ProcTrainer {
         self.next_id += 1;
         let id = self.next_id;
         self.broadcast(&WireCmd::FetchTrace { id })?;
-        let mut buffers = Vec::with_capacity(self.world());
+        let mut buffers = Vec::with_capacity(self.world() + 1);
         for rank in 0..self.world() {
             buffers.push(self.recv_matching(rank, CH_TRACE, id, |r| {
                 let got = r.u64()?;
                 let buf = TraceBuffer::restore(r)?;
                 Ok((got, buf))
             })?);
+        }
+        // The coordinator thread records only recovery spans
+        // (detect/rejoin/restore); include its buffer when a failure
+        // actually happened so `trace_report` can show the outage, and
+        // leave clean runs byte-identical to the pre-recovery format.
+        let coord_buf =
+            opt_trace::take_buffer(self.coord() as u32, self.cfg.pp as u32, self.cfg.dp as u32);
+        if !coord_buf.spans.is_empty() {
+            buffers.push(coord_buf);
         }
         Ok(Some(Trace::merge(buffers)))
     }
@@ -671,9 +949,7 @@ impl ProcTrainer {
     /// Panics if `rank` lies outside the world.
     pub fn kill_rank(&mut self, rank: usize) -> Result<(), ProcError> {
         assert!(rank < self.world(), "rank {rank} outside the world");
-        self.children[rank].kill()?;
-        self.children[rank].wait()?;
-        Ok(())
+        self.children[rank].reap(rank)
     }
 
     /// Ranks whose worker process has exited (monitoring; an unexpected
@@ -682,7 +958,7 @@ impl ProcTrainer {
         self.children
             .iter_mut()
             .enumerate()
-            .filter_map(|(rank, child)| child.try_wait().ok().flatten().map(|_| rank))
+            .filter_map(|(rank, slot)| slot.child.try_wait().ok().flatten().map(|_| rank))
             .collect()
     }
 
@@ -690,19 +966,27 @@ impl ProcTrainer {
     /// worker process is killed and reaped, no handshake. The shard store
     /// (which lives with the caller) survives — exactly the state a
     /// cluster is in after a job-level abort.
-    pub fn abort(mut self) {
-        for child in &mut self.children {
-            let _ = child.kill();
-            let _ = child.wait();
+    ///
+    /// Reap failures are returned (and logged to stderr) rather than
+    /// silently swallowed — an unkillable worker means a leaked process.
+    pub fn abort(mut self) -> Vec<(usize, ProcError)> {
+        let failures = reap_all(&mut self.children);
+        for (rank, e) in &failures {
+            eprintln!("coordinator: reaping worker rank {rank} during abort failed: {e}");
         }
         // Dropping the transport shuts the control sockets down.
+        failures
     }
 
     /// Clean shutdown: broadcast `Stop`, then reap every worker process.
     pub fn shutdown(mut self) -> Result<(), ProcError> {
         self.broadcast(&WireCmd::Stop)?;
-        for child in &mut self.children {
-            child.wait()?;
+        for (rank, slot) in self.children.iter_mut().enumerate() {
+            slot.child.wait().map_err(|e| ProcError::Reap {
+                rank,
+                detail: format!("wait: {e}"),
+            })?;
+            slot.reaped = true;
         }
         Ok(())
     }
@@ -753,9 +1037,42 @@ pub fn worker_main() -> Result<(), ProcError> {
     let stage_idx = rank % pp;
     let dp_idx = rank / pp;
 
-    // Mesh the world: workers + the coordinator as rank `world`.
-    let transport = Arc::new(tcp_rendezvous(&rdv_dir, world + 1, rank, RDV_TIMEOUT)?);
+    // Mesh the world: workers + the coordinator as rank `world`. A
+    // replacement rank (ENV_REJOIN) dials into the *existing* mesh —
+    // every survivor's acceptor splices the fresh sockets over the dead
+    // incarnation's — instead of re-running the full-world rendezvous.
+    let rejoin = std::env::var(ENV_REJOIN).is_ok_and(|v| v == "1");
+    let transport = if rejoin {
+        Arc::new(tcp_rejoin(&rdv_dir, world + 1, rank, RDV_TIMEOUT)?)
+    } else {
+        Arc::new(tcp_rendezvous(&rdv_dir, world + 1, rank, RDV_TIMEOUT)?)
+    };
     let store: Arc<dyn ShardStore> = Arc::new(TcpShardStore::connect(store_addr));
+
+    // Heartbeat: a dedicated thread beats on the control-plane heartbeat
+    // lane so the coordinator can tell "dead" from "busy". Control lanes
+    // are excluded from the traffic contract, so beating at wall-clock
+    // cadence cannot perturb bit-exactness.
+    let hb_stop = Arc::new(AtomicBool::new(false));
+    let hb_transport = Arc::clone(&transport);
+    let hb_flag = Arc::clone(&hb_stop);
+    let hb_interval = HeartbeatConfig::from_env().interval;
+    let heartbeat = std::thread::Builder::new()
+        .name("heartbeat".to_string())
+        .spawn(move || {
+            let mut seq: u64 = 0;
+            while !hb_flag.load(Ordering::Relaxed) {
+                if hb_transport
+                    .send(rank, coord, CH_HEARTBEAT, seq.to_le_bytes().to_vec())
+                    .is_err()
+                {
+                    return; // coordinator gone: nothing left to reassure
+                }
+                seq += 1;
+                std::thread::sleep(hb_interval);
+            }
+        })
+        .map_err(ProcError::Io)?;
 
     // Same construction sequence as Trainer::launch, so collective
     // channel ids agree across every process of the world.
@@ -920,6 +1237,8 @@ pub fn worker_main() -> Result<(), ProcError> {
     // simply never sent to on this path.
     drop(snap_rx);
     drop(predict_rx);
+    hb_stop.store(true, Ordering::Relaxed);
+    let _ = heartbeat.join();
     let _ = bridge.join();
     let _ = ack_bridge.join();
     let _ = shard_bridge.join();

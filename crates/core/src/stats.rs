@@ -144,6 +144,17 @@ impl Collector {
         self.inner.lock().val_samples.push((iter, loss));
     }
 
+    /// Discards every sample recorded at or after `iter`. A survivor
+    /// rolled back to a checkpoint calls this so the iterations it is
+    /// about to replay are not recorded twice — the report after a
+    /// rejoin stays bit-identical to an uninterrupted run. Idempotent.
+    pub fn truncate_from(&self, iter: u64) {
+        let mut inner = self.inner.lock();
+        inner.train_samples.retain(|&(i, _)| i < iter);
+        inner.val_samples.retain(|&(i, _)| i < iter);
+        inner.error_stats.retain(|p| p.iter < iter);
+    }
+
     pub fn record_error_stat(&self, p: ErrorStatPoint) {
         self.inner.lock().error_stats.push(p);
     }
@@ -238,5 +249,26 @@ mod tests {
         let report = c.into_report(1, TrafficBreakdown::default());
         assert!(report.train_loss[0].is_nan());
         assert!(report.final_val_ppl().is_nan());
+    }
+
+    #[test]
+    fn truncate_from_drops_replayed_iterations() {
+        let c = Collector::default();
+        c.record_train(0, 2.0);
+        c.record_train(1, 4.0);
+        c.record_train(2, 8.0);
+        c.record_val(2, 0.5);
+        // Rolled back to the iteration-2 checkpoint: iterations >= 2 will
+        // be replayed and re-recorded.
+        c.truncate_from(2);
+        c.truncate_from(2); // idempotent
+        let raw = c.raw_samples();
+        assert_eq!(raw.train, vec![(0, 2.0), (1, 4.0)]);
+        assert!(raw.val.is_empty());
+        c.record_train(2, 8.0);
+        c.record_val(2, 0.5);
+        let report = c.into_report(3, TrafficBreakdown::default());
+        assert_eq!(report.train_loss, vec![2.0, 4.0, 8.0]);
+        assert_eq!(report.val_points.len(), 1);
     }
 }

@@ -235,6 +235,14 @@ impl Trainer {
     /// trainer drives over channels — and produces bit-identical losses
     /// and traffic, by the member-order determinism contract of the
     /// transport layer.
+    ///
+    /// Unlike this in-process trainer — where one dead worker thread
+    /// tears the world down — the process world is *elastic*: every
+    /// worker heartbeats to the coordinator, a `SIGKILL`ed rank is
+    /// detected by [`crate::ProcTrainer::await_failure`], and
+    /// [`crate::ProcTrainer::rejoin_rank`] splices a replacement into the
+    /// surviving mesh and rolls the world back to the last committed
+    /// sharded checkpoint without re-execing any survivor.
     pub fn launch_processes(
         cfg: TrainerConfig,
         opts: crate::ProcOptions,

@@ -374,6 +374,12 @@ pub(crate) fn run_worker<Tr: Transport>(mut ctx: WorkerCtx<Tr>) {
                     &mut cb_link,
                     &mut dp_state,
                 );
+                if let Ok(&iter) = result.as_ref() {
+                    // Rolled back: iterations >= `iter` will be replayed,
+                    // so drop their samples to keep the report identical
+                    // to an uninterrupted run.
+                    ctx.collector.truncate_from(iter);
+                }
                 ctx.restore_out
                     .send((id, s, d, result))
                     .expect("trainer dropped restore channel");

@@ -103,8 +103,8 @@ impl<Tr: Transport> CollectiveGroup<Tr> {
     fn expect_ok<T>(&self, what: &str, peer: usize, r: Result<T, TransportError>) -> T {
         r.unwrap_or_else(|e| {
             panic!(
-                "all-reduce {what} with rank {peer} failed in group {:?}: {e}",
-                self.members
+                "all-reduce {what} with rank {peer} failed in group {:?} on channel {:#x}: {e}",
+                self.members, self.channel
             )
         })
     }

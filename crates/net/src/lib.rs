@@ -32,7 +32,9 @@
 mod chanstats;
 mod collective;
 mod cost;
+mod heartbeat;
 mod p2p;
+mod retry;
 mod shardstore;
 mod topology;
 mod traffic;
@@ -41,7 +43,9 @@ mod transport;
 pub use chanstats::{ChannelClass, ChannelLedger, ChannelStat, TrafficBreakdown};
 pub use collective::{CollectiveGroup, CollectiveWorld};
 pub use cost::{all_reduce_time_s, p2p_time_s, ring_all_reduce_wire_bytes, CostModel};
+pub use heartbeat::{FailureDetector, HeartbeatConfig, CH_HEARTBEAT};
 pub use p2p::{P2pMesh, RecvError};
+pub use retry::RetryPolicy;
 pub use shardstore::{
     FsShardStore, MemShardStore, ShardStore, ShardStoreError, ShardStoreServer, TcpShardStore,
     STORE_MAGIC, STORE_PROTOCOL_VERSION,
@@ -49,6 +53,7 @@ pub use shardstore::{
 pub use topology::{LinkKind, Topology};
 pub use traffic::{TrafficClass, TrafficLedger, TrafficSnapshot};
 pub use transport::{
-    channel_id, net_timeout, tcp_rendezvous, wire_frame, wire_hello, LocalTransport, TcpBound,
-    TcpTransport, Transport, TransportError, WIRE_FORMAT_VERSION, WIRE_MAGIC, WIRE_OVERHEAD_BYTES,
+    channel_id, net_timeout, tcp_rejoin, tcp_rendezvous, wire_frame, wire_hello, LocalTransport,
+    TcpBound, TcpTransport, Transport, TransportError, WIRE_FORMAT_VERSION, WIRE_MAGIC,
+    WIRE_OVERHEAD_BYTES,
 };

@@ -35,6 +35,30 @@ pub enum RecvError {
         /// The timeout that elapsed.
         timeout: Duration,
     },
+    /// A frame on the lane failed the transport's integrity validation
+    /// (bad magic, length/checksum mismatch) — the connection is dead.
+    Corrupt {
+        /// Sending rank of the lane.
+        src: usize,
+        /// Receiving rank of the lane.
+        dst: usize,
+        /// Transport channel id of the lane.
+        channel: u64,
+        /// What the validator rejected.
+        detail: String,
+    },
+    /// The transport failed below the mesh (I/O, rendezvous) in a way
+    /// that is not a plain timeout or disconnect.
+    Transport {
+        /// Sending rank of the lane.
+        src: usize,
+        /// Receiving rank of the lane.
+        dst: usize,
+        /// Transport channel id of the lane.
+        channel: u64,
+        /// The underlying transport error.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RecvError {
@@ -56,6 +80,25 @@ impl fmt::Display for RecvError {
                 "receive on lane src {src} -> dst {dst} (world {world}) timed out after \
                  {} ms (schedule deadlock? timeout is tunable via OPT_NET_TIMEOUT_MS)",
                 timeout.as_millis()
+            ),
+            RecvError::Corrupt {
+                src,
+                dst,
+                channel,
+                detail,
+            } => write!(
+                f,
+                "frame on lane src {src} -> dst {dst} (channel {channel:#x}) failed \
+                 integrity validation: {detail}"
+            ),
+            RecvError::Transport {
+                src,
+                dst,
+                channel,
+                detail,
+            } => write!(
+                f,
+                "transport failed on lane src {src} -> dst {dst} (channel {channel:#x}): {detail}"
             ),
         }
     }
@@ -172,8 +215,12 @@ impl<T: Persist, Tr: Transport> P2pMesh<T, Tr> {
     ///
     /// # Errors
     ///
-    /// Returns [`RecvError::Timeout`] if nothing arrives in time, or
-    /// [`RecvError::Disconnected`] if the sender disappeared.
+    /// Returns [`RecvError::Timeout`] if nothing arrives in time,
+    /// [`RecvError::Disconnected`] if the sender disappeared,
+    /// [`RecvError::Corrupt`] if a frame on the lane failed integrity
+    /// validation, or [`RecvError::Transport`] for any other transport
+    /// failure — every variant carries the (src, dst, channel) lane
+    /// context so a many-rank run says *which* edge failed.
     ///
     /// # Panics
     ///
@@ -194,7 +241,18 @@ impl<T: Persist, Tr: Transport> P2pMesh<T, Tr> {
             Err(TransportError::Disconnected { .. }) => {
                 Err(RecvError::Disconnected { src, dst, world })
             }
-            Err(e) => panic!("mesh recv {src} -> {dst} failed: {e}"),
+            Err(TransportError::Corrupt { detail }) => Err(RecvError::Corrupt {
+                src,
+                dst,
+                channel: self.channel,
+                detail,
+            }),
+            Err(e) => Err(RecvError::Transport {
+                src,
+                dst,
+                channel: self.channel,
+                detail: e.to_string(),
+            }),
         }
     }
 
@@ -288,6 +346,65 @@ mod tests {
     fn out_of_range_rank_panics() {
         let mesh: P2pMesh<u8> = P2pMesh::new(2);
         mesh.send(0, 2, 1);
+    }
+
+    /// A transport whose `recv` always fails with a fixed error, for
+    /// pinning down the error mapping.
+    #[derive(Debug)]
+    struct FailingTransport(TransportError);
+
+    impl Transport for FailingTransport {
+        fn world(&self) -> usize {
+            2
+        }
+
+        fn send(&self, _: usize, _: usize, _: u64, _: Vec<u8>) -> Result<(), TransportError> {
+            Ok(())
+        }
+
+        fn recv(&self, _: usize, _: usize, _: u64, _: Duration) -> Result<Vec<u8>, TransportError> {
+            Err(self.0.clone())
+        }
+
+        fn try_recv(&self, _: usize, _: usize, _: u64) -> Result<Option<Vec<u8>>, TransportError> {
+            Ok(None)
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_surface_as_typed_errors_with_lane_context() {
+        let t = Arc::new(FailingTransport(TransportError::Corrupt {
+            detail: "checksum mismatch".into(),
+        }));
+        let mesh: P2pMesh<u8, _> = P2pMesh::over(t, 0x42);
+        let err = mesh.recv(0, 1).unwrap_err();
+        match &err {
+            RecvError::Corrupt {
+                src,
+                dst,
+                channel,
+                detail,
+            } => {
+                assert_eq!((*src, *dst, *channel), (0, 1, 0x42));
+                assert!(detail.contains("checksum mismatch"));
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        assert!(err.to_string().contains("src 0 -> dst 1"));
+        assert!(err.to_string().contains("0x42"));
+    }
+
+    #[test]
+    fn other_transport_failures_surface_as_typed_errors() {
+        let t = Arc::new(FailingTransport(TransportError::Io {
+            detail: "connection reset".into(),
+        }));
+        let mesh: P2pMesh<u8, _> = P2pMesh::over(t, 7);
+        let err = mesh.recv(1, 0).unwrap_err();
+        assert!(matches!(
+            &err,
+            RecvError::Transport { src: 1, dst: 0, channel: 7, detail } if detail.contains("connection reset")
+        ));
     }
 
     #[test]

@@ -27,16 +27,18 @@
 //! through real-transport runs in a debugger).
 
 use crate::chanstats::{ChannelLedger, ChannelStat};
+use crate::retry::RetryPolicy;
 use opt_ckpt::framing::{self, FRAME_OVERHEAD, HEADER_LEN};
 use opt_trace::{SpanKind, NO_MICRO};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -60,6 +62,10 @@ const MAX_WIRE_BODY: u64 = 1 << 30;
 /// Polling slice for receive loops that must notice peer death while
 /// waiting on an empty lane.
 const POLL_SLICE: Duration = Duration::from_millis(25);
+
+/// How long the background acceptor waits for a late connection's hello
+/// frame before dropping it.
+const HELLO_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Default receive timeout when `OPT_NET_TIMEOUT_MS` is unset.
 const DEFAULT_TIMEOUT_MS: u64 = 30_000;
@@ -360,6 +366,63 @@ struct Peer {
     corrupt: Arc<AtomicBool>,
 }
 
+/// Peer connection slots plus a per-slot replacement counter, shared
+/// between the transport handle and its background accept thread so a
+/// relaunched rank can be spliced over a dead one without touching the
+/// surviving process's other connections.
+struct PeerTable {
+    slots: Vec<RwLock<Option<Peer>>>,
+    /// Bumped each time a slot's connection is (re)installed: 1 after the
+    /// initial mesh, +1 per rejoin splice.
+    generations: Vec<AtomicU64>,
+}
+
+impl PeerTable {
+    fn new(peers: Vec<Option<Peer>>) -> Self {
+        let generations = peers
+            .iter()
+            .map(|p| AtomicU64::new(u64::from(p.is_some())))
+            .collect();
+        PeerTable {
+            slots: peers.into_iter().map(RwLock::new).collect(),
+            generations,
+        }
+    }
+
+    /// Installs `stream` as the live connection for `rank`: shuts down
+    /// any previous connection, drains the rank's inbox lanes, then
+    /// spawns the fresh reader.
+    ///
+    /// The drain is the per-lane sequence resync of the rejoin protocol:
+    /// anything still queued was sent by the dead incarnation and must
+    /// not leak into the replacement's conversation. Lanes are drained in
+    /// place (not removed), so receiver clones held by in-flight `recv`
+    /// calls stay wired to the lane.
+    fn splice(
+        &self,
+        rank: usize,
+        stream: TcpStream,
+        inbox: &LaneMap<(usize, u64)>,
+    ) -> Result<(), TransportError> {
+        let mut slot = self.slots[rank].write();
+        if let Some(old) = slot.take() {
+            old.alive.store(false, Ordering::SeqCst);
+            let _ = old.writer.lock().shutdown(std::net::Shutdown::Both);
+        }
+        {
+            let map = inbox.lock();
+            for ((src, _), (_, rx)) in map.iter() {
+                if *src == rank {
+                    while rx.try_recv().is_ok() {}
+                }
+            }
+        }
+        *slot = Some(spawn_peer(rank, stream, inbox)?);
+        self.generations[rank].fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
 /// The real-wire backend: one OS process per rank, a full mesh of TCP
 /// connections, every message in a checksummed frame.
 ///
@@ -372,12 +435,21 @@ struct Peer {
 /// A `TcpTransport` *is* one rank: `send` requires `src` to be this rank
 /// and `recv` requires `dst` to be this rank — a process can neither
 /// forge another rank's traffic nor read it.
+///
+/// The listener outlives the initial mesh: a background accept thread
+/// keeps running for the transport's whole life, so a relaunched rank can
+/// re-handshake ([`tcp_rejoin`]) and be spliced over its dead predecessor
+/// while every other connection stays untouched.
 pub struct TcpTransport {
     world: usize,
     rank: usize,
-    peers: Vec<Option<Peer>>,
+    peers: Arc<PeerTable>,
     inbox: LaneMap<(usize, u64)>,
     stats: ChannelLedger,
+    /// Tells the background acceptor to exit.
+    acceptor_stop: Arc<AtomicBool>,
+    /// The background acceptor, joined on drop.
+    acceptor: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl fmt::Debug for TcpTransport {
@@ -416,26 +488,18 @@ impl TcpBound {
         let world = self.world;
         let rank = self.rank;
         assert!(endpoints.len() >= rank, "missing endpoints for lower ranks");
+        let retry = RetryPolicy::from_env();
         let inbox: LaneMap<(usize, u64)> = Arc::new(Mutex::new(HashMap::new()));
         let mut peers: Vec<Option<Peer>> = (0..world).map(|_| None).collect();
 
         // Dial every lower rank (their listeners are up before their
         // endpoint is visible, so connect may only transiently fail).
         for (p, &ep) in endpoints.iter().enumerate().take(rank) {
-            let mut stream = loop {
-                match TcpStream::connect(ep) {
-                    Ok(s) => break s,
-                    Err(e) if Instant::now() < deadline => {
-                        let _ = e;
-                        std::thread::sleep(POLL_SLICE);
-                    }
-                    Err(e) => {
-                        return Err(TransportError::Rendezvous {
-                            detail: format!("connecting to rank {p} at {ep}: {e}"),
-                        })
-                    }
-                }
-            };
+            let mut stream = retry
+                .run_until(deadline, || TcpStream::connect(ep))
+                .map_err(|e| TransportError::Rendezvous {
+                    detail: format!("connecting to rank {p} at {ep}: {e}"),
+                })?;
             stream.set_nodelay(true).map_err(TransportError::io)?;
             stream
                 .write_all(&wire_hello(rank))
@@ -461,13 +525,7 @@ impl TcpBound {
                         ))
                         .map_err(TransportError::io)?;
                     let mut clone = stream.try_clone().map_err(TransportError::io)?;
-                    let hello = read_frame_body(&mut clone)?;
-                    if hello.len() != 8 {
-                        return Err(TransportError::Corrupt {
-                            detail: "hello frame has wrong length".to_string(),
-                        });
-                    }
-                    let peer = u64::from_le_bytes(hello.try_into().unwrap()) as usize;
+                    let peer = read_hello(&mut clone)?;
                     if peer >= world || peers[peer].is_some() || peer == rank {
                         return Err(TransportError::Rendezvous {
                             detail: format!("unexpected hello from rank {peer}"),
@@ -489,14 +547,148 @@ impl TcpBound {
             }
         }
 
-        Ok(TcpTransport {
-            world,
-            rank,
-            peers,
-            inbox,
-            stats: ChannelLedger::new(),
-        })
+        finish_mesh(self.listener, world, rank, peers, inbox)
     }
+
+    /// Re-meshes this rank into an already-running world after a
+    /// relaunch. Unlike the initial [`TcpBound::establish`] (dial lower,
+    /// accept higher), a rejoining rank dials *every* peer: the
+    /// survivors' background acceptors validate the hello and splice the
+    /// fresh connection over the dead one, so no dial-direction
+    /// coordination is needed.
+    ///
+    /// `endpoints[r]` must hold rank `r`'s listener address for every
+    /// `r != rank` (the own-rank entry is ignored).
+    pub fn rejoin(
+        self,
+        endpoints: &[SocketAddr],
+        timeout: Duration,
+    ) -> Result<TcpTransport, TransportError> {
+        let deadline = Instant::now() + timeout;
+        let world = self.world;
+        let rank = self.rank;
+        assert!(endpoints.len() >= world, "need an endpoint per rank");
+        let retry = RetryPolicy::from_env();
+        let inbox: LaneMap<(usize, u64)> = Arc::new(Mutex::new(HashMap::new()));
+        let mut peers: Vec<Option<Peer>> = (0..world).map(|_| None).collect();
+        for (p, &ep) in endpoints.iter().enumerate().take(world) {
+            if p == rank {
+                continue;
+            }
+            let mut stream = retry
+                .run_until(deadline, || TcpStream::connect(ep))
+                .map_err(|e| TransportError::Rendezvous {
+                    detail: format!("rejoin: connecting to rank {p} at {ep}: {e}"),
+                })?;
+            stream.set_nodelay(true).map_err(TransportError::io)?;
+            stream
+                .write_all(&wire_hello(rank))
+                .map_err(TransportError::io)?;
+            peers[p] = Some(spawn_peer(p, stream, &inbox)?);
+        }
+        finish_mesh(self.listener, world, rank, peers, inbox)
+    }
+}
+
+/// Shared tail of [`TcpBound::establish`] and [`TcpBound::rejoin`]: wraps
+/// the meshed peers in a live transport and keeps the listener accepting
+/// in the background so later-relaunched ranks can splice in.
+fn finish_mesh(
+    listener: TcpListener,
+    world: usize,
+    rank: usize,
+    peers: Vec<Option<Peer>>,
+    inbox: LaneMap<(usize, u64)>,
+) -> Result<TcpTransport, TransportError> {
+    let table = Arc::new(PeerTable::new(peers));
+    let stop = Arc::new(AtomicBool::new(false));
+    let acceptor = spawn_acceptor(
+        listener,
+        world,
+        rank,
+        Arc::clone(&table),
+        Arc::clone(&inbox),
+        Arc::clone(&stop),
+    )?;
+    Ok(TcpTransport {
+        world,
+        rank,
+        peers: table,
+        inbox,
+        stats: ChannelLedger::new(),
+        acceptor_stop: stop,
+        acceptor: Mutex::new(Some(acceptor)),
+    })
+}
+
+/// Parses the 8-byte hello body identifying a connecting rank.
+fn read_hello(stream: &mut TcpStream) -> Result<usize, TransportError> {
+    let hello = read_frame_body(stream)?;
+    if hello.len() != 8 {
+        return Err(TransportError::Corrupt {
+            detail: "hello frame has wrong length".to_string(),
+        });
+    }
+    Ok(u64::from_le_bytes(hello.try_into().unwrap()) as usize)
+}
+
+/// Spawns the background accept thread that admits late connections —
+/// the survivor half of the rejoin handshake.
+fn spawn_acceptor(
+    listener: TcpListener,
+    world: usize,
+    rank: usize,
+    table: Arc<PeerTable>,
+    inbox: LaneMap<(usize, u64)>,
+    stop: Arc<AtomicBool>,
+) -> Result<JoinHandle<()>, TransportError> {
+    listener.set_nonblocking(true).map_err(TransportError::io)?;
+    std::thread::Builder::new()
+        .name(format!("net-accept-{rank}"))
+        .spawn(move || loop {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if let Err(e) = admit(stream, world, rank, &table, &inbox) {
+                        eprintln!("rank {rank}: rejected late connection: {e}");
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_SLICE);
+                }
+                Err(_) => return,
+            }
+        })
+        .map_err(TransportError::io)
+}
+
+/// Validates a late connection's hello and splices it into the mesh. A
+/// hello for an occupied slot *replaces* the old connection (newest wins):
+/// the coordinator fences the dead process before relaunching, so by the
+/// time a replacement dials in, whatever sits in the slot is garbage.
+fn admit(
+    stream: TcpStream,
+    world: usize,
+    rank: usize,
+    table: &PeerTable,
+    inbox: &LaneMap<(usize, u64)>,
+) -> Result<(), TransportError> {
+    stream.set_nonblocking(false).map_err(TransportError::io)?;
+    stream.set_nodelay(true).map_err(TransportError::io)?;
+    stream
+        .set_read_timeout(Some(HELLO_TIMEOUT))
+        .map_err(TransportError::io)?;
+    let mut clone = stream.try_clone().map_err(TransportError::io)?;
+    let peer = read_hello(&mut clone)?;
+    if peer >= world || peer == rank {
+        return Err(TransportError::Rendezvous {
+            detail: format!("unexpected hello from rank {peer}"),
+        });
+    }
+    stream.set_read_timeout(None).map_err(TransportError::io)?;
+    table.splice(peer, stream, inbox)
 }
 
 /// Reads one frame (header + body + checksum) off `stream`, validating
@@ -608,10 +800,39 @@ impl TcpTransport {
         self.rank
     }
 
-    fn peer(&self, rank: usize) -> &Peer {
-        self.peers[rank]
-            .as_ref()
-            .expect("no connection for own rank")
+    /// How many times `rank`'s connection has been (re)installed: 1 after
+    /// the initial mesh, +1 per rejoin splice. Lets a coordinator (and
+    /// the failure-matrix tests) observe that a replacement actually
+    /// re-handshaked.
+    pub fn peer_generation(&self, rank: usize) -> u64 {
+        self.peers.generations[rank].load(Ordering::SeqCst)
+    }
+
+    /// Blocks until `rank`'s connection generation exceeds `above` — i.e.
+    /// a relaunched rank has spliced in — or `timeout` passes.
+    pub fn wait_peer_generation(
+        &self,
+        rank: usize,
+        above: u64,
+        timeout: Duration,
+    ) -> Result<u64, TransportError> {
+        let start = Instant::now();
+        let deadline = start + timeout;
+        loop {
+            let generation = self.peer_generation(rank);
+            if generation > above {
+                return Ok(generation);
+            }
+            if Instant::now() >= deadline {
+                return Err(TransportError::Timeout {
+                    src: rank,
+                    dst: self.rank,
+                    channel: 0,
+                    waited_ms: start.elapsed().as_millis(),
+                });
+            }
+            std::thread::sleep(POLL_SLICE);
+        }
     }
 }
 
@@ -620,8 +841,14 @@ impl Drop for TcpTransport {
         // Shut the sockets down explicitly: reader threads hold clones of
         // every stream, so merely dropping the writer halves would leave
         // the connections open and peers would never observe our death.
-        for peer in self.peers.iter().flatten() {
-            let _ = peer.writer.lock().shutdown(std::net::Shutdown::Both);
+        self.acceptor_stop.store(true, Ordering::SeqCst);
+        for slot in &self.peers.slots {
+            if let Some(peer) = slot.read().as_ref() {
+                let _ = peer.writer.lock().shutdown(std::net::Shutdown::Both);
+            }
+        }
+        if let Some(acceptor) = self.acceptor.lock().take() {
+            let _ = acceptor.join();
         }
     }
 }
@@ -649,7 +876,10 @@ impl Transport for TcpTransport {
         );
         let _span = opt_trace::begin_full(SpanKind::Send, 0, NO_MICRO, bytes.len() as u64, 0);
         let frame = wire_frame(channel, dst, &bytes);
-        let peer = self.peer(dst);
+        let slot = self.peers.slots[dst].read();
+        let Some(peer) = slot.as_ref() else {
+            return Err(TransportError::Disconnected { peer: dst });
+        };
         if !peer.alive.load(Ordering::SeqCst) {
             return Err(TransportError::Disconnected { peer: dst });
         }
@@ -658,6 +888,8 @@ impl Transport for TcpTransport {
             .map_err(|_| TransportError::Disconnected { peer: dst })?;
         w.flush()
             .map_err(|_| TransportError::Disconnected { peer: dst })?;
+        drop(w);
+        drop(slot);
         self.stats.record_send(src, dst, channel, bytes.len());
         Ok(())
     }
@@ -699,19 +931,24 @@ impl Transport for TcpTransport {
                     return Err(TransportError::Disconnected { peer: src })
                 }
                 Err(RecvTimeoutError::Timeout) => {
-                    let peer = self.peer(src);
                     // Drain wins over death: only report a dead peer once
                     // its lane is empty.
                     if rx.is_empty() {
-                        if peer.corrupt.load(Ordering::SeqCst) {
-                            return Err(TransportError::Corrupt {
-                                detail: format!(
-                                    "connection from rank {src} failed frame validation"
-                                ),
-                            });
-                        }
-                        if !peer.alive.load(Ordering::SeqCst) {
-                            return Err(TransportError::Disconnected { peer: src });
+                        let slot = self.peers.slots[src].read();
+                        match slot.as_ref() {
+                            Some(peer) => {
+                                if peer.corrupt.load(Ordering::SeqCst) {
+                                    return Err(TransportError::Corrupt {
+                                        detail: format!(
+                                            "connection from rank {src} failed frame validation"
+                                        ),
+                                    });
+                                }
+                                if !peer.alive.load(Ordering::SeqCst) {
+                                    return Err(TransportError::Disconnected { peer: src });
+                                }
+                            }
+                            None => return Err(TransportError::Disconnected { peer: src }),
                         }
                     }
                     if Instant::now() >= deadline {
@@ -771,27 +1008,54 @@ pub fn tcp_rendezvous(
     let bound = TcpTransport::bind(world, rank, "127.0.0.1:0")?;
     publish_endpoint(&dir, rank, bound.addr())?;
     let deadline = Instant::now() + timeout;
-    let mut endpoints = Vec::with_capacity(world);
-    for peer in 0..world {
-        loop {
-            match read_endpoint(&dir, peer) {
-                Some(addr) => {
-                    endpoints.push(addr);
-                    break;
-                }
-                None if Instant::now() < deadline => std::thread::sleep(POLL_SLICE),
-                None => {
-                    return Err(TransportError::Rendezvous {
-                        detail: format!("rank {peer} never published an endpoint in {dir:?}"),
-                    })
-                }
-            }
-        }
-    }
+    let endpoints = poll_endpoints(&dir, world, deadline)?;
     bound.establish(
         &endpoints,
         deadline.saturating_duration_since(Instant::now()),
     )
+}
+
+/// Re-meshes a relaunched rank into a live world through the *same*
+/// rendezvous directory the world was originally built in: the survivors'
+/// endpoint files are still valid (their listeners stay open for the
+/// transport's whole life), and this rank overwrites its own stale
+/// `ep-<rank>` before dialing everyone via [`TcpBound::rejoin`].
+pub fn tcp_rejoin(
+    dir: impl Into<PathBuf>,
+    world: usize,
+    rank: usize,
+    timeout: Duration,
+) -> Result<TcpTransport, TransportError> {
+    let dir = dir.into();
+    std::fs::create_dir_all(&dir).map_err(TransportError::io)?;
+    let bound = TcpTransport::bind(world, rank, "127.0.0.1:0")?;
+    publish_endpoint(&dir, rank, bound.addr())?;
+    let deadline = Instant::now() + timeout;
+    let endpoints = poll_endpoints(&dir, world, deadline)?;
+    bound.rejoin(
+        &endpoints,
+        deadline.saturating_duration_since(Instant::now()),
+    )
+}
+
+/// Polls the rendezvous directory until every rank's endpoint is
+/// published (capped-exponential backoff), or the deadline passes.
+fn poll_endpoints(
+    dir: &Path,
+    world: usize,
+    deadline: Instant,
+) -> Result<Vec<SocketAddr>, TransportError> {
+    let retry = RetryPolicy::from_env();
+    let mut endpoints = Vec::with_capacity(world);
+    for peer in 0..world {
+        let addr = retry
+            .run_until(deadline, || read_endpoint(dir, peer).ok_or(()))
+            .map_err(|()| TransportError::Rendezvous {
+                detail: format!("rank {peer} never published an endpoint in {dir:?}"),
+            })?;
+        endpoints.push(addr);
+    }
+    Ok(endpoints)
 }
 
 /// Publishes this rank's listener address into the rendezvous directory.
@@ -852,6 +1116,20 @@ mod tests {
         assert_eq!(t.try_recv(0, 1, 0).unwrap(), Some(vec![5]));
     }
 
+    /// Establishes an n-rank loopback TCP world in `dir`, keeping the
+    /// rendezvous files so a rank can later rejoin through them.
+    fn tcp_world_in(dir: &Path, n: usize) -> Vec<TcpTransport> {
+        let handles: Vec<_> = (0..n)
+            .map(|r| {
+                let dir = dir.to_path_buf();
+                thread::spawn(move || {
+                    tcp_rendezvous(dir, n, r, Duration::from_secs(20)).expect("rendezvous")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
     /// Establishes an n-rank loopback TCP world inside one test process.
     fn tcp_world(n: usize) -> Vec<TcpTransport> {
         let dir = std::env::temp_dir().join(format!(
@@ -860,15 +1138,7 @@ mod tests {
             thread::current().id()
         ));
         let _ = std::fs::remove_dir_all(&dir);
-        let handles: Vec<_> = (0..n)
-            .map(|r| {
-                let dir = dir.clone();
-                thread::spawn(move || {
-                    tcp_rendezvous(dir, n, r, Duration::from_secs(20)).expect("rendezvous")
-                })
-            })
-            .collect();
-        let out = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let out = tcp_world_in(&dir, n);
         let _ = std::fs::remove_dir_all(&dir);
         out
     }
@@ -936,6 +1206,81 @@ mod tests {
             thread::sleep(Duration::from_millis(10));
         }
         assert!(saw_disconnect, "send to dead peer never failed");
+    }
+
+    #[test]
+    fn killed_rank_rejoins_with_lane_resync() {
+        let dir = std::env::temp_dir().join(format!(
+            "opt-tcp-rejoin-{}-{:?}",
+            std::process::id(),
+            thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut world = tcp_world_in(&dir, 3);
+        let t2 = world.pop().unwrap();
+        let t1 = world.pop().unwrap();
+        let t0 = world.pop().unwrap();
+
+        // A message from rank 1's first incarnation that nobody received:
+        // the splice must drain it, not deliver it to the replacement's
+        // conversation.
+        t1.send(1, 0, 5, vec![0xAA]).unwrap();
+        thread::sleep(Duration::from_millis(200));
+
+        let gen0 = t0.peer_generation(1);
+        let gen2 = t2.peer_generation(1);
+        drop(t1); // rank 1 dies
+
+        let nt1 = tcp_rejoin(&dir, 3, 1, Duration::from_secs(20)).expect("rejoin");
+        assert_eq!(
+            t0.wait_peer_generation(1, gen0, Duration::from_secs(10))
+                .unwrap(),
+            gen0 + 1
+        );
+        t2.wait_peer_generation(1, gen2, Duration::from_secs(10))
+            .unwrap();
+
+        // The stale frame is gone; fresh traffic flows in both directions
+        // with every survivor, on the survivors' original sockets.
+        nt1.send(1, 0, 5, vec![0xBB]).unwrap();
+        assert_eq!(
+            t0.recv(1, 0, 5, Duration::from_secs(10)).unwrap(),
+            vec![0xBB]
+        );
+        t0.send(0, 1, 5, vec![1]).unwrap();
+        assert_eq!(nt1.recv(0, 1, 5, Duration::from_secs(10)).unwrap(), vec![1]);
+        t2.send(2, 1, 6, vec![2]).unwrap();
+        assert_eq!(nt1.recv(2, 1, 6, Duration::from_secs(10)).unwrap(), vec![2]);
+        nt1.send(1, 2, 6, vec![3]).unwrap();
+        assert_eq!(t2.recv(1, 2, 6, Duration::from_secs(10)).unwrap(), vec![3]);
+
+        // Double-kill of the same rank: a second incarnation dies too and
+        // a third splices in, bumping the generation again.
+        let gen0 = t0.peer_generation(1);
+        drop(nt1);
+        let nt1b = tcp_rejoin(&dir, 3, 1, Duration::from_secs(20)).expect("second rejoin");
+        assert_eq!(
+            t0.wait_peer_generation(1, gen0, Duration::from_secs(10))
+                .unwrap(),
+            gen0 + 1
+        );
+        nt1b.send(1, 0, 5, vec![0xCC]).unwrap();
+        assert_eq!(
+            t0.recv(1, 0, 5, Duration::from_secs(10)).unwrap(),
+            vec![0xCC]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wait_peer_generation_times_out_without_rejoin() {
+        let world = tcp_world(2);
+        let gen = world[0].peer_generation(1);
+        assert_eq!(gen, 1);
+        let err = world[0]
+            .wait_peer_generation(1, gen, Duration::from_millis(60))
+            .unwrap_err();
+        assert!(matches!(err, TransportError::Timeout { .. }));
     }
 
     #[test]

@@ -52,6 +52,18 @@ pub struct CkptCostModel {
     /// round-trip framing) on [`StoreTransport::Tcp`] — the real
     /// `TcpShardStore` opens one connection per put/get.
     pub tcp_connect_s: f64,
+    /// Seconds for the coordinator's heartbeat failure detector to flag a
+    /// dead rank (`OPT_NET_HEARTBEAT_MS × OPT_NET_HEARTBEAT_MISSES` plus
+    /// a poll) — the elastic-rejoin replacement for the NCCL-timeout
+    /// `detection_s`.
+    pub hb_detection_s: f64,
+    /// Seconds for the survivors to drain in-flight work and park at the
+    /// quiesce barrier before a replacement splices in.
+    pub quiesce_s: f64,
+    /// Seconds to relaunch and re-mesh **one** replacement rank into the
+    /// surviving world — the single-rank counterpart of the whole-world
+    /// `relaunch_s`.
+    pub rank_relaunch_s: f64,
 }
 
 impl CkptCostModel {
@@ -60,6 +72,10 @@ impl CkptCostModel {
     /// buffer bandwidth, 25 GB/s per-rank shard fetches (200 Gb/s
     /// Infiniband HDR), a 1 s manifest rendezvous, 100 GB/s in-process
     /// memory copies, and a 0.5 ms per-operation TCP setup.
+    /// Rejoin-path constants: a ~3 s heartbeat verdict (conservative
+    /// interval × misses at cluster scale), a 0.5 s survivor quiesce, and
+    /// a 5 s single-rank relaunch (one container restart + mesh splice,
+    /// no scheduler round-trip for the whole gang).
     pub fn paper_cluster() -> Self {
         Self {
             detection_s: 30.0,
@@ -69,6 +85,9 @@ impl CkptCostModel {
             rendezvous_s: 1.0,
             mem_bw: 100e9,
             tcp_connect_s: 0.5e-3,
+            hb_detection_s: 3.0,
+            quiesce_s: 0.5,
+            rank_relaunch_s: 5.0,
         }
     }
 
@@ -134,6 +153,18 @@ impl CkptCostModel {
         self.rendezvous_s
             + self.store_op_s(transport)
             + self.sharded_publish_s_via(bytes, world, transport)
+    }
+
+    /// Downtime of an elastic single-rank rejoin: heartbeat detection,
+    /// survivor quiesce, relaunching one rank, then the sharded restore
+    /// (every rank re-fetches its own shard in parallel while the world
+    /// rolls back to the manifest). Compare with the full-relaunch
+    /// downtime `detection_s + relaunch_s + sharded_io_s_via(..)`.
+    pub fn rejoin_downtime_s(&self, bytes: f64, world: usize, transport: StoreTransport) -> f64 {
+        self.hb_detection_s
+            + self.quiesce_s
+            + self.rank_relaunch_s
+            + self.sharded_io_s_via(bytes, world, transport)
     }
 }
 
@@ -230,7 +261,14 @@ pub fn simulate_with_faults(
     plan: &FaultPlan,
     costs: &CkptCostModel,
 ) -> FaultSimResult {
-    simulate_with_faults_impl(cfg, iters, plan, costs, CkptIo::Monolithic)
+    simulate_with_faults_impl(
+        cfg,
+        iters,
+        plan,
+        costs,
+        CkptIo::Monolithic,
+        Recovery::FullRelaunch,
+    )
 }
 
 /// How checkpoint bytes move in a simulated run.
@@ -275,7 +313,14 @@ pub fn simulate_with_faults_sharded(
     plan: &FaultPlan,
     costs: &CkptCostModel,
 ) -> FaultSimResult {
-    simulate_with_faults_impl(cfg, iters, plan, costs, CkptIo::Sharded)
+    simulate_with_faults_impl(
+        cfg,
+        iters,
+        plan,
+        costs,
+        CkptIo::Sharded,
+        Recovery::FullRelaunch,
+    )
 }
 
 /// [`simulate_with_faults_sharded`] with the transport dimension: prices
@@ -308,7 +353,72 @@ pub fn simulate_with_faults_sharded_via(
     costs: &CkptCostModel,
     transport: StoreTransport,
 ) -> FaultSimResult {
-    simulate_with_faults_impl(cfg, iters, plan, costs, CkptIo::ShardedVia(transport))
+    simulate_with_faults_impl(
+        cfg,
+        iters,
+        plan,
+        costs,
+        CkptIo::ShardedVia(transport),
+        Recovery::FullRelaunch,
+    )
+}
+
+/// [`simulate_with_faults_sharded_via`], but recovering through the
+/// elastic single-rank **rejoin** protocol instead of a whole-world
+/// relaunch — the cost twin of `optimus_cc::run_with_faults_rejoin`.
+/// The failure is flagged by the heartbeat detector
+/// ([`CkptCostModel::hb_detection_s`], not the NCCL-timeout
+/// `detection_s`), survivors pay one quiesce barrier, only the dead rank
+/// is relaunched, and the world rolls back with a parallel sharded
+/// re-fetch. A failure before the first committed snapshot cannot be
+/// healed by rejoin (the real runtime escalates
+/// `WorldError::Unrecoverable`) and is priced as a from-scratch full
+/// relaunch after the heartbeat verdict.
+///
+/// # Example
+///
+/// ```
+/// use opt_ckpt::FaultPlan;
+/// use opt_sim::{
+///     simulate_with_faults_rejoin, simulate_with_faults_sharded_via, CkptCostModel, SimConfig,
+///     StoreTransport,
+/// };
+///
+/// let cfg = SimConfig::paper_gpt_2_5b();
+/// let costs = CkptCostModel::paper_cluster();
+/// let plan = FaultPlan::new(3, 55, 10);
+/// let full = simulate_with_faults_sharded_via(&cfg, 100, &plan, &costs, StoreTransport::Tcp);
+/// let rejoin = simulate_with_faults_rejoin(&cfg, 100, &plan, &costs, StoreTransport::Tcp);
+/// // Same failure, same replay — rejoin only shrinks the downtime.
+/// assert_eq!(full.replay_time_s, rejoin.replay_time_s);
+/// assert!(rejoin.restart_overhead_s < full.restart_overhead_s);
+/// ```
+pub fn simulate_with_faults_rejoin(
+    cfg: &SimConfig,
+    iters: u64,
+    plan: &FaultPlan,
+    costs: &CkptCostModel,
+    transport: StoreTransport,
+) -> FaultSimResult {
+    simulate_with_faults_impl(
+        cfg,
+        iters,
+        plan,
+        costs,
+        CkptIo::ShardedVia(transport),
+        Recovery::Rejoin,
+    )
+}
+
+/// How a simulated run gets back to training after its failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Recovery {
+    /// Tear the whole world down and relaunch every rank (NCCL-timeout
+    /// detection, scheduler round-trip).
+    FullRelaunch,
+    /// Elastic single-rank rejoin: heartbeat detection, survivor quiesce,
+    /// one rank relaunched into the live mesh.
+    Rejoin,
 }
 
 fn simulate_with_faults_impl(
@@ -317,6 +427,7 @@ fn simulate_with_faults_impl(
     plan: &FaultPlan,
     costs: &CkptCostModel,
     io: CkptIo,
+    recovery: Recovery,
 ) -> FaultSimResult {
     let t_iter = simulate(cfg).iteration_time_s;
     let bytes = snapshot_bytes(cfg);
@@ -363,9 +474,22 @@ fn simulate_with_faults_impl(
                 at_s: now,
             });
             let from_iter = plan.last_snapshot_before(completed);
-            // Detection + relaunch always; snapshot read only if one exists.
-            let read_s = if from_iter.is_some() { t_read } else { 0.0 };
-            let restart = costs.detection_s + costs.relaunch_s + read_s;
+            let restart = match (recovery, from_iter) {
+                // Detection + relaunch always; snapshot read only if one
+                // exists.
+                (Recovery::FullRelaunch, Some(_)) => costs.detection_s + costs.relaunch_s + t_read,
+                (Recovery::FullRelaunch, None) => costs.detection_s + costs.relaunch_s,
+                // Heartbeat verdict, quiesce, one rank relaunched, world
+                // rolls back with a parallel shard re-fetch.
+                (Recovery::Rejoin, Some(_)) => {
+                    costs.hb_detection_s + costs.quiesce_s + costs.rank_relaunch_s + t_read
+                }
+                // Nothing committed to splice a replacement against:
+                // rejoin escalates (`WorldError::Unrecoverable`) and the
+                // job falls back to a from-scratch full relaunch — only
+                // the detection was cheaper.
+                (Recovery::Rejoin, None) => costs.hb_detection_s + costs.relaunch_s,
+            };
             now += restart;
             restart_overhead_s += restart;
             events.push(FaultEvent::Restore {
@@ -559,6 +683,59 @@ mod tests {
                 r.ideal_time_s + r.snapshot_overhead_s + r.restart_overhead_s + r.replay_time_s;
             assert!((r.total_time_s - sum).abs() < 1e-6 * r.total_time_s);
         }
+    }
+
+    #[test]
+    fn rejoin_recovery_shrinks_downtime_but_not_replay() {
+        let (cfg, costs) = base();
+        let plan = FaultPlan::new(2, 45, 10);
+        let full = simulate_with_faults_sharded_via(&cfg, 60, &plan, &costs, StoreTransport::Tcp);
+        let rejoin = simulate_with_faults_rejoin(&cfg, 60, &plan, &costs, StoreTransport::Tcp);
+        // Identical failure story and replayed work — rejoin is purely a
+        // downtime optimization.
+        assert_eq!(full.events.len(), rejoin.events.len());
+        assert_eq!(full.replay_time_s, rejoin.replay_time_s);
+        assert_eq!(full.snapshot_overhead_s, rejoin.snapshot_overhead_s);
+        assert!(rejoin.restart_overhead_s < full.restart_overhead_s);
+        // The gap is exactly the detection + relaunch savings.
+        let saved = (costs.detection_s - costs.hb_detection_s)
+            + (costs.relaunch_s - costs.quiesce_s - costs.rank_relaunch_s);
+        assert!(
+            (full.restart_overhead_s - rejoin.restart_overhead_s - saved).abs() < 1e-9,
+            "saved {saved}"
+        );
+        // Accounting still closes.
+        let sum = rejoin.ideal_time_s
+            + rejoin.snapshot_overhead_s
+            + rejoin.restart_overhead_s
+            + rejoin.replay_time_s;
+        assert!((rejoin.total_time_s - sum).abs() < 1e-6 * rejoin.total_time_s);
+        // The closed-form downtime matches the simulated restart.
+        let bytes = snapshot_bytes(&cfg);
+        let world = cfg.tp * cfg.dp * cfg.pp;
+        assert!(
+            (rejoin.restart_overhead_s
+                - costs.rejoin_downtime_s(bytes, world, StoreTransport::Tcp))
+            .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn rejoin_before_first_snapshot_degrades_to_full_relaunch() {
+        let (cfg, costs) = base();
+        // Killed at iteration 4 with the first snapshot due at 10: there
+        // is nothing to splice a replacement against.
+        let plan = FaultPlan::new(0, 4, 10);
+        let r = simulate_with_faults_rejoin(&cfg, 20, &plan, &costs, StoreTransport::Tcp);
+        assert!((r.restart_overhead_s - (costs.hb_detection_s + costs.relaunch_s)).abs() < 1e-9);
+        assert!(r.events.iter().any(|e| matches!(
+            e,
+            FaultEvent::Restore {
+                from_iter: None,
+                ..
+            }
+        )));
     }
 
     #[test]

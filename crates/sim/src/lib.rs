@@ -52,7 +52,8 @@ pub use breakdown::{breakdown, breakdown_with_result, Breakdown};
 pub use config::{CbPlan, CompressionPlan, ScPlan, SimConfig};
 pub use engine::{simulate, SimResult, TraceEvent, TraceKind};
 pub use fault::{
-    simulate_with_faults, simulate_with_faults_sharded, simulate_with_faults_sharded_via,
-    snapshot_bytes, CkptCostModel, FaultEvent, FaultSimResult, StoreTransport,
+    simulate_with_faults, simulate_with_faults_rejoin, simulate_with_faults_sharded,
+    simulate_with_faults_sharded_via, snapshot_bytes, CkptCostModel, FaultEvent, FaultSimResult,
+    StoreTransport,
 };
 pub use kernel::KernelModel;

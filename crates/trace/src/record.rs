@@ -37,11 +37,21 @@ pub enum SpanKind {
     Recv,
     /// One validation pass over a held-out chunk.
     Validate,
+    /// Coordinator-side: waiting for the heartbeat failure detector to
+    /// name a dead rank (`micro` carries the detected rank).
+    Detect,
+    /// Coordinator-side: the whole single-rank rejoin — fence, quiesce,
+    /// relaunch, splice, restore (`micro` carries the replaced rank).
+    Rejoin,
+    /// Coordinator-side: the world-wide self-restore rollback inside a
+    /// rejoin (`iter` carries the resumed iteration).
+    Restore,
 }
 
 impl SpanKind {
-    /// Every kind, in tag order.
-    pub const ALL: [SpanKind; 11] = [
+    /// Every kind, in tag order. New kinds append — codes are positional,
+    /// so extending the enum never breaks previously recorded traces.
+    pub const ALL: [SpanKind; 14] = [
         SpanKind::Iteration,
         SpanKind::Forward,
         SpanKind::Backward,
@@ -53,6 +63,9 @@ impl SpanKind {
         SpanKind::Send,
         SpanKind::Recv,
         SpanKind::Validate,
+        SpanKind::Detect,
+        SpanKind::Rejoin,
+        SpanKind::Restore,
     ];
 
     /// The wire tag of this kind.
@@ -79,6 +92,9 @@ impl SpanKind {
             SpanKind::Send => "send",
             SpanKind::Recv => "recv",
             SpanKind::Validate => "validate",
+            SpanKind::Detect => "detect",
+            SpanKind::Rejoin => "rejoin",
+            SpanKind::Restore => "restore",
         }
     }
 
@@ -104,6 +120,14 @@ impl SpanKind {
         )
     }
 
+    /// Whether this span is part of failure detection / elastic rejoin.
+    pub fn is_recovery(self) -> bool {
+        matches!(
+            self,
+            SpanKind::Detect | SpanKind::Rejoin | SpanKind::Restore
+        )
+    }
+
     /// The Chrome-trace category string.
     pub fn category(self) -> &'static str {
         if self.is_compute() {
@@ -112,6 +136,8 @@ impl SpanKind {
             "comm"
         } else if matches!(self, SpanKind::Encode | SpanKind::Decode) {
             "codec"
+        } else if self.is_recovery() {
+            "recovery"
         } else {
             "other"
         }
@@ -267,7 +293,7 @@ mod tests {
         SpanRecord {
             seq,
             parent: if seq == 0 { NO_PARENT } else { seq - 1 },
-            kind: SpanKind::from_code((seq % 11) as u8).unwrap(),
+            kind: SpanKind::from_code((seq % 14) as u8).unwrap(),
             iter: seq / 3,
             micro: if seq.is_multiple_of(2) {
                 NO_MICRO
