@@ -24,7 +24,7 @@ fn bench_all_reduce(c: &mut Criterion) {
                         handles.push(s.spawn(move || g.all_reduce_sum(r, m)));
                     }
                     for h in handles {
-                        std::hint::black_box(h.join().unwrap());
+                        std::hint::black_box(h.join().unwrap().unwrap());
                     }
                 });
             });

@@ -40,11 +40,11 @@ use opt_bench::matrix::{
     TRAJECTORY_FILE,
 };
 use opt_compress::{Compressor, Identity, PowerSgd, TernaryQuantizer, TopK, FP16_BYTES};
-use opt_net::{ShardStore, ShardStoreServer, TrafficClass};
+use opt_net::{LocalTransport, ShardStore, ShardStoreServer, TrafficClass, Transport};
 use opt_sim::{simulate, CkptCostModel, CompressionPlan, SimConfig, StoreTransport};
 use opt_tensor::{
     naive, orthonormalize_columns, set_kernel_threads, set_parallel_flop_threshold, Matrix,
-    SeedStream,
+    Persist, SeedStream,
 };
 use opt_trace::RankSummary;
 use optimus_cc::{ProcOptions, QualityConfig, TraceMode, Trainer, TrainerConfig};
@@ -602,6 +602,57 @@ fn run_transport(b: &Budget) -> BenchFile {
             ),
         ],
     });
+
+    // Typed vs byte hops over one LocalTransport lane: the microbench
+    // guarding the zero-copy fast path. The byte path pays one Persist
+    // encode + decode per hop; the typed path hands the value off as an
+    // `Arc` and pays neither.
+    const HOPS: usize = 128;
+    let hop_timeout = std::time::Duration::from_secs(5);
+    let hop = SeedStream::new(0x40B).uniform_matrix(64, 64, 1.0);
+    let wire = hop.to_bytes().len() as f64;
+    let byte_t = LocalTransport::new(2);
+    let byte_ns = time_best_ns(b.warmup, b.reps, || {
+        for _ in 0..HOPS {
+            byte_t.send(0, 1, 11, hop.to_bytes()).expect("byte send");
+            let bytes = byte_t.recv(0, 1, 11, hop_timeout).expect("byte recv");
+            std::hint::black_box(Matrix::from_bytes(&bytes).expect("byte decode"));
+        }
+    }) / HOPS as f64;
+    rows.push(Row {
+        label: "local-byte-hop".to_string(),
+        config: vec![
+            ("transport".to_string(), "local".to_string()),
+            ("path".to_string(), "byte".to_string()),
+        ],
+        best_ns: byte_ns,
+        metrics: vec![("wire_bytes".to_string(), wire)],
+    });
+    let typed_t = LocalTransport::new(2);
+    let typed_ns = time_best_ns(b.warmup, b.reps, || {
+        for _ in 0..HOPS {
+            typed_t
+                .send_value(0, 1, 11, hop.clone())
+                .expect("typed send");
+            let m: Matrix = typed_t
+                .recv_value(0, 1, 11, hop_timeout)
+                .expect("typed recv");
+            std::hint::black_box(m);
+        }
+    }) / HOPS as f64;
+    rows.push(Row {
+        label: "local-typed-hop".to_string(),
+        config: vec![
+            ("transport".to_string(), "local".to_string()),
+            ("path".to_string(), "typed".to_string()),
+        ],
+        best_ns: typed_ns,
+        metrics: vec![
+            ("wire_bytes".to_string(), wire),
+            ("speedup_vs_byte".to_string(), byte_ns / typed_ns.max(1.0)),
+        ],
+    });
+
     print_dimension_table(&rows);
     BenchFile {
         meta: meta(b, "transport", 1),

@@ -452,6 +452,21 @@ impl Persist for Compressed {
             }),
         }
     }
+
+    fn persist_len(&self) -> usize {
+        // Arithmetic mirror of `persist`, so the zero-copy transport can
+        // account wire bytes without serializing (one tag byte plus the
+        // per-variant fields).
+        1 + match self {
+            Compressed::Dense { matrix } => matrix.persist_len(),
+            Compressed::LowRank { p, q } => p.persist_len() + q.persist_len(),
+            Compressed::Sparse {
+                indices, values, ..
+            } => 8 + 8 + 8 + 4 * indices.len() + 4 * values.len(),
+            Compressed::Sign { bits, .. } => 8 + 8 + 4 + 8 + 8 * bits.len(),
+            Compressed::Ternary { trits, .. } => 8 + 8 + 4 + 8 + trits.len(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -586,6 +601,46 @@ mod tests {
         for p in payloads {
             let back = Compressed::from_bytes(&p.to_bytes()).expect("roundtrip");
             assert_eq!(back, p);
+        }
+    }
+
+    #[test]
+    fn persist_len_matches_encoded_length_every_variant() {
+        use opt_tensor::Persist;
+        let payloads = vec![
+            Compressed::Dense {
+                matrix: Matrix::from_rows(&[&[1.0, -2.0]]),
+            },
+            Compressed::LowRank {
+                p: Matrix::full(3, 2, 0.5),
+                q: Matrix::full(4, 2, -1.5),
+            },
+            Compressed::Sparse {
+                rows: 2,
+                cols: 3,
+                indices: vec![0, 5],
+                values: vec![7.0, -1.0],
+            },
+            Compressed::Sign {
+                rows: 2,
+                cols: 2,
+                scale: 0.25,
+                bits: vec![0b1001],
+            },
+            Compressed::Ternary {
+                rows: 1,
+                cols: 4,
+                scale: 2.0,
+                trits: vec![-1, 0, 1, 0],
+            },
+        ];
+        for p in payloads {
+            assert_eq!(
+                p.persist_len(),
+                p.to_bytes().len(),
+                "variant {:?}",
+                p.kind()
+            );
         }
     }
 

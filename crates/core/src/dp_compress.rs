@@ -80,7 +80,9 @@ impl DistPowerSgd {
             // Dense fallback for vectors (biases, LN params).
             let wire = ring_wire_bytes(grad.len(), group.size());
             ledger.record(TrafficClass::DataParallel, wire);
-            *grad = group.all_reduce_mean(my_rank, grad.clone());
+            *grad = group
+                .all_reduce_mean(my_rank, grad.clone())
+                .expect("dense all-reduce decode");
             return;
         }
         let r = self.effective_rank(n, m);
@@ -95,10 +97,14 @@ impl DistPowerSgd {
             _ => SeedStream::new(self.seed ^ (slot as u64) << 4).normal_matrix(m, r, 1.0),
         };
         let p_local = corrected.matmul(&q_start);
-        let mut p = group.all_reduce_mean(my_rank, p_local);
+        let mut p = group
+            .all_reduce_mean(my_rank, p_local)
+            .expect("P factor all-reduce decode");
         orthonormalize_columns(&mut p);
         let q_local = corrected.t_matmul(&p);
-        let q = group.all_reduce_mean(my_rank, q_local);
+        let q = group
+            .all_reduce_mean(my_rank, q_local)
+            .expect("Q factor all-reduce decode");
         let approx = p.matmul_t(&q);
         // Residual holds the *local* information the factorization lost.
         self.residual[slot] = Some(corrected.sub(&approx));

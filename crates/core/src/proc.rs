@@ -42,8 +42,8 @@ use crossbeam::channel::unbounded;
 use opt_ckpt::{CkptError, ShardEntry, ShardManifest, MANIFEST_FILE};
 use opt_net::{
     channel_id, tcp_rejoin, tcp_rendezvous, ChannelStat, CollectiveWorld, FailureDetector,
-    HeartbeatConfig, P2pMesh, ShardStore, TcpShardStore, TcpTransport, TrafficBreakdown,
-    TrafficLedger, TrafficSnapshot, Transport, TransportError, CH_HEARTBEAT,
+    HeartbeatConfig, P2pMesh, RecvError, ShardStore, SharedPayload, TcpShardStore, TcpTransport,
+    TrafficBreakdown, TrafficLedger, TrafficSnapshot, Transport, TransportError, CH_HEARTBEAT,
 };
 use opt_tensor::{Persist, PersistError, Reader, Writer};
 use opt_trace::{SpanKind, Trace, TraceBuffer, TraceMode, ENV_TRACE};
@@ -90,6 +90,8 @@ pub enum ProcError {
     Io(std::io::Error),
     /// The TCP fabric failed (rendezvous, send, recv).
     Transport(TransportError),
+    /// A point-to-point mesh lane failed (pipeline or collective hop).
+    Recv(RecvError),
     /// A checkpoint operation failed.
     Ckpt(CkptError),
     /// A control-plane message violated the protocol.
@@ -109,6 +111,7 @@ impl fmt::Display for ProcError {
         match self {
             ProcError::Io(e) => write!(f, "worker process I/O failed: {e}"),
             ProcError::Transport(e) => write!(f, "worker fabric failed: {e}"),
+            ProcError::Recv(e) => write!(f, "worker mesh lane failed: {e}"),
             ProcError::Ckpt(e) => write!(f, "checkpoint operation failed: {e}"),
             ProcError::Protocol(d) => write!(f, "control protocol violation: {d}"),
             ProcError::Reap { rank, detail } => {
@@ -141,6 +144,12 @@ impl From<CkptError> for ProcError {
 impl From<PersistError> for ProcError {
     fn from(e: PersistError) -> Self {
         ProcError::Protocol(format!("malformed control message: {e}"))
+    }
+}
+
+impl From<RecvError> for ProcError {
+    fn from(e: RecvError) -> Self {
+        ProcError::Recv(e)
     }
 }
 
@@ -180,6 +189,24 @@ impl std::error::Error for WorldError {}
 impl From<ProcError> for WorldError {
     fn from(e: ProcError) -> Self {
         WorldError::Proc(e)
+    }
+}
+
+impl From<TransportError> for WorldError {
+    fn from(e: TransportError) -> Self {
+        WorldError::Proc(ProcError::Transport(e))
+    }
+}
+
+impl From<RecvError> for WorldError {
+    fn from(e: RecvError) -> Self {
+        WorldError::Proc(ProcError::Recv(e))
+    }
+}
+
+impl From<CkptError> for WorldError {
+    fn from(e: CkptError) -> Self {
+        WorldError::Proc(ProcError::Ckpt(e))
     }
 }
 
@@ -303,10 +330,21 @@ impl Persist for RawSamples {
     }
 }
 
-/// Encodes a `Result<T, CkptError>` for the control plane; the error
-/// travels as its display string (the coordinator rewraps it as
-/// `CkptError::Store`, which is how every remote failure is surfaced).
-fn persist_ckpt_result<T: Persist>(result: &Result<T, CkptError>, w: &mut Writer) {
+/// A checkpoint outcome crossing the control plane carries its error as
+/// the display string — `CkptError` itself is not `Clone` (it can wrap an
+/// `io::Error`), and typed lanes require cloneable messages. The
+/// coordinator rewraps the string as [`CkptError::Store`], which is how
+/// every remote failure is surfaced.
+fn stringify_ckpt<T>(result: Result<T, CkptError>) -> Result<T, String> {
+    result.map_err(|e| e.to_string())
+}
+
+/// The coordinator-side inverse of [`stringify_ckpt`].
+fn rewrap_ckpt<T>(result: Result<T, String>) -> Result<T, CkptError> {
+    result.map_err(|what| CkptError::Store { what })
+}
+
+fn persist_string_result<T: Persist>(result: &Result<T, String>, w: &mut Writer) {
     match result {
         Ok(v) => {
             w.u8(0);
@@ -314,26 +352,97 @@ fn persist_ckpt_result<T: Persist>(result: &Result<T, CkptError>, w: &mut Writer
         }
         Err(e) => {
             w.u8(1);
-            e.to_string().persist(w);
+            e.persist(w);
         }
     }
 }
 
-fn restore_ckpt_result<T: Persist>(
+fn restore_string_result<T: Persist>(
     r: &mut Reader<'_>,
-) -> Result<Result<T, CkptError>, PersistError> {
+    what: &'static str,
+) -> Result<Result<T, String>, PersistError> {
     Ok(match r.u8()? {
         0 => Ok(T::restore(r)?),
-        1 => Err(CkptError::Store {
-            what: String::restore(r)?,
-        }),
-        tag => {
-            return Err(PersistError::BadTag {
-                what: "ckpt result",
-                tag,
-            })
-        }
+        1 => Err(String::restore(r)?),
+        tag => return Err(PersistError::BadTag { what, tag }),
     })
+}
+
+/// One worker's metrics reply: its raw samples plus its own transport's
+/// half of every lane it touched, tagged with the request id.
+#[derive(Debug, Clone)]
+struct MetricsMsg {
+    id: u64,
+    raw: RawSamples,
+    traffic: TrafficSnapshot,
+    channels: Vec<ChannelStat>,
+}
+
+impl Persist for MetricsMsg {
+    fn persist(&self, w: &mut Writer) {
+        w.u64(self.id);
+        self.raw.persist(w);
+        self.traffic.persist(w);
+        self.channels.persist(w);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(MetricsMsg {
+            id: r.u64()?,
+            raw: RawSamples::restore(r)?,
+            traffic: TrafficSnapshot::restore(r)?,
+            channels: Vec::restore(r)?,
+        })
+    }
+}
+
+/// One worker's shard-publish outcome.
+#[derive(Debug, Clone)]
+struct ShardMsg {
+    id: u64,
+    result: Result<ShardEntry, String>,
+}
+
+impl Persist for ShardMsg {
+    fn persist(&self, w: &mut Writer) {
+        w.u64(self.id);
+        persist_string_result(&self.result, w);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(ShardMsg {
+            id: r.u64()?,
+            result: restore_string_result(r, "ShardMsg")?,
+        })
+    }
+}
+
+/// One worker's self-restore outcome: which `(stage, dp)` it serves and
+/// the checkpoint iteration it restored to.
+#[derive(Debug, Clone)]
+struct RestoreMsg {
+    id: u64,
+    stage: usize,
+    dp: usize,
+    outcome: Result<u64, String>,
+}
+
+impl Persist for RestoreMsg {
+    fn persist(&self, w: &mut Writer) {
+        w.u64(self.id);
+        w.usize(self.stage);
+        w.usize(self.dp);
+        persist_string_result(&self.outcome, w);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(RestoreMsg {
+            id: r.u64()?,
+            stage: r.usize()?,
+            dp: r.usize()?,
+            outcome: restore_string_result(r, "RestoreMsg")?,
+        })
+    }
 }
 
 fn to_hex(bytes: &[u8]) -> String {
@@ -554,29 +663,43 @@ impl ProcTrainer {
 
     fn broadcast(&self, cmd: &WireCmd) -> Result<(), ProcError> {
         let coord = self.coord();
-        let bytes = cmd.to_bytes();
+        // One shared payload for the whole fan-out: the command is encoded
+        // once into the payload's cache, not once per rank.
+        let payload = SharedPayload::new(cmd.clone());
         for rank in 0..self.world() {
-            self.transport.send(coord, rank, CH_CMD, bytes.clone())?;
+            self.transport.send_shared(coord, rank, CH_CMD, &payload)?;
         }
         Ok(())
     }
 
-    /// Receives one control message from `rank` on `channel`, decoding it
-    /// with `parse` and skipping stale ids (`< id`) left over from
-    /// abandoned requests. FIFO per lane makes this loss-free.
+    /// Receives one typed control message from `rank` on `channel`,
+    /// skipping stale ids (`id_of(msg) < id`) left over from abandoned
+    /// requests. FIFO per lane makes this loss-free.
     fn recv_matching<T>(
         &self,
         rank: usize,
         channel: u64,
         id: u64,
-        parse: impl Fn(&mut Reader<'_>) -> Result<(u64, T), PersistError>,
-    ) -> Result<T, ProcError> {
+        id_of: impl Fn(&T) -> u64,
+    ) -> Result<T, ProcError>
+    where
+        T: Persist + Clone + Send + Sync + 'static,
+    {
         let coord = self.coord();
         loop {
-            let bytes = self.transport.recv(rank, coord, channel, CTRL_TIMEOUT)?;
-            let mut r = Reader::new(&bytes);
-            let (got, value) = parse(&mut r)?;
-            r.finish()?;
+            let value: T = match self
+                .transport
+                .recv_value(rank, coord, channel, CTRL_TIMEOUT)
+            {
+                Ok(v) => v,
+                Err(TransportError::Decode { detail }) => {
+                    return Err(ProcError::Protocol(format!(
+                        "malformed control message: {detail}"
+                    )))
+                }
+                Err(e) => return Err(e.into()),
+            };
+            let got = id_of(&value);
             if got == id {
                 return Ok(value);
             }
@@ -595,10 +718,7 @@ impl ProcTrainer {
         self.broadcast(&WireCmd::Barrier { id })?;
         let mut acks = Vec::with_capacity(self.world());
         for rank in 0..self.world() {
-            acks.push(self.recv_matching(rank, CH_ACK, id, |r| {
-                let ack = WorkerAck::restore(r)?;
-                Ok((ack.id, ack))
-            })?);
+            acks.push(self.recv_matching(rank, CH_ACK, id, |a: &WorkerAck| a.id)?);
         }
         Ok(acks)
     }
@@ -611,16 +731,13 @@ impl ProcTrainer {
         self.next_id += 1;
         let id = self.next_id;
         let coord = self.coord();
-        let bytes = WireCmd::Barrier { id }.to_bytes();
+        let payload = SharedPayload::new(WireCmd::Barrier { id });
         for rank in (0..self.world()).filter(|&r| r != skip) {
-            self.transport.send(coord, rank, CH_CMD, bytes.clone())?;
+            self.transport.send_shared(coord, rank, CH_CMD, &payload)?;
         }
         let mut acks = Vec::with_capacity(self.world().saturating_sub(1));
         for rank in (0..self.world()).filter(|&r| r != skip) {
-            acks.push(self.recv_matching(rank, CH_ACK, id, |r| {
-                let ack = WorkerAck::restore(r)?;
-                Ok((ack.id, ack))
-            })?);
+            acks.push(self.recv_matching(rank, CH_ACK, id, |a: &WorkerAck| a.id)?);
         }
         Ok(acks)
     }
@@ -630,7 +747,10 @@ impl ProcTrainer {
         let coord = self.coord();
         let now = Instant::now();
         for rank in 0..self.world() {
-            while let Ok(Some(_)) = self.transport.try_recv(rank, coord, CH_HEARTBEAT) {
+            while let Ok(Some(_)) = self
+                .transport
+                .try_recv_value::<u64>(rank, coord, CH_HEARTBEAT)
+            {
                 self.detector.record_beat(rank, now);
             }
         }
@@ -705,12 +825,7 @@ impl ProcTrainer {
             opt_trace::begin(SpanKind::Rejoin, self.trained_iters, rank as u32, 0, 0);
         self.children[rank].reap(rank)?;
         let manifest_iter = match self.store.get(MANIFEST_FILE) {
-            Ok(bytes) => {
-                ShardManifest::decode(&bytes)
-                    .map_err(ProcError::Ckpt)?
-                    .meta
-                    .iter
-            }
+            Ok(bytes) => ShardManifest::decode(&bytes)?.meta.iter,
             Err(e) => {
                 return Err(WorldError::Unrecoverable {
                     reason: format!(
@@ -728,8 +843,7 @@ impl ProcTrainer {
             reaped: false,
         };
         self.transport
-            .wait_peer_generation(rank, generation, RDV_TIMEOUT)
-            .map_err(ProcError::Transport)?;
+            .wait_peer_generation(rank, generation, RDV_TIMEOUT)?;
         let resumed = {
             let _restore_span =
                 opt_trace::begin(SpanKind::Restore, manifest_iter, rank as u32, 0, 0);
@@ -811,15 +925,9 @@ impl ProcTrainer {
         let collector = Collector::default();
         let mut traffic = TrafficBreakdown::default();
         for rank in 0..self.world() {
-            let (raw, breakdown) = self.recv_matching(rank, CH_METRICS, id, |r| {
-                let got = r.u64()?;
-                let raw = RawSamples::restore(r)?;
-                let snap = TrafficSnapshot::restore(r)?;
-                let stats = Vec::<ChannelStat>::restore(r)?;
-                Ok((got, (raw, TrafficBreakdown::new(snap, stats))))
-            })?;
-            collector.absorb(&raw);
-            traffic.absorb(&breakdown);
+            let msg = self.recv_matching(rank, CH_METRICS, id, |m: &MetricsMsg| m.id)?;
+            collector.absorb(&msg.raw);
+            traffic.absorb(&TrafficBreakdown::new(msg.traffic, msg.channels));
         }
         Ok((collector, traffic))
     }
@@ -838,11 +946,8 @@ impl ProcTrainer {
         self.broadcast(&WireCmd::FetchTrace { id })?;
         let mut buffers = Vec::with_capacity(self.world() + 1);
         for rank in 0..self.world() {
-            buffers.push(self.recv_matching(rank, CH_TRACE, id, |r| {
-                let got = r.u64()?;
-                let buf = TraceBuffer::restore(r)?;
-                Ok((got, buf))
-            })?);
+            let (_, buf) = self.recv_matching(rank, CH_TRACE, id, |m: &(u64, TraceBuffer)| m.0)?;
+            buffers.push(buf);
         }
         // The coordinator thread records only recovery spans
         // (detect/rejoin/restore); include its buffer when a failure
@@ -871,12 +976,8 @@ impl ProcTrainer {
         let mut entries: Vec<Option<ShardEntry>> = vec![None; world];
         let mut first_err = None;
         for rank in 0..world {
-            let result = self.recv_matching(rank, CH_SHARD, id, |r| {
-                let got = r.u64()?;
-                let result = restore_ckpt_result::<ShardEntry>(r)?;
-                Ok((got, result))
-            })?;
-            match result {
+            let msg = self.recv_matching(rank, CH_SHARD, id, |m: &ShardMsg| m.id)?;
+            match rewrap_ckpt(msg.result) {
                 Ok(entry) => {
                     let idx = entry.dp * pp + entry.stage;
                     if entries[idx].is_some() {
@@ -915,14 +1016,10 @@ impl ProcTrainer {
         self.broadcast(&WireCmd::SelfRestore { id })?;
         let mut first_err = None;
         for rank in 0..self.world() {
-            let (stage, dp, result) = self.recv_matching(rank, CH_RESTORE, id, |r| {
-                let got = r.u64()?;
-                let stage = r.usize()?;
-                let dp = r.usize()?;
-                let result = restore_ckpt_result::<u64>(r)?;
-                Ok((got, (stage, dp, result)))
-            })?;
-            match result {
+            let RestoreMsg {
+                stage, dp, outcome, ..
+            } = self.recv_matching(rank, CH_RESTORE, id, |m: &RestoreMsg| m.id)?;
+            match rewrap_ckpt(outcome) {
                 Ok(iter) if iter == want_iter => {}
                 Ok(_) => {
                     first_err = first_err.or(Some(CkptError::ShardMismatch {
@@ -1063,7 +1160,7 @@ pub fn worker_main() -> Result<(), ProcError> {
             let mut seq: u64 = 0;
             while !hb_flag.load(Ordering::Relaxed) {
                 if hb_transport
-                    .send(rank, coord, CH_HEARTBEAT, seq.to_le_bytes().to_vec())
+                    .send_value(rank, coord, CH_HEARTBEAT, seq)
                     .is_err()
                 {
                     return; // coordinator gone: nothing left to reassure
@@ -1139,22 +1236,17 @@ pub fn worker_main() -> Result<(), ProcError> {
     let bridge = std::thread::Builder::new()
         .name("ctrl-bridge".to_string())
         .spawn(move || loop {
-            let bytes = match bridge_transport.recv(coord, rank, CH_CMD, CTRL_TIMEOUT) {
-                Ok(b) => b,
-                Err(TransportError::Timeout { .. }) => continue, // idle world
-                Err(_) => {
-                    // Coordinator died: stop the worker loop and exit.
-                    let _ = cmd_tx.send(Cmd::Stop);
-                    return;
-                }
-            };
-            let cmd = match WireCmd::from_bytes(&bytes) {
-                Ok(c) => c,
-                Err(_) => {
-                    let _ = cmd_tx.send(Cmd::Stop);
-                    return;
-                }
-            };
+            let cmd =
+                match bridge_transport.recv_value::<WireCmd>(coord, rank, CH_CMD, CTRL_TIMEOUT) {
+                    Ok(c) => c,
+                    Err(TransportError::Timeout { .. }) => continue, // idle world
+                    Err(_) => {
+                        // Coordinator died (or sent garbage): stop the worker
+                        // loop and exit.
+                        let _ = cmd_tx.send(Cmd::Stop);
+                        return;
+                    }
+                };
             let forward = match cmd {
                 WireCmd::TrainIter { iter } => Cmd::TrainIter { iter },
                 WireCmd::Validate { iter, index, n_seq } => Cmd::Validate { iter, index, n_seq },
@@ -1169,14 +1261,15 @@ pub fn worker_main() -> Result<(), ProcError> {
                     store: Arc::clone(&bridge_store),
                 },
                 WireCmd::FetchMetrics { id } => {
-                    let mut w = Writer::new();
-                    w.u64(id);
-                    bridge_collector.raw_samples().persist(&mut w);
-                    bridge_ledger.snapshot().persist(&mut w);
-                    // This process's half of every lane it touched; the
-                    // coordinator reassembles full lanes across ranks.
-                    bridge_transport.channel_stats().persist(&mut w);
-                    let _ = bridge_transport.send(rank, coord, CH_METRICS, w.into_bytes());
+                    let msg = MetricsMsg {
+                        id,
+                        raw: bridge_collector.raw_samples(),
+                        traffic: bridge_ledger.snapshot(),
+                        // This process's half of every lane it touched; the
+                        // coordinator reassembles full lanes across ranks.
+                        channels: bridge_transport.channel_stats(),
+                    };
+                    let _ = bridge_transport.send_value(rank, coord, CH_METRICS, msg);
                     continue;
                 }
                 WireCmd::FetchTrace { id } => Cmd::FetchTrace { id },
@@ -1195,36 +1288,35 @@ pub fn worker_main() -> Result<(), ProcError> {
     let ack_transport = Arc::clone(&transport);
     let ack_bridge = std::thread::spawn(move || {
         while let Ok(ack) = ack_rx.recv() {
-            let _ = ack_transport.send(rank, coord, CH_ACK, ack.to_bytes());
+            let _ = ack_transport.send_value(rank, coord, CH_ACK, ack);
         }
     });
     let shard_transport = Arc::clone(&transport);
     let shard_bridge = std::thread::spawn(move || {
         while let Ok((id, result)) = shard_rx.recv() {
-            let mut w = Writer::new();
-            w.u64(id);
-            persist_ckpt_result(&result, &mut w);
-            let _ = shard_transport.send(rank, coord, CH_SHARD, w.into_bytes());
+            let msg = ShardMsg {
+                id,
+                result: stringify_ckpt(result),
+            };
+            let _ = shard_transport.send_value(rank, coord, CH_SHARD, msg);
         }
     });
     let restore_transport = Arc::clone(&transport);
     let restore_bridge = std::thread::spawn(move || {
         while let Ok((id, stage, dp, result)) = restore_rx.recv() {
-            let mut w = Writer::new();
-            w.u64(id);
-            w.usize(stage);
-            w.usize(dp);
-            persist_ckpt_result(&result, &mut w);
-            let _ = restore_transport.send(rank, coord, CH_RESTORE, w.into_bytes());
+            let msg = RestoreMsg {
+                id,
+                stage,
+                dp,
+                outcome: stringify_ckpt(result),
+            };
+            let _ = restore_transport.send_value(rank, coord, CH_RESTORE, msg);
         }
     });
     let trace_transport = Arc::clone(&transport);
     let trace_bridge = std::thread::spawn(move || {
         while let Ok((id, buf)) = trace_rx.recv() {
-            let mut w = Writer::new();
-            w.u64(id);
-            buf.persist(&mut w);
-            let _ = trace_transport.send(rank, coord, CH_TRACE, w.into_bytes());
+            let _ = trace_transport.send_value(rank, coord, CH_TRACE, (id, buf));
         }
     });
 
@@ -1274,21 +1366,25 @@ mod tests {
 
     #[test]
     fn ckpt_results_roundtrip_with_error_as_store() {
-        let ok: Result<u64, CkptError> = Ok(42);
-        let mut w = Writer::new();
-        persist_ckpt_result(&ok, &mut w);
-        let bytes = w.into_bytes();
-        let mut r = Reader::new(&bytes);
-        let back = restore_ckpt_result::<u64>(&mut r).unwrap();
-        assert_eq!(back.unwrap(), 42);
+        let ok = RestoreMsg {
+            id: 3,
+            stage: 1,
+            dp: 2,
+            outcome: stringify_ckpt(Ok(42)),
+        };
+        let back = RestoreMsg::from_bytes(&ok.to_bytes()).unwrap();
+        assert_eq!(back.id, 3);
+        assert_eq!((back.stage, back.dp), (1, 2));
+        assert_eq!(rewrap_ckpt(back.outcome).unwrap(), 42);
 
-        let err: Result<u64, CkptError> = Err(CkptError::BadMagic);
-        let mut w = Writer::new();
-        persist_ckpt_result(&err, &mut w);
-        let bytes = w.into_bytes();
-        let mut r = Reader::new(&bytes);
-        let back = restore_ckpt_result::<u64>(&mut r).unwrap();
-        match back {
+        let err = RestoreMsg {
+            id: 4,
+            stage: 0,
+            dp: 0,
+            outcome: stringify_ckpt(Err(CkptError::BadMagic)),
+        };
+        let back = RestoreMsg::from_bytes(&err.to_bytes()).unwrap();
+        match rewrap_ckpt(back.outcome) {
             Err(CkptError::Store { what }) => assert!(!what.is_empty()),
             other => panic!("expected Store error, got {other:?}"),
         }

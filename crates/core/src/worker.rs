@@ -263,7 +263,7 @@ pub(crate) fn decode_dp_state(bytes: &[u8]) -> Result<Option<DistPowerSgd>, Pers
 }
 
 /// Runs the worker loop until [`Cmd::Stop`].
-pub(crate) fn run_worker<Tr: Transport>(mut ctx: WorkerCtx<Tr>) {
+pub(crate) fn run_worker<Tr: Transport + Send + Sync + 'static>(mut ctx: WorkerCtx<Tr>) {
     opt_trace::install(ctx.trace);
     let pp = ctx.cfg.pp;
     let s = ctx.stage_idx;
@@ -519,7 +519,7 @@ fn batch_key(iter: u64, d: usize, micro: usize) -> u64 {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn train_iter<Tr: Transport>(
+fn train_iter<Tr: Transport + Send + Sync + 'static>(
     ctx: &mut WorkerCtx<Tr>,
     schedule: &opt_schedule::PipelineSchedule,
     optimizer: &mut Adam,
@@ -543,6 +543,9 @@ fn train_iter<Tr: Transport>(
     let collect_stats = ctx.cfg.collect_error_stats && d == 0 && s > 0;
     let mut recv_acts: HashMap<usize, Matrix> = HashMap::new();
     let mut act_diffs: HashMap<usize, Matrix> = HashMap::new();
+    // The final compression epilogue, when it runs concurrently with the
+    // DP exchange below; carries the compressor home with its wire bytes.
+    let mut overlap_task: Option<opt_schedule::OverlapTask<(CbLink, u64)>> = None;
 
     // Root span of the iteration; every slot below nests under it. The
     // guard is declared first so it closes last.
@@ -605,6 +608,33 @@ fn train_iter<Tr: Transport>(
                 };
                 let upstream = ctx.stage.backward(&grad_in);
                 if let Some(up) = upstream {
+                    // The last backward's epilogue is always an epilogue
+                    // send and has no local consumer: hand the whole
+                    // compress+send to a background thread and let the DP
+                    // exchange below run under it. Joined before the
+                    // embedding sync. Stats collection reads the link's
+                    // residual right after `process`, so that mode keeps
+                    // the sequential path.
+                    if opt_schedule::overlap_micro(n_micro) == Some(micro)
+                        && cb_link.is_some()
+                        && !collect_stats
+                    {
+                        let mut link = cb_link.take().expect("cb link present");
+                        let cb = ctx.cfg.quality.cb.expect("cb config present");
+                        let compress_now =
+                            !cb.epilogue_only || is_epilogue_send(s, micro, pp, n_micro);
+                        let mesh = ctx.bwd_mesh.clone();
+                        let ledger = ctx.ledger.clone();
+                        let (src, dst) = (my_rank, my_rank - 1);
+                        overlap_task = Some(opt_schedule::overlap_launch(iter, micro, move || {
+                            let (payload, _stats) = link.process(&up, compress_now);
+                            let bytes = payload.wire_bytes() as u64;
+                            ledger.record(TrafficClass::InterStage, bytes);
+                            mesh.send(src, dst, payload);
+                            (link, bytes)
+                        }));
+                        continue;
+                    }
                     let (payload, _stats) = match cb_link {
                         Some(link) => {
                             let cb = ctx.cfg.quality.cb.expect("cb config present");
@@ -661,10 +691,22 @@ fn train_iter<Tr: Transport>(
                         TrafficClass::DataParallel,
                         ring_wire_bytes(p.grad.len(), ctx.stage_group.size()),
                     );
-                    *p.grad = ctx.stage_group.all_reduce_mean(my_rank, p.grad.clone());
+                    *p.grad = ctx
+                        .stage_group
+                        .all_reduce_mean(my_rank, p.grad.clone())
+                        .expect("DP all-reduce decode");
                 }
             }
         }
+    }
+
+    // Join the overlapped epilogue before the embedding sync: the
+    // downstream stage must hold the gradient before this iteration's
+    // barrier semantics can be claimed, and the compressor state must be
+    // home before a checkpoint can capture it.
+    if let Some(task) = overlap_task.take() {
+        let (link, _bytes) = task.join(|&(_, bytes)| bytes);
+        *cb_link = Some(link);
     }
 
     // ----- Embedding synchronization (§6) -------------------------------
@@ -676,7 +718,10 @@ fn train_iter<Tr: Transport>(
                 TrafficClass::Embedding,
                 ring_wire_bytes(g.len(), ctx.stage_group.size()),
             );
-            let synced = ctx.stage_group.all_reduce_mean(my_rank, g);
+            let synced = ctx
+                .stage_group
+                .all_reduce_mean(my_rank, g)
+                .expect("embedding all-reduce decode");
             ctx.stage.set_embedding_grad(synced);
         }
     } else if let Some(g) = ctx.stage.embedding_grad().cloned() {
@@ -689,21 +734,28 @@ fn train_iter<Tr: Transport>(
                 TrafficClass::Embedding,
                 ring_wire_bytes(g.len(), fused.size()),
             );
-            let mut summed = fused.all_reduce_sum(my_rank, g);
+            let mut summed = fused
+                .all_reduce_sum(my_rank, g)
+                .expect("fused embedding all-reduce decode");
             summed.scale_assign(1.0 / dp_ways as f32);
             ctx.stage.set_embedding_grad(summed);
         } else {
             // Baseline: EMB DP (D-way mean) then 2-way sum (paper Fig. 7a).
             ctx.ledger
                 .record(TrafficClass::Embedding, ring_wire_bytes(g.len(), dp_ways));
-            let meaned = ctx.stage_group.all_reduce_mean(my_rank, g);
+            let meaned = ctx
+                .stage_group
+                .all_reduce_mean(my_rank, g)
+                .expect("embedding DP all-reduce decode");
             let pair = ctx
                 .emb_pair_group
                 .as_ref()
                 .expect("end stage has pair group");
             ctx.ledger
                 .record(TrafficClass::Embedding, ring_wire_bytes(meaned.len(), 2));
-            let synced = pair.all_reduce_sum(my_rank, meaned);
+            let synced = pair
+                .all_reduce_sum(my_rank, meaned)
+                .expect("embedding pair all-reduce decode");
             ctx.stage.set_embedding_grad(synced);
         }
     }

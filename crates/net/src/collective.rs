@@ -9,8 +9,11 @@
 //! [`crate::TcpTransport`] world (the wire codec round-trips `f32` bits
 //! exactly).
 
-use crate::transport::{channel_id, net_timeout, LocalTransport, Transport, TransportError};
-use opt_tensor::{Matrix, Persist};
+use crate::p2p::RecvError;
+use crate::transport::{
+    channel_id, net_timeout, LocalTransport, SharedPayload, Transport, TransportError,
+};
+use opt_tensor::Matrix;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -40,8 +43,8 @@ const COLLECTIVE_NAMESPACE: u8 = 2;
 /// let world = CollectiveWorld::new(2);
 /// let g0 = world.group(&[0, 1]);
 /// let g1 = g0.clone();
-/// let h = thread::spawn(move || g1.all_reduce_sum(1, Matrix::full(1, 2, 2.0)));
-/// let sum = g0.all_reduce_sum(0, Matrix::full(1, 2, 1.0));
+/// let h = thread::spawn(move || g1.all_reduce_sum(1, Matrix::full(1, 2, 2.0)).unwrap());
+/// let sum = g0.all_reduce_sum(0, Matrix::full(1, 2, 1.0)).unwrap();
 /// assert_eq!(sum.as_slice(), &[3.0, 3.0]);
 /// h.join().unwrap();
 /// ```
@@ -109,23 +112,56 @@ impl<Tr: Transport> CollectiveGroup<Tr> {
         })
     }
 
+    /// Maps a typed-receive failure: decode failures become a
+    /// [`RecvError::Decode`] the caller can propagate; everything else
+    /// (peer death, corruption, timeout) panics with group context, as
+    /// every transport failure here always has.
+    fn recv_matrix(&self, what: &str, src: usize, dst: usize) -> Result<Matrix, RecvError> {
+        match self
+            .transport
+            .recv_value::<Matrix>(src, dst, self.channel, self.timeout)
+        {
+            Ok(m) => Ok(m),
+            Err(TransportError::Decode { detail }) => Err(RecvError::Decode {
+                src,
+                dst,
+                channel: self.channel,
+                detail,
+            }),
+            Err(e) => Ok(self.expect_ok(what, src, Err::<Matrix, _>(e))),
+        }
+    }
+
     /// Contributes `m` on behalf of global rank `rank` and returns the
     /// element-wise sum over all members. Blocks until every member has
     /// contributed.
+    ///
+    /// The gather and the broadcast both travel typed: over an in-process
+    /// transport the matrices cross as `Arc`s with zero serialization, and
+    /// the broadcast shares one value (and one encode cache) across all
+    /// peers, so a byte-boundary transport encodes the result exactly
+    /// once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError::Decode`] if a delivered payload could not
+    /// become a [`Matrix`] — the transport's integrity checks passed, so
+    /// this means the channel is being used inconsistently (a code bug,
+    /// not a wire fault), and the caller decides whether that is fatal.
     ///
     /// # Panics
     ///
     /// Panics if `rank` is not a member, if shapes mismatch across members,
     /// or if the transport fails (peer death, frame corruption, timeout —
     /// in a correct schedule a timeout means a deadlock bug).
-    pub fn all_reduce_sum(&self, rank: usize, m: Matrix) -> Matrix {
+    pub fn all_reduce_sum(&self, rank: usize, m: Matrix) -> Result<Matrix, RecvError> {
         let pos = self
             .members
             .iter()
             .position(|&r| r == rank)
             .unwrap_or_else(|| panic!("rank {rank} is not a member of {:?}", self.members));
         if self.members.len() == 1 {
-            return m;
+            return Ok(m);
         }
         {
             let mut in_flight = self.in_flight.lock();
@@ -137,58 +173,59 @@ impl<Tr: Transport> CollectiveGroup<Tr> {
         result
     }
 
-    fn all_reduce_sum_inner(&self, pos: usize, rank: usize, m: Matrix) -> Matrix {
+    fn all_reduce_sum_inner(
+        &self,
+        pos: usize,
+        rank: usize,
+        m: Matrix,
+    ) -> Result<Matrix, RecvError> {
         let root = self.members[0];
-        let timeout = self.timeout;
         if pos == 0 {
             // Root: gather in member order — the accumulation order (and
             // therefore every f32 rounding step) is fixed by the member
             // list, not by arrival order.
             let mut acc = m;
             for &peer in &self.members[1..] {
-                let bytes = self.expect_ok(
-                    "gather",
-                    peer,
-                    self.transport.recv(peer, root, self.channel, timeout),
-                );
-                let part = Matrix::from_bytes(&bytes).expect("all-reduce payload corrupt");
+                let part = self.recv_matrix("gather", peer, root)?;
                 assert_eq!(acc.shape(), part.shape(), "all-reduce shape mismatch");
                 acc.add_assign(&part);
             }
-            let encoded = acc.to_bytes();
+            // One shared payload for the whole broadcast: every peer's
+            // send clones the Arc, and a byte-boundary transport encodes
+            // the matrix once into the shared cache.
+            let payload = SharedPayload::new(acc.clone());
             for &peer in &self.members[1..] {
                 self.expect_ok(
                     "broadcast",
                     peer,
                     self.transport
-                        .send(root, peer, self.channel, encoded.clone()),
+                        .send_shared(root, peer, self.channel, &payload),
                 );
             }
-            acc
+            Ok(acc)
         } else {
             self.expect_ok(
                 "contribute",
                 root,
-                self.transport.send(rank, root, self.channel, m.to_bytes()),
+                self.transport.send_value(rank, root, self.channel, m),
             );
-            let bytes = self.expect_ok(
-                "result",
-                root,
-                self.transport.recv(root, rank, self.channel, timeout),
-            );
-            Matrix::from_bytes(&bytes).expect("all-reduce payload corrupt")
+            self.recv_matrix("result", root, rank)
         }
     }
 
     /// All-reduce returning the mean instead of the sum.
     ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CollectiveGroup::all_reduce_sum`].
+    ///
     /// # Panics
     ///
     /// Same conditions as [`CollectiveGroup::all_reduce_sum`].
-    pub fn all_reduce_mean(&self, rank: usize, m: Matrix) -> Matrix {
-        let mut sum = self.all_reduce_sum(rank, m);
+    pub fn all_reduce_mean(&self, rank: usize, m: Matrix) -> Result<Matrix, RecvError> {
+        let mut sum = self.all_reduce_sum(rank, m)?;
         sum.scale_assign(1.0 / self.size() as f32);
-        sum
+        Ok(sum)
     }
 }
 
@@ -281,7 +318,7 @@ mod tests {
         let mut handles = Vec::new();
         for (rank, m) in members.iter().copied().zip(inputs) {
             let g = group.clone();
-            handles.push(thread::spawn(move || g.all_reduce_sum(rank, m)));
+            handles.push(thread::spawn(move || g.all_reduce_sum(rank, m).unwrap()));
         }
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     }
@@ -311,8 +348,8 @@ mod tests {
         let world = CollectiveWorld::new(2);
         let group = world.group(&[0, 1]);
         let g1 = group.clone();
-        let h = thread::spawn(move || g1.all_reduce_mean(1, Matrix::full(1, 1, 4.0)));
-        let m0 = group.all_reduce_mean(0, Matrix::full(1, 1, 2.0));
+        let h = thread::spawn(move || g1.all_reduce_mean(1, Matrix::full(1, 1, 4.0)).unwrap());
+        let m0 = group.all_reduce_mean(0, Matrix::full(1, 1, 2.0)).unwrap();
         assert_eq!(m0[(0, 0)], 3.0);
         assert_eq!(h.join().unwrap()[(0, 0)], 3.0);
     }
@@ -324,9 +361,9 @@ mod tests {
         for round in 0..5 {
             let g1 = group.clone();
             let h = thread::spawn(move || g1.all_reduce_sum(1, Matrix::full(1, 1, round as f32)));
-            let got = group.all_reduce_sum(0, Matrix::full(1, 1, 1.0));
+            let got = group.all_reduce_sum(0, Matrix::full(1, 1, 1.0)).unwrap();
             assert_eq!(got[(0, 0)], 1.0 + round as f32);
-            h.join().unwrap();
+            h.join().unwrap().unwrap();
         }
     }
 
@@ -363,7 +400,7 @@ mod tests {
     fn non_member_rank_panics() {
         let world = CollectiveWorld::new(4);
         let group = world.group(&[0, 1]);
-        group.all_reduce_sum(3, Matrix::zeros(1, 1));
+        let _ = group.all_reduce_sum(3, Matrix::zeros(1, 1));
     }
 
     #[test]
@@ -378,7 +415,7 @@ mod tests {
         // lanes.
         let _blocked = thread::spawn(move || g2.all_reduce_sum(0, Matrix::zeros(1, 1)));
         thread::sleep(std::time::Duration::from_millis(200));
-        group.all_reduce_sum(0, Matrix::zeros(1, 1));
+        let _ = group.all_reduce_sum(0, Matrix::zeros(1, 1));
     }
 
     #[test]
@@ -393,7 +430,7 @@ mod tests {
         let world = CollectiveWorld::new(1);
         let group = world.group(&[0]);
         let m = Matrix::full(2, 2, 7.0);
-        assert_eq!(group.all_reduce_sum(0, m.clone()), m);
+        assert_eq!(group.all_reduce_sum(0, m.clone()).unwrap(), m);
     }
 
     #[test]
@@ -412,21 +449,23 @@ mod tests {
                 let gb1 = gb.clone();
                 handles.push(s.spawn(move || {
                     assert_eq!(
-                        ga0.all_reduce_sum(0, Matrix::full(1, 1, round as f32))[(0, 0)],
+                        ga0.all_reduce_sum(0, Matrix::full(1, 1, round as f32))
+                            .unwrap()[(0, 0)],
                         round as f32 + 100.0
                     );
                 }));
                 handles.push(s.spawn(move || {
-                    ga1.all_reduce_sum(1, Matrix::full(1, 1, 100.0));
+                    ga1.all_reduce_sum(1, Matrix::full(1, 1, 100.0)).unwrap();
                 }));
                 handles.push(s.spawn(move || {
                     assert_eq!(
-                        gb0.all_reduce_sum(2, Matrix::full(1, 1, round as f32))[(0, 0)],
+                        gb0.all_reduce_sum(2, Matrix::full(1, 1, round as f32))
+                            .unwrap()[(0, 0)],
                         round as f32 + 1000.0
                     );
                 }));
                 handles.push(s.spawn(move || {
-                    gb1.all_reduce_sum(3, Matrix::full(1, 1, 1000.0));
+                    gb1.all_reduce_sum(3, Matrix::full(1, 1, 1000.0)).unwrap();
                 }));
                 for h in handles.drain(..) {
                     h.join().unwrap();

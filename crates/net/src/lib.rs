@@ -54,6 +54,6 @@ pub use topology::{LinkKind, Topology};
 pub use traffic::{TrafficClass, TrafficLedger, TrafficSnapshot};
 pub use transport::{
     channel_id, net_timeout, tcp_rejoin, tcp_rendezvous, wire_frame, wire_hello, LocalTransport,
-    TcpBound, TcpTransport, Transport, TransportError, WIRE_FORMAT_VERSION, WIRE_MAGIC,
-    WIRE_OVERHEAD_BYTES,
+    Payload, SharedPayload, TcpBound, TcpTransport, Transport, TransportError, WireValue,
+    WIRE_FORMAT_VERSION, WIRE_MAGIC, WIRE_OVERHEAD_BYTES,
 };

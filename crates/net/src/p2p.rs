@@ -59,6 +59,20 @@ pub enum RecvError {
         /// The underlying transport error.
         detail: String,
     },
+    /// A delivered payload could not become the type this receiver asked
+    /// for — the byte decode failed after integrity checks, or a typed
+    /// zero-copy handoff carried a different type. The lane is being used
+    /// inconsistently: a code bug, not a wire fault.
+    Decode {
+        /// Sending rank of the lane.
+        src: usize,
+        /// Receiving rank of the lane.
+        dst: usize,
+        /// Transport channel id of the lane.
+        channel: u64,
+        /// What the decoder rejected.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RecvError {
@@ -99,6 +113,16 @@ impl fmt::Display for RecvError {
             } => write!(
                 f,
                 "transport failed on lane src {src} -> dst {dst} (channel {channel:#x}): {detail}"
+            ),
+            RecvError::Decode {
+                src,
+                dst,
+                channel,
+                detail,
+            } => write!(
+                f,
+                "payload on lane src {src} -> dst {dst} (channel {channel:#x}) failed to \
+                 decode: {detail}"
             ),
         }
     }
@@ -152,7 +176,7 @@ impl<T, Tr: Transport> fmt::Debug for P2pMesh<T, Tr> {
     }
 }
 
-impl<T: Persist> P2pMesh<T, LocalTransport> {
+impl<T: Persist + Clone + Send + Sync + 'static> P2pMesh<T, LocalTransport> {
     /// Creates an in-process mesh over `world` ranks. The receive timeout
     /// is 30 s, tunable via `OPT_NET_TIMEOUT_MS`.
     ///
@@ -177,7 +201,7 @@ impl<T: Persist> P2pMesh<T, LocalTransport> {
     }
 }
 
-impl<T: Persist, Tr: Transport> P2pMesh<T, Tr> {
+impl<T: Persist + Clone + Send + Sync + 'static, Tr: Transport> P2pMesh<T, Tr> {
     /// Builds a mesh over an existing (possibly shared) transport, using
     /// `channel` as its lane id — two meshes over one transport must use
     /// distinct channels. The receive timeout comes from
@@ -198,6 +222,10 @@ impl<T: Persist, Tr: Transport> P2pMesh<T, Tr> {
 
     /// Sends `msg` on the (src, dst) FIFO. Non-blocking.
     ///
+    /// The message travels typed: an in-process transport hands it across
+    /// as an `Arc` with zero serialization, a byte-boundary transport
+    /// encodes it at the socket.
+    ///
     /// # Panics
     ///
     /// Panics if `src` or `dst` is out of range, or if the transport
@@ -206,7 +234,7 @@ impl<T: Persist, Tr: Transport> P2pMesh<T, Tr> {
         let world = self.world();
         assert!(src < world && dst < world, "rank out of range");
         self.transport
-            .send(src, dst, self.channel, msg.to_bytes())
+            .send_value(src, dst, self.channel, msg)
             .unwrap_or_else(|e| panic!("mesh send {src} -> {dst} failed: {e}"));
     }
 
@@ -218,42 +246,20 @@ impl<T: Persist, Tr: Transport> P2pMesh<T, Tr> {
     /// Returns [`RecvError::Timeout`] if nothing arrives in time,
     /// [`RecvError::Disconnected`] if the sender disappeared,
     /// [`RecvError::Corrupt`] if a frame on the lane failed integrity
-    /// validation, or [`RecvError::Transport`] for any other transport
+    /// validation, [`RecvError::Decode`] if a delivered payload could not
+    /// become a `T`, or [`RecvError::Transport`] for any other transport
     /// failure — every variant carries the (src, dst, channel) lane
     /// context so a many-rank run says *which* edge failed.
     ///
     /// # Panics
     ///
-    /// Panics if `src` or `dst` is out of range, or if a delivered
-    /// payload fails to decode (the transport's integrity checking makes
-    /// that a code bug, not a wire fault).
+    /// Panics if `src` or `dst` is out of range.
     pub fn recv(&self, src: usize, dst: usize) -> Result<T, RecvError> {
         let world = self.world();
         assert!(src < world && dst < world, "rank out of range");
-        match self.transport.recv(src, dst, self.channel, self.timeout) {
-            Ok(bytes) => Ok(Self::decode(&bytes)),
-            Err(TransportError::Timeout { .. }) => Err(RecvError::Timeout {
-                src,
-                dst,
-                world,
-                timeout: self.timeout,
-            }),
-            Err(TransportError::Disconnected { .. }) => {
-                Err(RecvError::Disconnected { src, dst, world })
-            }
-            Err(TransportError::Corrupt { detail }) => Err(RecvError::Corrupt {
-                src,
-                dst,
-                channel: self.channel,
-                detail,
-            }),
-            Err(e) => Err(RecvError::Transport {
-                src,
-                dst,
-                channel: self.channel,
-                detail: e.to_string(),
-            }),
-        }
+        self.transport
+            .recv_value(src, dst, self.channel, self.timeout)
+            .map_err(|e| self.map_err(src, dst, e))
     }
 
     /// Attempts to receive without blocking; returns `None` if the FIFO is
@@ -261,19 +267,54 @@ impl<T: Persist, Tr: Transport> P2pMesh<T, Tr> {
     ///
     /// # Panics
     ///
-    /// Panics if `src` or `dst` is out of range.
+    /// Panics if `src` or `dst` is out of range, or if a delivered payload
+    /// fails to decode (this accessor has no error channel).
     pub fn try_recv(&self, src: usize, dst: usize) -> Option<T> {
         let world = self.world();
         assert!(src < world && dst < world, "rank out of range");
         self.transport
-            .try_recv(src, dst, self.channel)
-            .ok()
-            .flatten()
-            .map(|bytes| Self::decode(&bytes))
+            .try_recv_value(src, dst, self.channel)
+            .unwrap_or_else(|e| {
+                if matches!(e, TransportError::Decode { .. }) {
+                    panic!("mesh try_recv {src} -> {dst} failed: {e}")
+                }
+                None
+            })
     }
 
-    fn decode(bytes: &[u8]) -> T {
-        T::from_bytes(bytes).expect("mesh payload failed to decode after integrity checks")
+    /// Maps a transport failure onto the mesh's lane-contextual error.
+    fn map_err(&self, src: usize, dst: usize, e: TransportError) -> RecvError {
+        match e {
+            TransportError::Timeout { .. } => RecvError::Timeout {
+                src,
+                dst,
+                world: self.world(),
+                timeout: self.timeout,
+            },
+            TransportError::Disconnected { .. } => RecvError::Disconnected {
+                src,
+                dst,
+                world: self.world(),
+            },
+            TransportError::Corrupt { detail } => RecvError::Corrupt {
+                src,
+                dst,
+                channel: self.channel,
+                detail,
+            },
+            TransportError::Decode { detail } => RecvError::Decode {
+                src,
+                dst,
+                channel: self.channel,
+                detail,
+            },
+            other => RecvError::Transport {
+                src,
+                dst,
+                channel: self.channel,
+                detail: other.to_string(),
+            },
+        }
     }
 }
 
@@ -358,15 +399,32 @@ mod tests {
             2
         }
 
-        fn send(&self, _: usize, _: usize, _: u64, _: Vec<u8>) -> Result<(), TransportError> {
+        fn send_payload(
+            &self,
+            _: usize,
+            _: usize,
+            _: u64,
+            _: crate::Payload,
+        ) -> Result<(), TransportError> {
             Ok(())
         }
 
-        fn recv(&self, _: usize, _: usize, _: u64, _: Duration) -> Result<Vec<u8>, TransportError> {
+        fn recv_payload(
+            &self,
+            _: usize,
+            _: usize,
+            _: u64,
+            _: Duration,
+        ) -> Result<crate::Payload, TransportError> {
             Err(self.0.clone())
         }
 
-        fn try_recv(&self, _: usize, _: usize, _: u64) -> Result<Option<Vec<u8>>, TransportError> {
+        fn try_recv_payload(
+            &self,
+            _: usize,
+            _: usize,
+            _: u64,
+        ) -> Result<Option<crate::Payload>, TransportError> {
             Ok(None)
         }
     }

@@ -3,9 +3,14 @@
 //! The collectives ([`crate::CollectiveGroup`]), the point-to-point mesh
 //! ([`crate::P2pMesh`]), and the remote shard store
 //! ([`crate::TcpShardStore`]) are all written against one small
-//! abstraction: a [`Transport`] moves opaque framed byte messages between
-//! ranks of a fixed-size world, FIFO per `(src, dst, channel)` lane. Two
-//! backends implement it:
+//! abstraction: a [`Transport`] moves framed messages between ranks of a
+//! fixed-size world, FIFO per `(src, dst, channel)` lane. Messages are
+//! [`Payload`]s — either raw encoded bytes or an `Arc`-shared typed
+//! value ([`Payload::Shared`]), and the typed
+//! [`Transport::send_value`]/[`Transport::recv_value`] fast path lets an
+//! in-process backend hand values across with **zero serialization**
+//! while a byte-boundary backend transparently encodes at the socket.
+//! Two backends implement it:
 //!
 //! * [`LocalTransport`] — the extracted in-process fabric: one crossbeam
 //!   channel per lane, shared by every worker *thread* of a
@@ -29,15 +34,17 @@
 use crate::chanstats::{ChannelLedger, ChannelStat};
 use crate::retry::RetryPolicy;
 use opt_ckpt::framing::{self, FRAME_OVERHEAD, HEADER_LEN};
+use opt_tensor::Persist;
 use opt_trace::{SpanKind, NO_MICRO};
 use parking_lot::{Mutex, RwLock};
+use std::any::Any;
 use std::collections::HashMap;
 use std::fmt;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -125,6 +132,15 @@ pub enum TransportError {
         /// What went wrong.
         detail: String,
     },
+    /// A typed receive could not turn the delivered payload into the
+    /// requested type: the byte decode failed after the transport's
+    /// integrity checks passed, or a zero-copy handoff carried a
+    /// different type than the receiver asked for. Either way the lane
+    /// is being used inconsistently — a code bug, not a wire fault.
+    Decode {
+        /// What the decoder rejected.
+        detail: String,
+    },
 }
 
 impl fmt::Display for TransportError {
@@ -150,6 +166,9 @@ impl fmt::Display for TransportError {
             TransportError::Rendezvous { detail } => {
                 write!(f, "transport rendezvous failed: {detail}")
             }
+            TransportError::Decode { detail } => {
+                write!(f, "transport payload failed to decode: {detail}")
+            }
         }
     }
 }
@@ -164,7 +183,166 @@ impl TransportError {
     }
 }
 
-/// Moves framed byte messages between the ranks of a fixed-size world.
+/// A value that can travel through a [`Payload::Shared`] handoff: it
+/// knows its exact wire encoding (for the moment a real wire needs it)
+/// and its encoded length (so byte accounting never serializes), and it
+/// can be downcast back to its concrete type on the receiving side.
+///
+/// Blanket-implemented for every `Persist + Send + Sync + 'static` type —
+/// implement [`Persist`] and the typed transport API is available for
+/// free.
+pub trait WireValue: Any + Send + Sync {
+    /// Produces the exact bytes [`Persist::to_bytes`] would — what a
+    /// byte-boundary backend puts on the wire.
+    fn encode_wire(&self) -> Vec<u8>;
+
+    /// Exact length of [`WireValue::encode_wire`]'s output, computed
+    /// without encoding where the type allows it.
+    fn wire_len(&self) -> usize;
+
+    /// Upcasts to [`Any`] for the receiver-side downcast.
+    fn as_any(self: Arc<Self>) -> Arc<dyn Any + Send + Sync>;
+}
+
+impl<T: Persist + Send + Sync + 'static> WireValue for T {
+    fn encode_wire(&self) -> Vec<u8> {
+        self.to_bytes()
+    }
+
+    fn wire_len(&self) -> usize {
+        self.persist_len()
+    }
+
+    fn as_any(self: Arc<Self>) -> Arc<dyn Any + Send + Sync> {
+        self
+    }
+}
+
+/// An `Arc`-shared typed message plus a lazily-populated encode cache.
+///
+/// On [`LocalTransport`] the value crosses lanes as the `Arc` itself —
+/// zero serialization. On [`TcpTransport`] the first send forces the
+/// encode and caches it, so broadcasting one payload to N peers encodes
+/// once, not N times. Clones share both the value and the cache.
+#[derive(Clone)]
+pub struct SharedPayload {
+    value: Arc<dyn WireValue>,
+    encoded: Arc<OnceLock<Vec<u8>>>,
+}
+
+impl fmt::Debug for SharedPayload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SharedPayload({} wire bytes{})",
+            self.value.wire_len(),
+            if self.encoded.get().is_some() {
+                ", encoded"
+            } else {
+                ""
+            }
+        )
+    }
+}
+
+impl SharedPayload {
+    /// Wraps `value` for zero-copy transport.
+    pub fn new<T: Persist + Send + Sync + 'static>(value: T) -> Self {
+        Self {
+            value: Arc::new(value),
+            encoded: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// Exact number of bytes this payload occupies on a byte-boundary
+    /// backend, computed without encoding.
+    pub fn wire_len(&self) -> usize {
+        self.value.wire_len()
+    }
+
+    /// The wire encoding, produced on first use and cached — clones made
+    /// before or after share the same cache, so a broadcast encodes once.
+    pub fn encoded(&self) -> &[u8] {
+        self.encoded.get_or_init(|| self.value.encode_wire())
+    }
+
+    /// Recovers the concrete value, or returns `self` unchanged if the
+    /// payload holds a different type.
+    pub fn downcast<T: Any + Send + Sync>(self) -> Result<Arc<T>, SharedPayload> {
+        let encoded = Arc::clone(&self.encoded);
+        match Arc::clone(&self.value).as_any().downcast::<T>() {
+            Ok(v) => Ok(v),
+            Err(_) => Err(SharedPayload {
+                value: self.value,
+                encoded,
+            }),
+        }
+    }
+}
+
+/// A message travelling through a [`Transport`]: either raw encoded
+/// bytes (the classic path, and the only form a byte-boundary backend
+/// ever delivers) or an `Arc`-shared typed value that an in-process
+/// backend hands off with zero serialization.
+#[derive(Clone, Debug)]
+pub enum Payload {
+    /// An already-encoded message body.
+    Bytes(Vec<u8>),
+    /// A typed in-memory value; a byte-boundary backend encodes it at
+    /// the socket (once, cached), an in-process backend never does.
+    Shared(SharedPayload),
+}
+
+impl Payload {
+    /// Wraps `value` as a [`Payload::Shared`].
+    pub fn shared<T: Persist + Send + Sync + 'static>(value: T) -> Self {
+        Payload::Shared(SharedPayload::new(value))
+    }
+
+    /// Exact number of bytes this payload occupies on a byte-boundary
+    /// backend — the length every backend's channel stats record, so the
+    /// per-lane counters of a zero-copy run match a byte run exactly.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            Payload::Bytes(b) => b.len(),
+            Payload::Shared(s) => s.wire_len(),
+        }
+    }
+
+    /// The encoded message body, forcing (and caching) the encode for a
+    /// shared value.
+    pub fn into_bytes(self) -> Vec<u8> {
+        match self {
+            Payload::Bytes(b) => b,
+            Payload::Shared(s) => s.encoded().to_vec(),
+        }
+    }
+}
+
+/// Turns a delivered [`Payload`] into the typed value the receiver asked
+/// for: bytes decode through [`Persist`], a shared handoff downcasts
+/// (and unwraps the `Arc`, cloning only if other references remain).
+fn payload_value<T>(payload: Payload) -> Result<T, TransportError>
+where
+    T: Persist + Clone + Send + Sync + 'static,
+{
+    match payload {
+        Payload::Bytes(bytes) => T::from_bytes(&bytes).map_err(|e| TransportError::Decode {
+            detail: e.to_string(),
+        }),
+        Payload::Shared(shared) => match shared.downcast::<T>() {
+            Ok(arc) => Ok(Arc::try_unwrap(arc).unwrap_or_else(|a| (*a).clone())),
+            Err(_) => Err(TransportError::Decode {
+                detail: format!(
+                    "shared payload does not hold a {}",
+                    std::any::type_name::<T>()
+                ),
+            }),
+        },
+    }
+}
+
+/// Moves framed messages between the ranks of a fixed-size world.
 ///
 /// Guarantees every backend must provide:
 ///
@@ -172,50 +350,176 @@ impl TransportError {
 ///   arrive in send order; distinct lanes are unordered relative to each
 ///   other.
 /// * **Integrity** — a delivered message is byte-identical to the sent
-///   one; a backend that cannot guarantee this (a real wire) must detect
-///   and reject the damage instead of delivering it.
+///   one (for a [`Payload::Shared`] handoff: the *value* is identical,
+///   and its encoding would be byte-identical); a backend that cannot
+///   guarantee this (a real wire) must detect and reject the damage
+///   instead of delivering it.
 /// * **No tapping** — `recv(src, dst, ..)` only ever yields messages sent
 ///   by `src` to `dst`.
+/// * **Stats parity** — a backend with channel stats records
+///   [`Payload::wire_len`] per message, so byte and zero-copy runs of
+///   the same traffic produce identical per-lane counters.
+///
+/// Implementers provide the three `*_payload` methods (plus `world` and
+/// optionally `channel_stats`); the byte-level `send`/`recv`/`try_recv`
+/// and the typed `send_value`/`recv_value` family are derived. A backend
+/// without a shared address space simply never yields
+/// [`Payload::Shared`] from its receive methods.
 pub trait Transport: Send + Sync + fmt::Debug + 'static {
     /// Number of ranks in the world.
     fn world(&self) -> usize;
 
-    /// Sends `bytes` on the `(src, dst, channel)` lane. Non-blocking.
+    /// Sends `payload` on the `(src, dst, channel)` lane. Non-blocking.
+    fn send_payload(
+        &self,
+        src: usize,
+        dst: usize,
+        channel: u64,
+        payload: Payload,
+    ) -> Result<(), TransportError>;
+
+    /// Receives the next message on the `(src, dst, channel)` lane,
+    /// blocking up to `timeout`.
+    fn recv_payload(
+        &self,
+        src: usize,
+        dst: usize,
+        channel: u64,
+        timeout: Duration,
+    ) -> Result<Payload, TransportError>;
+
+    /// Non-blocking receive: `Ok(None)` if the lane is currently empty.
+    fn try_recv_payload(
+        &self,
+        src: usize,
+        dst: usize,
+        channel: u64,
+    ) -> Result<Option<Payload>, TransportError>;
+
+    /// Per-lane send/recv counters this transport endpoint has observed
+    /// ([`Payload::wire_len`] per message, frame overhead excluded).
+    /// Backends without accounting return an empty list.
+    fn channel_stats(&self) -> Vec<ChannelStat> {
+        Vec::new()
+    }
+
+    /// Sends raw `bytes` on the `(src, dst, channel)` lane. Non-blocking.
     fn send(
         &self,
         src: usize,
         dst: usize,
         channel: u64,
         bytes: Vec<u8>,
-    ) -> Result<(), TransportError>;
+    ) -> Result<(), TransportError> {
+        self.send_payload(src, dst, channel, Payload::Bytes(bytes))
+    }
 
-    /// Receives the next message on the `(src, dst, channel)` lane,
-    /// blocking up to `timeout`.
+    /// Receives the next message on the `(src, dst, channel)` lane as raw
+    /// bytes, blocking up to `timeout`. A zero-copy payload is encoded on
+    /// the way out, so mixed typed/byte usage of one lane stays coherent.
     fn recv(
         &self,
         src: usize,
         dst: usize,
         channel: u64,
         timeout: Duration,
-    ) -> Result<Vec<u8>, TransportError>;
+    ) -> Result<Vec<u8>, TransportError> {
+        Ok(self.recv_payload(src, dst, channel, timeout)?.into_bytes())
+    }
 
-    /// Non-blocking receive: `Ok(None)` if the lane is currently empty.
+    /// Non-blocking byte receive: `Ok(None)` if the lane is currently
+    /// empty.
     fn try_recv(
         &self,
         src: usize,
         dst: usize,
         channel: u64,
-    ) -> Result<Option<Vec<u8>>, TransportError>;
+    ) -> Result<Option<Vec<u8>>, TransportError> {
+        Ok(self
+            .try_recv_payload(src, dst, channel)?
+            .map(Payload::into_bytes))
+    }
 
-    /// Per-lane send/recv counters this transport endpoint has observed
-    /// (payload bytes, frame overhead excluded). Backends without
-    /// accounting return an empty list.
-    fn channel_stats(&self) -> Vec<ChannelStat> {
-        Vec::new()
+    /// Sends a typed value on the `(src, dst, channel)` lane — the fast
+    /// path. An in-process backend hands the value across as an `Arc`
+    /// with zero serialization; a byte-boundary backend encodes at the
+    /// socket.
+    fn send_value<T>(
+        &self,
+        src: usize,
+        dst: usize,
+        channel: u64,
+        value: T,
+    ) -> Result<(), TransportError>
+    where
+        T: Persist + Send + Sync + 'static,
+        Self: Sized,
+    {
+        self.send_payload(src, dst, channel, Payload::shared(value))
+    }
+
+    /// Sends an already-wrapped [`SharedPayload`] — the broadcast form of
+    /// [`Transport::send_value`]: every destination shares one value and
+    /// one encode cache, so a byte-boundary backend encodes once total.
+    fn send_shared(
+        &self,
+        src: usize,
+        dst: usize,
+        channel: u64,
+        payload: &SharedPayload,
+    ) -> Result<(), TransportError>
+    where
+        Self: Sized,
+    {
+        self.send_payload(src, dst, channel, Payload::Shared(payload.clone()))
+    }
+
+    /// Receives the next message on the lane as a typed value, blocking
+    /// up to `timeout`. A zero-copy handoff downcasts (no decode); raw
+    /// bytes decode through [`Persist`].
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Decode`] if the payload cannot become a `T`; any
+    /// transport error `recv` can return.
+    fn recv_value<T>(
+        &self,
+        src: usize,
+        dst: usize,
+        channel: u64,
+        timeout: Duration,
+    ) -> Result<T, TransportError>
+    where
+        T: Persist + Clone + Send + Sync + 'static,
+        Self: Sized,
+    {
+        payload_value(self.recv_payload(src, dst, channel, timeout)?)
+    }
+
+    /// Non-blocking typed receive: `Ok(None)` if the lane is currently
+    /// empty.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Transport::recv_value`].
+    fn try_recv_value<T>(
+        &self,
+        src: usize,
+        dst: usize,
+        channel: u64,
+    ) -> Result<Option<T>, TransportError>
+    where
+        T: Persist + Clone + Send + Sync + 'static,
+        Self: Sized,
+    {
+        match self.try_recv_payload(src, dst, channel)? {
+            Some(payload) => payload_value(payload).map(Some),
+            None => Ok(None),
+        }
     }
 }
 
-type Lane = (Sender<Vec<u8>>, Receiver<Vec<u8>>);
+type Lane = (Sender<Payload>, Receiver<Payload>);
 
 /// Shared map of lanes, keyed by lane identity.
 type LaneMap<K> = Arc<Mutex<HashMap<K, Lane>>>;
@@ -273,37 +577,40 @@ impl Transport for LocalTransport {
         self.world
     }
 
-    fn send(
+    fn send_payload(
         &self,
         src: usize,
         dst: usize,
         channel: u64,
-        bytes: Vec<u8>,
+        payload: Payload,
     ) -> Result<(), TransportError> {
         self.check_ranks(src, dst);
-        let _span = opt_trace::begin_full(SpanKind::Send, 0, NO_MICRO, bytes.len() as u64, 0);
-        self.stats.record_send(src, dst, channel, bytes.len());
-        // The transport holds both lane ends, so the send cannot fail.
+        let wire_len = payload.wire_len();
+        let _span = opt_trace::begin_full(SpanKind::Send, 0, NO_MICRO, wire_len as u64, 0);
+        self.stats.record_send(src, dst, channel, wire_len);
+        // The transport holds both lane ends, so the send cannot fail. A
+        // shared payload crosses as-is: the zero-copy fast path.
         let (tx, _rx) = self.lane((src, dst, channel));
-        tx.send(bytes).expect("local lane receiver dropped");
+        tx.send(payload).expect("local lane receiver dropped");
         Ok(())
     }
 
-    fn recv(
+    fn recv_payload(
         &self,
         src: usize,
         dst: usize,
         channel: u64,
         timeout: Duration,
-    ) -> Result<Vec<u8>, TransportError> {
+    ) -> Result<Payload, TransportError> {
         self.check_ranks(src, dst);
         let span = opt_trace::begin_full(SpanKind::Recv, 0, NO_MICRO, 0, 0);
         let (_tx, rx) = self.lane((src, dst, channel));
         match rx.recv_timeout(timeout) {
-            Ok(bytes) => {
-                span.set_bytes(bytes.len() as u64);
-                self.stats.record_recv(src, dst, channel, bytes.len());
-                Ok(bytes)
+            Ok(payload) => {
+                let wire_len = payload.wire_len();
+                span.set_bytes(wire_len as u64);
+                self.stats.record_recv(src, dst, channel, wire_len);
+                Ok(payload)
             }
             Err(RecvTimeoutError::Timeout) => Err(TransportError::Timeout {
                 src,
@@ -315,17 +622,18 @@ impl Transport for LocalTransport {
         }
     }
 
-    fn try_recv(
+    fn try_recv_payload(
         &self,
         src: usize,
         dst: usize,
         channel: u64,
-    ) -> Result<Option<Vec<u8>>, TransportError> {
+    ) -> Result<Option<Payload>, TransportError> {
         self.check_ranks(src, dst);
         let (_tx, rx) = self.lane((src, dst, channel));
         let got = rx.try_recv().ok();
-        if let Some(bytes) = &got {
-            self.stats.record_recv(src, dst, channel, bytes.len());
+        if let Some(payload) = &got {
+            self.stats
+                .record_recv(src, dst, channel, payload.wire_len());
         }
         Ok(got)
     }
@@ -743,7 +1051,7 @@ fn spawn_peer(
                         return;
                     }
                     let channel = u64::from_le_bytes(body[..8].try_into().unwrap());
-                    let payload = body[16..].to_vec();
+                    let payload = Payload::Bytes(body[16..].to_vec());
                     let tx = {
                         let mut map = inbox.lock();
                         map.entry((peer_rank, channel))
@@ -858,12 +1166,12 @@ impl Transport for TcpTransport {
         self.world
     }
 
-    fn send(
+    fn send_payload(
         &self,
         src: usize,
         dst: usize,
         channel: u64,
-        bytes: Vec<u8>,
+        payload: Payload,
     ) -> Result<(), TransportError> {
         assert!(
             src == self.rank,
@@ -874,8 +1182,15 @@ impl Transport for TcpTransport {
             dst < self.world && dst != self.rank,
             "bad destination {dst}"
         );
+        // The socket boundary: a shared payload is encoded here — once,
+        // cached, so a broadcast of one payload encodes a single time no
+        // matter how many peers it goes to.
+        let bytes: &[u8] = match &payload {
+            Payload::Bytes(b) => b,
+            Payload::Shared(s) => s.encoded(),
+        };
         let _span = opt_trace::begin_full(SpanKind::Send, 0, NO_MICRO, bytes.len() as u64, 0);
-        let frame = wire_frame(channel, dst, &bytes);
+        let frame = wire_frame(channel, dst, bytes);
         let slot = self.peers.slots[dst].read();
         let Some(peer) = slot.as_ref() else {
             return Err(TransportError::Disconnected { peer: dst });
@@ -894,13 +1209,13 @@ impl Transport for TcpTransport {
         Ok(())
     }
 
-    fn recv(
+    fn recv_payload(
         &self,
         src: usize,
         dst: usize,
         channel: u64,
         timeout: Duration,
-    ) -> Result<Vec<u8>, TransportError> {
+    ) -> Result<Payload, TransportError> {
         assert!(
             dst == self.rank,
             "TcpTransport rank {} cannot receive as rank {dst}",
@@ -922,10 +1237,11 @@ impl Transport for TcpTransport {
                 .saturating_duration_since(Instant::now())
                 .min(POLL_SLICE);
             match rx.recv_timeout(slice) {
-                Ok(bytes) => {
-                    span.set_bytes(bytes.len() as u64);
-                    self.stats.record_recv(src, dst, channel, bytes.len());
-                    return Ok(bytes);
+                Ok(payload) => {
+                    let wire_len = payload.wire_len();
+                    span.set_bytes(wire_len as u64);
+                    self.stats.record_recv(src, dst, channel, wire_len);
+                    return Ok(payload);
                 }
                 Err(RecvTimeoutError::Disconnected) => {
                     return Err(TransportError::Disconnected { peer: src })
@@ -964,12 +1280,12 @@ impl Transport for TcpTransport {
         }
     }
 
-    fn try_recv(
+    fn try_recv_payload(
         &self,
         src: usize,
         dst: usize,
         channel: u64,
-    ) -> Result<Option<Vec<u8>>, TransportError> {
+    ) -> Result<Option<Payload>, TransportError> {
         assert!(dst == self.rank, "bad destination {dst}");
         let rx = {
             let mut map = self.inbox.lock();
@@ -979,8 +1295,9 @@ impl Transport for TcpTransport {
                 .clone()
         };
         let got = rx.try_recv().ok();
-        if let Some(bytes) = &got {
-            self.stats.record_recv(src, dst, channel, bytes.len());
+        if let Some(payload) = &got {
+            self.stats
+                .record_recv(src, dst, channel, payload.wire_len());
         }
         Ok(got)
     }

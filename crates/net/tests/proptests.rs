@@ -2,9 +2,10 @@
 
 use opt_net::{
     all_reduce_time_s, p2p_time_s, ring_all_reduce_wire_bytes, tcp_rendezvous, CollectiveWorld,
-    CostModel, P2pMesh, Topology, TrafficClass, TrafficLedger, Transport, TransportError,
+    CostModel, LocalTransport, P2pMesh, SharedPayload, Topology, TrafficClass, TrafficLedger,
+    Transport, TransportError,
 };
-use opt_tensor::{Matrix, SeedStream};
+use opt_tensor::{Matrix, Persist, SeedStream};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -83,7 +84,7 @@ fn adversarial_round<Tr: Transport>(
                 member,
                 s.spawn(move || {
                     thread::sleep(delay);
-                    g.all_reduce_sum(member, m)
+                    g.all_reduce_sum(member, m).expect("all-reduce decode")
                 }),
             ));
         }
@@ -143,7 +144,7 @@ proptest! {
                 .map(|(r, m)| {
                     let g = group.clone();
                     let m = m.clone();
-                    s.spawn(move || g.all_reduce_sum(r, m))
+                    s.spawn(move || g.all_reduce_sum(r, m).unwrap())
                 })
                 .collect::<Vec<_>>()
                 .into_iter()
@@ -153,6 +154,47 @@ proptest! {
         for o in outs {
             prop_assert!(o.sub(&expect).max_abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn typed_hop_matches_byte_hop_bit_for_bit_and_in_stats(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        // The typed fast path must be observationally identical to the
+        // byte path it replaced: same bits delivered, same per-lane
+        // accounting — so swapping one for the other can never perturb
+        // the determinism contract.
+        let m = SeedStream::new(seed).uniform_matrix(rows, cols, 3.0);
+        let byte_t = LocalTransport::new(2);
+        let typed_t = LocalTransport::new(2);
+        byte_t.send(0, 1, 7, m.to_bytes()).unwrap();
+        let a = Matrix::from_bytes(&byte_t.recv(0, 1, 7, Duration::from_secs(5)).unwrap()).unwrap();
+        typed_t.send_value(0, 1, 7, m.clone()).unwrap();
+        let b: Matrix = typed_t.recv_value(0, 1, 7, Duration::from_secs(5)).unwrap();
+        assert_bits_equal(&a, &b, "typed vs byte hop")?;
+        assert_bits_equal(&b, &m, "typed hop vs original")?;
+        prop_assert_eq!(byte_t.channel_stats(), typed_t.channel_stats());
+    }
+
+    #[test]
+    fn shared_payload_forced_encode_matches_zero_copy(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        // A SharedPayload crossing a socket boundary is force-encoded
+        // from its cache (the TCP path); the same payload handed off
+        // zero-copy (the Local path) must carry exactly the same value.
+        let m = SeedStream::new(seed).uniform_matrix(rows, cols, 3.0);
+        let payload = SharedPayload::new(m.clone());
+        let encoded = payload.encoded().to_vec();
+        prop_assert_eq!(&encoded, &m.to_bytes(), "forced encode differs from Persist");
+        let decoded = Matrix::from_bytes(&encoded).unwrap();
+        let handed_off = payload.downcast::<Matrix>().expect("typed payload");
+        assert_bits_equal(&decoded, &handed_off, "socket path vs zero-copy handoff")?;
+        assert_bits_equal(&handed_off, &m, "zero-copy handoff vs original")?;
     }
 
     #[test]

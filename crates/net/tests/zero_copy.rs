@@ -1,0 +1,86 @@
+//! The zero-copy contract of the typed transport fast path: over
+//! [`LocalTransport`], collective and mesh hops move values as `Arc`
+//! handoffs and perform **zero** `Persist` encode/decode cycles. The
+//! counters are thread-local, so every participating thread asserts its
+//! own delta.
+
+use opt_net::{CollectiveWorld, LocalTransport, P2pMesh, Transport};
+use opt_tensor::{codec_cycle_counts, Matrix, Persist, SeedStream};
+use std::thread;
+use std::time::Duration;
+
+#[test]
+fn local_collective_hops_are_codec_free() {
+    let n = 4;
+    let world = CollectiveWorld::new(n);
+    let group = world.group(&(0..n).collect::<Vec<_>>());
+    let mut rng = SeedStream::new(11);
+    let inputs: Vec<Matrix> = (0..n).map(|_| rng.uniform_matrix(6, 5, 1.0)).collect();
+    let mut expect = inputs[0].clone();
+    for m in &inputs[1..] {
+        expect.add_assign(m);
+    }
+    let outs: Vec<Matrix> = thread::scope(|s| {
+        inputs
+            .iter()
+            .enumerate()
+            .map(|(r, m)| {
+                let g = group.clone();
+                let m = m.clone();
+                s.spawn(move || {
+                    let before = codec_cycle_counts();
+                    let out = g.all_reduce_sum(r, m).expect("all-reduce");
+                    assert_eq!(
+                        codec_cycle_counts(),
+                        before,
+                        "rank {r} all-reduce ran encode/decode cycles on LocalTransport"
+                    );
+                    out
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("member thread"))
+            .collect()
+    });
+    for out in &outs {
+        assert_eq!(out, &expect);
+    }
+}
+
+#[test]
+fn local_mesh_hops_are_codec_free() {
+    let mesh: P2pMesh<Matrix> = P2pMesh::new(2);
+    let m = SeedStream::new(3).uniform_matrix(4, 7, 1.0);
+    let before = codec_cycle_counts();
+    mesh.send(0, 1, m.clone());
+    let got = mesh.recv(0, 1).expect("mesh recv");
+    assert_eq!(
+        codec_cycle_counts(),
+        before,
+        "typed mesh hop ran encode/decode cycles on LocalTransport"
+    );
+    assert_eq!(got, m);
+}
+
+#[test]
+fn local_typed_raw_hops_are_codec_free_and_recorded() {
+    // The raw typed API on a bare transport: send_value/recv_value must
+    // be codec-free AND still account wire bytes in the channel stats
+    // (via arithmetic `persist_len`, not a scratch encode).
+    let t = LocalTransport::new(2);
+    let m = SeedStream::new(5).uniform_matrix(3, 3, 1.0);
+    let wire = m.to_bytes().len() as u64; // reference encode, outside the window
+    let before = codec_cycle_counts();
+    t.send_value(0, 1, 9, m.clone()).expect("send");
+    let got: Matrix = t.recv_value(0, 1, 9, Duration::from_secs(5)).expect("recv");
+    assert_eq!(codec_cycle_counts(), before, "typed hop ran codec cycles");
+    assert_eq!(got, m);
+    let stats = t.channel_stats();
+    let lane = stats
+        .iter()
+        .find(|st| st.channel == 9)
+        .expect("lane recorded");
+    assert_eq!(lane.send_bytes, wire, "stats must record encoded wire size");
+    assert_eq!(lane.recv_bytes, wire, "stats must record decoded wire size");
+}

@@ -1,0 +1,132 @@
+//! Comm/compute overlap for the 1F1B epilogue.
+//!
+//! The last backward micro-batch of every 1F1B iteration is *always* an
+//! epilogue send (see [`crate::is_epilogue_send`]: `M - 1 >= M + s - S`
+//! for every sender stage `s <= S - 1`), and nothing after it in the
+//! schedule consumes its compressed payload locally — the only consumer
+//! is the downstream stage. The worker can therefore hand that final
+//! compress-and-send epilogue to a background thread and start its
+//! data-parallel gradient exchange immediately, joining the task at the
+//! next barrier point. The typed zero-copy transport path makes the
+//! handoff cheap enough that the overlap window is pure win.
+//!
+//! The launch and join are recorded as [`SpanKind::OverlapLaunch`] (a
+//! zero-length marker at the moment the epilogue leaves the critical
+//! path) and [`SpanKind::OverlapJoin`] (the residual wait, if any, once
+//! the DP exchange is done), so `opt-trace` reports show exactly how much
+//! of the epilogue the exchange hid.
+
+use opt_trace::SpanKind;
+
+/// The single backward micro-batch whose epilogue a worker may overlap
+/// with the data-parallel exchange: the last one. Returns `None` for an
+/// empty schedule.
+///
+/// # Example
+///
+/// ```
+/// use opt_schedule::overlap_micro;
+/// assert_eq!(overlap_micro(8), Some(7));
+/// assert_eq!(overlap_micro(0), None);
+/// ```
+pub fn overlap_micro(n_micro: usize) -> Option<usize> {
+    n_micro.checked_sub(1)
+}
+
+/// An epilogue running concurrently with the caller's own work, started
+/// by [`overlap_launch`]. Must be [`OverlapTask::join`]ed before the next
+/// synchronization point that depends on the epilogue's side effects.
+#[derive(Debug)]
+pub struct OverlapTask<T> {
+    handle: std::thread::JoinHandle<T>,
+    iter: u64,
+    micro: usize,
+}
+
+/// Launches `work` on a background thread, recording a zero-length
+/// [`SpanKind::OverlapLaunch`] marker span on the calling thread at the
+/// instant the epilogue leaves the critical path.
+///
+/// The background thread has no tracer installed, so spans the epilogue
+/// itself would record are dropped; its wire bytes are attributed to the
+/// join span instead (see [`OverlapTask::join`]).
+pub fn overlap_launch<T, F>(iter: u64, micro: usize, work: F) -> OverlapTask<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    drop(opt_trace::begin(
+        SpanKind::OverlapLaunch,
+        iter,
+        micro as u32,
+        0,
+        0,
+    ));
+    OverlapTask {
+        handle: std::thread::spawn(work),
+        iter,
+        micro,
+    }
+}
+
+impl<T> OverlapTask<T> {
+    /// Blocks until the overlapped epilogue finishes and returns its
+    /// result. The wait is recorded as a [`SpanKind::OverlapJoin`] span;
+    /// `bytes_of` extracts the wire bytes the epilogue sent so the trace
+    /// attributes them somewhere despite the launch span being
+    /// zero-length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the epilogue thread panicked.
+    pub fn join(self, bytes_of: impl FnOnce(&T) -> u64) -> T {
+        let span = opt_trace::begin(SpanKind::OverlapJoin, self.iter, self.micro as u32, 0, 0);
+        let out = self.handle.join().expect("overlapped epilogue panicked");
+        span.set_bytes(bytes_of(&out));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opt_trace::{take_buffer, TraceMode};
+
+    #[test]
+    fn overlap_micro_is_the_last_backward() {
+        assert_eq!(overlap_micro(1), Some(0));
+        assert_eq!(overlap_micro(8), Some(7));
+        assert_eq!(overlap_micro(0), None);
+    }
+
+    #[test]
+    fn launch_and_join_return_the_work_result_and_record_spans() {
+        opt_trace::install(TraceMode::Spans);
+        let task = overlap_launch(3, 7, || (42u64, 128u64));
+        let (value, bytes) = task.join(|&(_, b)| b);
+        let buf = take_buffer(0, 1, 1);
+        opt_trace::install(TraceMode::Off);
+        assert_eq!((value, bytes), (42, 128));
+        assert_eq!(buf.spans.len(), 2);
+        assert_eq!(buf.spans[0].kind, SpanKind::OverlapLaunch);
+        assert_eq!(buf.spans[0].micro, 7);
+        assert_eq!(buf.spans[0].iter, 3);
+        assert_eq!(buf.spans[1].kind, SpanKind::OverlapJoin);
+        assert_eq!(buf.spans[1].bytes, 128);
+    }
+
+    #[test]
+    fn join_works_without_a_tracer() {
+        opt_trace::install(TraceMode::Off);
+        let task = overlap_launch(0, 0, || 7);
+        assert_eq!(task.join(|_| 0), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapped epilogue panicked")]
+    fn join_propagates_a_panicking_epilogue() {
+        opt_trace::install(TraceMode::Off);
+        let task = overlap_launch(0, 0, || panic!("boom"));
+        task.join(|_: &()| 0);
+    }
+}

@@ -40,7 +40,7 @@ mod stats;
 pub use init::{xavier_uniform, SeedStream};
 pub use linalg::orthonormalize_columns;
 pub use matrix::{Matrix, ShapeError};
-pub use persist::{Persist, PersistError, Reader, Writer};
+pub use persist::{codec_cycle_counts, Persist, PersistError, Reader, Writer};
 pub use pool::{
     kernel_threads, parallel_flop_threshold, set_kernel_threads, set_parallel_flop_threshold,
     MAX_KERNEL_THREADS,

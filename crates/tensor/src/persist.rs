@@ -26,7 +26,29 @@
 //! ```
 
 use crate::Matrix;
+use std::cell::Cell;
 use std::fmt;
+
+thread_local! {
+    static ENCODE_CYCLES: Cell<u64> = const { Cell::new(0) };
+    static DECODE_CYCLES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// This thread's codec-cycle counters as `(encodes, decodes)`.
+///
+/// An *encode cycle* is one top-level [`Persist::to_bytes`] call; a
+/// *decode cycle* is one top-level [`Persist::from_bytes`] call. Nested
+/// `persist`/`restore` calls inside a composite value count as part of
+/// their enclosing cycle, not separately. The counters are thread-local,
+/// so a test can assert that a code path on its own thread performed zero
+/// serialization without interference from concurrently running tests.
+///
+/// This is the observability hook behind the zero-copy transport
+/// contract: a `LocalTransport` hop through the typed payload API must
+/// leave both counters untouched.
+pub fn codec_cycle_counts() -> (u64, u64) {
+    (ENCODE_CYCLES.with(Cell::get), DECODE_CYCLES.with(Cell::get))
+}
 
 /// Error raised while decoding persisted state.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -269,19 +291,39 @@ pub trait Persist: Sized {
     /// Decodes one value from `r`, advancing the cursor.
     fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError>;
 
-    /// Encodes into a fresh byte vector.
+    /// Encodes into a fresh byte vector. Counts one encode cycle in
+    /// [`codec_cycle_counts`].
     fn to_bytes(&self) -> Vec<u8> {
+        ENCODE_CYCLES.with(|c| c.set(c.get() + 1));
         let mut w = Writer::new();
         self.persist(&mut w);
         w.into_bytes()
     }
 
-    /// Decodes from `bytes`, requiring every byte to be consumed.
+    /// Decodes from `bytes`, requiring every byte to be consumed. Counts
+    /// one decode cycle in [`codec_cycle_counts`].
     fn from_bytes(bytes: &[u8]) -> Result<Self, PersistError> {
+        DECODE_CYCLES.with(|c| c.set(c.get() + 1));
         let mut r = Reader::new(bytes);
         let v = Self::restore(&mut r)?;
         r.finish()?;
         Ok(v)
+    }
+
+    /// Exact number of bytes [`Persist::persist`] would append, computed
+    /// *without* producing them where possible.
+    ///
+    /// The default implementation serializes into a scratch writer (it
+    /// does **not** count as an encode cycle, but it does pay the
+    /// encoding work); types on transport hot paths override it with
+    /// arithmetic so byte accounting never serializes. The override must
+    /// satisfy `persist_len() == to_bytes().len()` exactly — the
+    /// zero-copy transport relies on it for channel-stats parity between
+    /// backends.
+    fn persist_len(&self) -> usize {
+        let mut w = Writer::new();
+        self.persist(&mut w);
+        w.len()
     }
 }
 
@@ -312,12 +354,16 @@ impl Persist for Matrix {
         }
         Ok(Matrix::from_vec(rows, cols, data))
     }
+
+    fn persist_len(&self) -> usize {
+        8 + 8 + 4 * self.len()
+    }
 }
 
 /// Scalar encodings, so wire messages and composite state can nest
 /// primitives through the same one-codec path as tensors.
 macro_rules! persist_scalar {
-    ($($ty:ty => $write:ident / $read:ident),* $(,)?) => {
+    ($($ty:ty => $write:ident / $read:ident / $len:expr),* $(,)?) => {
         $(impl Persist for $ty {
             fn persist(&self, w: &mut Writer) {
                 w.$write(*self);
@@ -326,17 +372,21 @@ macro_rules! persist_scalar {
             fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
                 r.$read()
             }
+
+            fn persist_len(&self) -> usize {
+                $len
+            }
         })*
     };
 }
 
 persist_scalar!(
-    u8 => u8 / u8,
-    u32 => u32 / u32,
-    u64 => u64 / u64,
-    usize => usize / usize,
-    f32 => f32 / f32,
-    f64 => f64 / f64,
+    u8 => u8 / u8 / 1,
+    u32 => u32 / u32 / 4,
+    u64 => u64 / u64 / 8,
+    usize => usize / usize / 8,
+    f32 => f32 / f32 / 4,
+    f64 => f64 / f64 / 8,
 );
 
 impl Persist for String {
@@ -349,6 +399,10 @@ impl Persist for String {
             what: "string is not valid UTF-8",
         })
     }
+
+    fn persist_len(&self) -> usize {
+        8 + self.len()
+    }
 }
 
 impl<A: Persist, B: Persist> Persist for (A, B) {
@@ -359,6 +413,10 @@ impl<A: Persist, B: Persist> Persist for (A, B) {
 
     fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
         Ok((A::restore(r)?, B::restore(r)?))
+    }
+
+    fn persist_len(&self) -> usize {
+        self.0.persist_len() + self.1.persist_len()
     }
 }
 
@@ -383,6 +441,10 @@ impl<T: Persist> Persist for Option<T> {
             }),
         }
     }
+
+    fn persist_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Persist::persist_len)
+    }
 }
 
 impl<T: Persist> Persist for Vec<T> {
@@ -402,6 +464,10 @@ impl<T: Persist> Persist for Vec<T> {
             out.push(T::restore(r)?);
         }
         Ok(out)
+    }
+
+    fn persist_len(&self) -> usize {
+        8 + self.iter().map(Persist::persist_len).sum::<usize>()
     }
 }
 
@@ -501,6 +567,45 @@ mod tests {
             SeedStream::from_bytes(&broken),
             Err(PersistError::Invalid { .. })
         ));
+    }
+
+    #[test]
+    fn persist_len_matches_encoded_length() {
+        let m = Matrix::from_rows(&[&[1.5, -2.0, 3.0], &[0.0, 4.0, -5.5]]);
+        assert_eq!(m.persist_len(), m.to_bytes().len());
+        assert_eq!(7u8.persist_len(), 1);
+        assert_eq!(7u32.persist_len(), 4);
+        assert_eq!(7u64.persist_len(), 8);
+        assert_eq!(7usize.persist_len(), 8);
+        assert_eq!(1.5f32.persist_len(), 4);
+        assert_eq!(1.5f64.persist_len(), 8);
+        let s = "hello".to_string();
+        assert_eq!(s.persist_len(), s.to_bytes().len());
+        let pair = (3u64, m.clone());
+        assert_eq!(pair.persist_len(), pair.to_bytes().len());
+        let opt: Option<Matrix> = Some(m.clone());
+        assert_eq!(opt.persist_len(), opt.to_bytes().len());
+        let none: Option<Matrix> = None;
+        assert_eq!(none.persist_len(), none.to_bytes().len());
+        let v = vec![m.clone(), Matrix::zeros(1, 1)];
+        assert_eq!(v.persist_len(), v.to_bytes().len());
+    }
+
+    #[test]
+    fn codec_cycles_count_top_level_calls_only() {
+        // Counters are thread-local; run on a fresh thread so parallel
+        // tests cannot interfere.
+        std::thread::spawn(|| {
+            let (e0, d0) = codec_cycle_counts();
+            let v: Vec<Option<Matrix>> = vec![Some(Matrix::full(2, 2, 1.0)), None];
+            let bytes = v.to_bytes(); // one encode, nested values included
+            let _ = Vec::<Option<Matrix>>::from_bytes(&bytes).unwrap(); // one decode
+            let _ = v.persist_len(); // arithmetic or scratch-writer: no cycle
+            let (e1, d1) = codec_cycle_counts();
+            assert_eq!((e1 - e0, d1 - d0), (1, 1));
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

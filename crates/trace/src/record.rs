@@ -46,12 +46,19 @@ pub enum SpanKind {
     /// Coordinator-side: the world-wide self-restore rollback inside a
     /// rejoin (`iter` carries the resumed iteration).
     Restore,
+    /// A compression epilogue handed off to a background thread so its
+    /// encode + send overlap the data-parallel exchange (instant marker;
+    /// `micro` carries the overlapped microbatch).
+    OverlapLaunch,
+    /// The barrier-side wait for an overlapped epilogue to finish
+    /// (`bytes` carries the wire bytes the overlapped send moved).
+    OverlapJoin,
 }
 
 impl SpanKind {
     /// Every kind, in tag order. New kinds append — codes are positional,
     /// so extending the enum never breaks previously recorded traces.
-    pub const ALL: [SpanKind; 14] = [
+    pub const ALL: [SpanKind; 16] = [
         SpanKind::Iteration,
         SpanKind::Forward,
         SpanKind::Backward,
@@ -66,6 +73,8 @@ impl SpanKind {
         SpanKind::Detect,
         SpanKind::Rejoin,
         SpanKind::Restore,
+        SpanKind::OverlapLaunch,
+        SpanKind::OverlapJoin,
     ];
 
     /// The wire tag of this kind.
@@ -95,6 +104,8 @@ impl SpanKind {
             SpanKind::Detect => "detect",
             SpanKind::Rejoin => "rejoin",
             SpanKind::Restore => "restore",
+            SpanKind::OverlapLaunch => "overlap_launch",
+            SpanKind::OverlapJoin => "overlap_join",
         }
     }
 
@@ -112,11 +123,17 @@ impl SpanKind {
         )
     }
 
-    /// Whether this span is communication.
+    /// Whether this span is communication. [`SpanKind::OverlapJoin`]
+    /// counts: it is the residual wait for an overlapped epilogue send,
+    /// i.e. the part of that send the overlap failed to hide.
     pub fn is_comm(self) -> bool {
         matches!(
             self,
-            SpanKind::Send | SpanKind::Recv | SpanKind::DpExchange | SpanKind::EmbeddingSync
+            SpanKind::Send
+                | SpanKind::Recv
+                | SpanKind::DpExchange
+                | SpanKind::EmbeddingSync
+                | SpanKind::OverlapJoin
         )
     }
 
@@ -293,7 +310,7 @@ mod tests {
         SpanRecord {
             seq,
             parent: if seq == 0 { NO_PARENT } else { seq - 1 },
-            kind: SpanKind::from_code((seq % 14) as u8).unwrap(),
+            kind: SpanKind::from_code((seq % SpanKind::ALL.len() as u64) as u8).unwrap(),
             iter: seq / 3,
             micro: if seq.is_multiple_of(2) {
                 NO_MICRO
