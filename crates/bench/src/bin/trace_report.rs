@@ -43,8 +43,33 @@ fn arg_u64(args: &Json, key: &str) -> Result<u64, String> {
         .ok_or_else(|| format!("event missing numeric args.{key}"))
 }
 
+/// Collects the `kernel_paths` metadata event the exporter emits: the
+/// `{arch}/{dense|sparse}` kernel paths (with invocation counts) the
+/// exporting process actually exercised. Absent in traces written before
+/// the event existed, so an empty result is not an error.
+fn kernel_paths(doc: &Json) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let Some(events) = doc.get("traceEvents").and_then(Json::as_array) else {
+        return out;
+    };
+    for ev in events {
+        if ev.get("ph").and_then(Json::as_str) != Some("M")
+            || ev.get("name").and_then(Json::as_str) != Some("kernel_paths")
+        {
+            continue;
+        }
+        if let Some(args) = ev.get("args").and_then(Json::as_object) {
+            for (path, count) in args {
+                out.push((path.clone(), count.as_u64().unwrap_or(0)));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
 /// Rebuilds the per-rank buffers from the exported complete (`"X"`)
-/// events; metadata (`"M"`) events are skipped.
+/// events; other metadata (`"M"`) events are skipped.
 fn reconstruct(doc: &Json) -> Result<Trace, String> {
     let events = doc
         .get("traceEvents")
@@ -150,6 +175,14 @@ fn main() -> ExitCode {
         trace.compute_span_count(),
         trace.structural_digest()
     );
+    let paths = kernel_paths(&doc);
+    if !paths.is_empty() {
+        let rendered: Vec<String> = paths.iter().map(|(p, n)| format!("{p} x{n}")).collect();
+        println!(
+            "kernel paths exercised (exporting process): {}",
+            rendered.join(", ")
+        );
+    }
     print!("{}", render(&analyze(&trace, top_k)));
 
     if require_compute && trace.compute_span_count() == 0 {

@@ -47,10 +47,15 @@ pub const DEFAULT_THRESHOLD_PCT: f64 = 15.0;
 pub const TRAJECTORY_FILE: &str = "BENCH_trajectory.json";
 
 /// Environment knobs recorded in the machine fingerprint when set: they
-/// change what a benchmark *measures* (kernel-pool width, net timeouts),
-/// so a run under an override must never be silently compared against a
-/// baseline measured without it.
-pub const PROVENANCE_ENV_VARS: [&str; 2] = ["OPT_KERNEL_THREADS", "OPT_NET_TIMEOUT_MS"];
+/// change what a benchmark *measures* (kernel-pool width, net timeouts,
+/// forced kernel arch, sparse crossover), so a run under an override must
+/// never be silently compared against a baseline measured without it.
+pub const PROVENANCE_ENV_VARS: [&str; 4] = [
+    "OPT_KERNEL_THREADS",
+    "OPT_NET_TIMEOUT_MS",
+    "OPT_KERNEL_ARCH",
+    "OPT_SPARSE_DENSITY_MAX",
+];
 
 /// Machine fingerprint recorded in every benchmark file.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +66,11 @@ pub struct Machine {
     pub cores: u64,
     /// Operating system (`std::env::consts::OS`).
     pub os: String,
+    /// Kernel arch the dispatcher resolved to, as
+    /// `"<target>/<path>"` ([`opt_tensor::kernel_arch_name`], e.g.
+    /// `"x86_64/avx2"`) — the detected path, or the `OPT_KERNEL_ARCH`
+    /// override (which then also appears in `env`).
+    pub arch: String,
     /// Environment overrides from [`PROVENANCE_ENV_VARS`] that were set
     /// when the run was measured, in that order. Empty (and absent from
     /// the JSON) when none were set.
@@ -84,6 +94,7 @@ pub fn machine() -> Machine {
             .map(|n| n.get() as u64)
             .unwrap_or(1),
         os: std::env::consts::OS.to_string(),
+        arch: opt_tensor::kernel_arch_name(),
         env: PROVENANCE_ENV_VARS
             .iter()
             .filter_map(|&k| std::env::var(k).ok().map(|v| (k.to_string(), v)))
@@ -231,10 +242,11 @@ impl BenchFile {
         }
         let _ = writeln!(
             out,
-            "  \"machine\": {{ \"cpu\": \"{}\", \"cores\": {}, \"os\": \"{}\"{} }},",
+            "  \"machine\": {{ \"cpu\": \"{}\", \"cores\": {}, \"os\": \"{}\", \"arch\": \"{}\"{} }},",
             escape(&m.machine.cpu),
             m.machine.cores,
             escape(&m.machine.os),
+            escape(&m.machine.arch),
             env_json
         );
         let _ = writeln!(
@@ -311,6 +323,11 @@ impl BenchFile {
                     .get("os")
                     .and_then(Json::as_str)
                     .ok_or("missing machine.os")?
+                    .to_string(),
+                arch: machine_obj
+                    .get("arch")
+                    .and_then(Json::as_str)
+                    .ok_or("missing machine.arch (a pre-dispatch file? re-run bench_matrix)")?
                     .to_string(),
                 // Absent in files measured without overrides.
                 env: match machine_obj.get("env") {
@@ -883,6 +900,7 @@ mod tests {
                     cpu: "TestCPU".to_string(),
                     cores: 4,
                     os: "linux".to_string(),
+                    arch: "x86_64/scalar".to_string(),
                     env: Vec::new(),
                 },
                 warmup: 1,
@@ -1103,5 +1121,7 @@ mod tests {
         let m = machine();
         assert!(m.cores >= 1);
         assert!(!m.os.is_empty());
+        // "<target>/<path>" from the kernel dispatcher, e.g. "x86_64/avx2".
+        assert!(m.arch.contains('/'), "arch: {}", m.arch);
     }
 }

@@ -90,8 +90,9 @@ impl<C: Compressor> Compressor for ErrorFeedback<C> {
             _ => grad.clone(),
         };
         let payload = self.inner.compress(&corrected);
-        let approx = payload.decompress();
-        corrected.sub_assign(&approx);
+        // Residual = corrected - decode(payload), through the sparse fast
+        // path when the payload qualifies (bit-identical either way).
+        payload.apply_sub(&mut corrected);
         self.residual = Some(corrected);
         payload
     }

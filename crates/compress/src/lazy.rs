@@ -95,9 +95,11 @@ impl<C: Compressor> LazyErrorPropagator<C> {
         };
         let (payload, new_error) = if compress {
             let payload = self.inner.compress(&corrected);
-            let approx = payload.decompress();
+            // Residual = corrected - decode(payload), through the sparse
+            // fast path when the payload qualifies (bit-identical either
+            // way).
             let mut residual = corrected;
-            residual.sub_assign(&approx);
+            payload.apply_sub(&mut residual);
             (payload, Some(residual))
         } else {
             (Compressed::Dense { matrix: corrected }, None)

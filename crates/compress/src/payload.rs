@@ -1,6 +1,6 @@
 //! Self-describing compressed payloads and their wire-size accounting.
 
-use opt_tensor::{Matrix, Persist, PersistError, Reader, Writer};
+use opt_tensor::{Matrix, Persist, PersistError, Reader, SparseMatrix, Writer};
 use std::fmt;
 
 /// Bytes per floating-point element on the wire.
@@ -190,6 +190,73 @@ impl Compressed {
                 Matrix::from_vec(*rows, *cols, data)
             }
         }
+    }
+
+    /// Subtracts this payload's dense approximation from `target` in
+    /// place — the error-feedback residual update — taking the sparse
+    /// fast path when the payload is sparse enough.
+    ///
+    /// Top-k ([`Compressed::Sparse`]) and ternary payloads whose density
+    /// (`nnz / (rows * cols)`) is at or below
+    /// [`opt_tensor::sparse_density_max`] are applied through
+    /// [`SparseMatrix`] CSR kernels, touching only the stored entries;
+    /// anything else falls back to [`Compressed::decompress`] +
+    /// dense subtract. The two paths are **bit-identical**: the entries
+    /// the sparse path skips subtract an exact `+0.0` in the dense path
+    /// (`x - (+0.0) == x` bitwise; ternary zeros decode to `+0.0` because
+    /// the scale is non-negative), so the crossover knob only ever changes
+    /// speed. The sparse path records its Decode span with
+    /// [`opt_trace::FLAG_SPARSE`] so traces show which path ran.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target`'s shape differs from [`Compressed::dense_shape`].
+    pub fn apply_sub(&self, target: &mut Matrix) {
+        let threshold = opt_tensor::sparse_density_max();
+        match self {
+            Compressed::Sparse {
+                rows,
+                cols,
+                indices,
+                values,
+            } => {
+                let total = rows * cols;
+                if total > 0 && values.len() as f32 <= threshold * total as f32 {
+                    let _span = opt_trace::begin(
+                        opt_trace::SpanKind::Decode,
+                        0,
+                        opt_trace::NO_MICRO,
+                        self.wire_bytes() as u64,
+                        opt_trace::FLAG_SPARSE,
+                    );
+                    SparseMatrix::from_flat_payload(*rows, *cols, indices, values).sub_from(target);
+                    return;
+                }
+            }
+            Compressed::Ternary {
+                rows,
+                cols,
+                scale,
+                trits,
+            } => {
+                let total = rows * cols;
+                let nnz = trits.iter().filter(|&&t| t != 0).count();
+                if total > 0 && nnz as f32 <= threshold * total as f32 {
+                    let _span = opt_trace::begin(
+                        opt_trace::SpanKind::Decode,
+                        0,
+                        opt_trace::NO_MICRO,
+                        self.wire_bytes() as u64,
+                        opt_trace::FLAG_SPARSE,
+                    );
+                    SparseMatrix::from_ternary(*rows, *cols, trits, *scale).sub_from(target);
+                    return;
+                }
+            }
+            _ => {}
+        }
+        let approx = self.decompress();
+        target.sub_assign(&approx);
     }
 
     /// Number of bytes this payload occupies on the interconnect, using the
@@ -642,6 +709,50 @@ mod tests {
                 p.kind()
             );
         }
+    }
+
+    #[test]
+    fn apply_sub_sparse_and_dense_paths_are_bit_identical() {
+        use opt_tensor::{set_sparse_density_max, sparse_density_max, SeedStream};
+        let mut rng = SeedStream::new(42);
+        let base = rng.uniform_matrix(6, 7, 1.0);
+        let payloads = vec![
+            Compressed::Sparse {
+                rows: 6,
+                cols: 7,
+                indices: vec![0, 9, 13, 41],
+                values: vec![0.5, -1.25, 2.0, -0.0625],
+            },
+            Compressed::Ternary {
+                rows: 6,
+                cols: 7,
+                scale: 0.75,
+                trits: (0..42).map(|i| [0i8, 1, 0, -1][i % 4]).collect(),
+            },
+            // Never sparse-eligible; exercises the fallback arm.
+            Compressed::Dense {
+                matrix: rng.uniform_matrix(6, 7, 1.0),
+            },
+        ];
+        let orig = sparse_density_max();
+        for payload in payloads {
+            let mut dense_path = base.clone();
+            set_sparse_density_max(0.0); // force densify-then-dense
+            payload.apply_sub(&mut dense_path);
+            let mut sparse_path = base.clone();
+            set_sparse_density_max(1.0); // force the sparse path where eligible
+            payload.apply_sub(&mut sparse_path);
+            for (a, b) in sparse_path.as_slice().iter().zip(dense_path.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "variant {:?}", payload.kind());
+            }
+            // And both agree with the reference spelled out longhand.
+            let mut reference = base.clone();
+            reference.sub_assign(&payload.decompress());
+            for (a, b) in sparse_path.as_slice().iter().zip(reference.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "variant {:?}", payload.kind());
+            }
+        }
+        set_sparse_density_max(orig);
     }
 
     #[test]

@@ -20,38 +20,53 @@
 //! Tall-skinny `A^T B` (PowerSGD `Q = G^T P`) is rewritten as `(B^T A)^T`
 //! so every memory walk is over contiguous rows.
 //!
+//! The micro-kernels themselves are architecture-dispatched (see
+//! [`crate::dispatch`]): AVX2+FMA on x86_64, NEON on aarch64, and a
+//! portable [`f32::mul_add`] fallback, all implementing the same
+//! contract (see `simd.rs`).
+//!
 //! # Determinism contract
 //!
-//! Every output element is a sum of products over `k`. All paths keep
-//! **one accumulator per output element** and add the products in
-//! ascending-`k` order — exactly the chain the naive reference kernels
-//! (see [`crate::naive`]) produce:
+//! Every output element is **one fused-multiply-add chain** over
+//! ascending `k`: `acc = fma(a_k, b_k, acc)`. Correctly rounded FMA is
+//! unique, so the hardware `vfmadd`/`vfma` paths and the scalar
+//! `f32::mul_add` fallback produce identical bits on every architecture:
 //!
-//! * register tiling only interleaves *different* elements' chains;
+//! * the SIMD kernels vectorize across output *columns* (broadcast `a`,
+//!   vector `b`), which interleaves different elements' chains but never
+//!   reassociates any one chain;
+//! * register tiling likewise only interleaves *different* elements'
+//!   chains;
 //! * `k`-chunking spills the accumulator to the output between chunks and
-//!   reloads it, continuing the same chain (`((0+p0)+p1)+p2...` is the
-//!   same sequence of adds whether or not a spill happens in the middle);
+//!   reloads it, continuing the same chain (`fma(a2,b2, fma(a1,b1, 0))`
+//!   is the same sequence whether or not a spill happens in the middle);
 //! * the swap relies on `a*b == b*a` (IEEE multiplication commutes
 //!   bitwise) and a transpose that moves bits without arithmetic;
 //! * the worker pool (see [`crate::pool`]) assigns each output panel to
 //!   exactly one thread via a fixed decomposition.
 //!
-//! Blocked, blocked+parallel, and naive kernels are therefore
+//! Blocked, blocked+parallel, and every architecture path are therefore
 //! bit-identical for finite inputs at any thread count;
-//! `tests/kernel_equivalence.rs` enforces this.
+//! `tests/kernel_equivalence.rs` enforces this against an emulated
+//! oracle. The retained seed kernels in [`crate::naive`] use *unfused*
+//! multiply-then-add and are only a benchmark baseline, not an oracle.
 
+use crate::dispatch;
 use crate::pool;
+use crate::simd;
 use std::cell::RefCell;
 
-/// Rows of the register tile (output rows per micro-panel).
-pub(crate) const MR: usize = 4;
-/// Columns of the register tile.
+/// Rows of the register tile (output rows per micro-panel). Eight rows
+/// give the FMA units eight independent accumulation chains per column
+/// vector — enough to cover FMA latency at two issues per cycle.
+pub(crate) const MR: usize = 8;
+/// Columns of the register tile (one 8-lane `f32` vector).
 pub(crate) const NR: usize = 8;
 /// `k`-chunk length: one `KC x NR` B-panel slice (8 KiB) plus the A rows
 /// feeding it stay L1-resident while the register tile sweeps a chunk.
 const KC: usize = 256;
 /// Outputs with at most this many row micro-panels take the skinny path.
-const SKINNY_PANELS_M: usize = 4;
+const SKINNY_PANELS_M: usize = 2;
 /// `k`-chunk length of the skinny path: small enough that a worker's
 /// whole packed-B chunk (`panels * SKC * NR` floats) stays L2-resident.
 const SKC: usize = 64;
@@ -103,6 +118,7 @@ pub(crate) fn gemm_into(a: Src<'_>, b: Src<'_>, m: usize, n: usize, k: usize, ou
     if m == 0 || n == 0 {
         return;
     }
+    dispatch::note_dense_kernel(dispatch::kernel_arch());
     let work = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
     if work < SMALL_FLOPS {
         return gemm_small(a, b, m, n, k, out);
@@ -143,12 +159,47 @@ fn dispatch(a: Src<'_>, b: Src<'_>, m: usize, n: usize, k: usize, work: usize, o
     gemm_packed(a, b, m, n, k, work, out);
 }
 
-fn effective_threads(work: usize, panels: usize) -> usize {
-    if work >= pool::parallel_flop_threshold() {
-        pool::kernel_threads().min(panels)
-    } else {
-        1
+/// FLOPs a worker thread must have to justify its spawn cost when the
+/// parallel threshold is a real (nonzero) value: ~1 MiFLOP is tens of
+/// microseconds of work against a few tens of microseconds of scoped
+/// spawn overhead.
+const PAR_WORK_PER_THREAD: usize = 1 << 20;
+
+/// Pure thread-planning function: how many workers a GEMM of `work`
+/// FLOPs over `panels` micro-panels fans out to, given the pool knobs and
+/// the host's core count. Deterministic in its inputs; unit-tested
+/// directly so the skinny-output regression (512x512 x rank-4 losing to
+/// sequential under a forced fan-out) stays fixed.
+fn plan_threads(
+    work: usize,
+    panels: usize,
+    threshold: usize,
+    pool_threads: usize,
+    host_cores: usize,
+) -> usize {
+    if work < threshold {
+        return 1;
     }
+    let mut threads = pool_threads.min(panels);
+    // `threshold == 0` is the testing escape hatch ("always fan out"):
+    // equivalence tests use it to push tiny matrices through the
+    // multi-threaded path, so the caps below must not apply.
+    if threshold > 0 {
+        threads = threads
+            .min(host_cores.max(1))
+            .min((work / PAR_WORK_PER_THREAD).max(1));
+    }
+    threads.max(1)
+}
+
+fn effective_threads(work: usize, panels: usize) -> usize {
+    plan_threads(
+        work,
+        panels,
+        pool::parallel_flop_threshold(),
+        pool::kernel_threads(),
+        pool::host_parallelism(),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -203,6 +254,7 @@ fn run_row_panels(
     pend: usize,
     out_chunk: &mut [f32],
 ) {
+    let arch = dispatch::kernel_arch();
     let panels_n = n.div_ceil(NR);
     let n_kchunks = k.div_ceil(KC).max(1);
     let mut apack = [0.0f32; KC * MR];
@@ -217,13 +269,10 @@ fn run_row_panels(
             // Row-major A feeds the micro-kernel directly as MR contiguous
             // row streams; transposed A (and ragged edge panels) are packed
             // so the kernel always sees full MR lanes.
-            let direct_rows = match a {
-                Src::Normal(d) if mr_eff == MR => Some([
-                    &d[row0 * k + k0..row0 * k + k1],
-                    &d[(row0 + 1) * k + k0..(row0 + 1) * k + k1],
-                    &d[(row0 + 2) * k + k0..(row0 + 2) * k + k1],
-                    &d[(row0 + 3) * k + k0..(row0 + 3) * k + k1],
-                ]),
+            let direct_rows: Option<[&[f32]; MR]> = match a {
+                Src::Normal(d) if mr_eff == MR => Some(std::array::from_fn(|i| {
+                    &d[(row0 + i) * k + k0..(row0 + i) * k + k1]
+                })),
                 _ => {
                     pack_a_chunk(a, m, k, row0, mr_eff, k0, k1, &mut apack[..kc * MR]);
                     None
@@ -236,9 +285,9 @@ fn run_row_panels(
                     load_acc(&mut acc, out_chunk, chunk_row0, n, p * NR, mr_eff, nr_eff);
                 }
                 let bslice = &bpack[(p * k + k0) * NR..(p * k + k1) * NR];
-                match direct_rows {
-                    Some(rows) => micro_kernel_rows(rows, bslice, &mut acc),
-                    None => micro_kernel_packed(&apack[..kc * MR], bslice, &mut acc),
+                match &direct_rows {
+                    Some(rows) => simd::micro_kernel_rows(arch, rows, bslice, &mut acc),
+                    None => simd::micro_kernel_packed(arch, &apack[..kc * MR], bslice, &mut acc),
                 }
                 store_acc(&acc, out_chunk, chunk_row0, n, p * NR, mr_eff, nr_eff);
             }
@@ -324,6 +373,7 @@ fn run_col_panels(
     out_part: &mut [f32],
     part_width: usize,
 ) {
+    let arch = dispatch::kernel_arch();
     let panels_m = m.div_ceil(MR);
     let panels = pend - pstart;
     let n_kchunks = k.div_ceil(SKC).max(1);
@@ -361,7 +411,7 @@ fn run_col_panels(
                         &mut acc, out_part, row0, part_width, part_col0, mr_eff, nr_eff,
                     );
                 }
-                micro_kernel_packed(&apack[k0 * MR..k1 * MR], bslice, &mut acc);
+                simd::micro_kernel_packed(arch, &apack[k0 * MR..k1 * MR], bslice, &mut acc);
                 store_acc(&acc, out_part, row0, part_width, part_col0, mr_eff, nr_eff);
             }
         }
@@ -401,46 +451,6 @@ fn store_acc(
     for (i, acc_row) in acc.iter().enumerate().take(mr_eff) {
         let dst = &mut buf[(row0 + i) * stride + col0..][..nr_eff];
         dst.copy_from_slice(&acc_row[..nr_eff]);
-    }
-}
-
-/// Inner kernel over a packed A panel:
-/// `acc[i][j] += sum_k apack[k][i] * bpanel[k][j]`, one accumulator per
-/// element, `k` ascending.
-#[inline]
-fn micro_kernel_packed(apack: &[f32], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
-    for (ap, bp) in apack.chunks_exact(MR).zip(bpanel.chunks_exact(NR)) {
-        for i in 0..MR {
-            let ai = ap[i];
-            for j in 0..NR {
-                acc[i][j] += ai * bp[j];
-            }
-        }
-    }
-}
-
-/// Inner kernel over four direct row streams of a row-major A (no pack).
-#[inline]
-fn micro_kernel_rows(arows: [&[f32]; MR], bpanel: &[f32], acc: &mut [[f32; NR]; MR]) {
-    let it = bpanel
-        .chunks_exact(NR)
-        .zip(arows[0])
-        .zip(arows[1])
-        .zip(arows[2])
-        .zip(arows[3]);
-    for ((((bp, &a0), &a1), &a2), &a3) in it {
-        for j in 0..NR {
-            acc[0][j] += a0 * bp[j];
-        }
-        for j in 0..NR {
-            acc[1][j] += a1 * bp[j];
-        }
-        for j in 0..NR {
-            acc[2][j] += a2 * bp[j];
-        }
-        for j in 0..NR {
-            acc[3][j] += a3 * bp[j];
-        }
     }
 }
 
@@ -515,9 +525,11 @@ fn pack_b(b: Src<'_>, n: usize, k: usize, panels_n: usize, bpack: &mut [f32]) {
     }
 }
 
-/// Plain loop nests for small problems. Loop orders keep each output
-/// element's accumulation ascending in `k`, so they are bit-identical to
-/// the packed path.
+/// Plain loop nests for small problems. Every output element is the same
+/// ascending-`k` fused chain as the micro-kernels (`f32::mul_add` is the
+/// contract's scalar form), so this path is bit-identical to the packed
+/// path on every architecture — which is why it needs no arch dispatch of
+/// its own.
 fn gemm_small(a: Src<'_>, b: Src<'_>, m: usize, n: usize, k: usize, out: &mut [f32]) {
     out.fill(0.0);
     match (a, b) {
@@ -529,7 +541,7 @@ fn gemm_small(a: Src<'_>, b: Src<'_>, m: usize, n: usize, k: usize, out: &mut [f
                 for (kk, &av) in arow.iter().enumerate() {
                     let brow = &db[kk * n..(kk + 1) * n];
                     for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
+                        *o = av.mul_add(bv, *o);
                     }
                 }
             }
@@ -542,20 +554,22 @@ fn gemm_small(a: Src<'_>, b: Src<'_>, m: usize, n: usize, k: usize, out: &mut [f
                 for (i, &av) in arow.iter().enumerate() {
                     let orow = &mut out[i * n..(i + 1) * n];
                     for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
+                        *o = av.mul_add(bv, *o);
                     }
                 }
             }
         }
         (Src::Normal(da), Src::Transposed(db)) => {
-            // i-j-k: contiguous dot products.
+            // i-j-k: contiguous dot products (a per-element chain, not the
+            // lane-split reduction — that contract applies only to the
+            // Gram–Schmidt dots in `linalg.rs`).
             for i in 0..m {
                 let arow = &da[i * k..(i + 1) * k];
                 for j in 0..n {
                     let brow = &db[j * k..(j + 1) * k];
-                    let mut acc = 0.0;
+                    let mut acc = 0.0f32;
                     for (&av, &bv) in arow.iter().zip(brow) {
-                        acc += av * bv;
+                        acc = av.mul_add(bv, acc);
                     }
                     out[i * n + j] = acc;
                 }
@@ -566,9 +580,9 @@ fn gemm_small(a: Src<'_>, b: Src<'_>, m: usize, n: usize, k: usize, out: &mut [f
             // total for completeness.
             for i in 0..m {
                 for j in 0..n {
-                    let mut acc = 0.0;
+                    let mut acc = 0.0f32;
                     for kk in 0..k {
-                        acc += da[kk * m + i] * db[j * k + kk];
+                        acc = da[kk * m + i].mul_add(db[j * k + kk], acc);
                     }
                     out[i * n + j] = acc;
                 }
@@ -607,54 +621,87 @@ mod tests {
     }
 
     #[test]
-    fn packed_path_is_bit_identical_to_plain_loops() {
-        for &(m, n, k) in &[
-            (5, 9, 3),
-            (7, 1, 13),
-            (1, 17, 5),
-            (33, 31, 29),
-            // k spanning multiple KC chunks exercises the accumulator
-            // spill/reload chain; m > 16 forces the packed (non-skinny)
-            // path.
-            (21, 5, 2 * KC + 7),
-        ] {
-            let mut rng = SeedStream::new((m * 1000 + n * 100 + k) as u64);
-            let a = rng.uniform_matrix(m, k, 1.0);
-            let b = rng.uniform_matrix(k, n, 1.0);
-            let reference = small_reference(&a, &b, m, n, k);
-            let mut got = vec![0.0; m * n];
-            gemm_packed(
-                Src::Normal(a.as_slice()),
-                Src::Normal(b.as_slice()),
-                m,
-                n,
-                k,
-                2 * m * n * k,
-                &mut got,
-            );
-            assert_bits("packed", &reference, &got);
+    fn packed_path_is_bit_identical_to_plain_loops_on_every_arch() {
+        for arch in dispatch::available_arches() {
+            for &(m, n, k) in &[
+                (5, 9, 3),
+                (7, 1, 13),
+                (1, 17, 5),
+                (33, 31, 29),
+                // k spanning multiple KC chunks exercises the accumulator
+                // spill/reload chain; m > 16 forces the packed (non-skinny)
+                // path through `dispatch`.
+                (21, 5, 2 * KC + 7),
+            ] {
+                dispatch::set_kernel_arch(arch);
+                let mut rng = SeedStream::new((m * 1000 + n * 100 + k) as u64);
+                let a = rng.uniform_matrix(m, k, 1.0);
+                let b = rng.uniform_matrix(k, n, 1.0);
+                let reference = small_reference(&a, &b, m, n, k);
+                let mut got = vec![0.0; m * n];
+                gemm_packed(
+                    Src::Normal(a.as_slice()),
+                    Src::Normal(b.as_slice()),
+                    m,
+                    n,
+                    k,
+                    2 * m * n * k,
+                    &mut got,
+                );
+                assert_bits(&format!("packed/{}", arch.name()), &reference, &got);
+            }
         }
+        dispatch::set_kernel_arch(dispatch::detected_arch());
     }
 
     #[test]
-    fn skinny_path_is_bit_identical_to_plain_loops() {
-        for &(m, n, k) in &[(1, 40, 9), (4, 33, 2 * KC + 5), (13, 64, 17), (16, 7, 64)] {
-            let mut rng = SeedStream::new((m * 1000 + n * 100 + k) as u64);
-            let a = rng.uniform_matrix(m, k, 1.0);
-            let b = rng.uniform_matrix(k, n, 1.0);
-            let reference = small_reference(&a, &b, m, n, k);
-            let mut got = vec![0.0; m * n];
-            gemm_skinny(
-                Src::Normal(a.as_slice()),
-                b.as_slice(),
-                m,
-                n,
-                k,
-                2 * m * n * k,
-                &mut got,
-            );
-            assert_bits("skinny", &reference, &got);
+    fn skinny_path_is_bit_identical_to_plain_loops_on_every_arch() {
+        for arch in dispatch::available_arches() {
+            for &(m, n, k) in &[(1, 40, 9), (4, 33, 2 * KC + 5), (13, 64, 17), (16, 7, 64)] {
+                dispatch::set_kernel_arch(arch);
+                let mut rng = SeedStream::new((m * 1000 + n * 100 + k) as u64);
+                let a = rng.uniform_matrix(m, k, 1.0);
+                let b = rng.uniform_matrix(k, n, 1.0);
+                let reference = small_reference(&a, &b, m, n, k);
+                let mut got = vec![0.0; m * n];
+                gemm_skinny(
+                    Src::Normal(a.as_slice()),
+                    b.as_slice(),
+                    m,
+                    n,
+                    k,
+                    2 * m * n * k,
+                    &mut got,
+                );
+                assert_bits(&format!("skinny/{}", arch.name()), &reference, &got);
+            }
         }
+        dispatch::set_kernel_arch(dispatch::detected_arch());
+    }
+
+    #[test]
+    fn thread_plan_caps_skinny_outputs() {
+        // The committed-baseline regression: 512x512 x rank-4 (2 MiFLOP)
+        // forced onto 4 workers loses to sequential on small hosts. With a
+        // real threshold the plan caps workers by host cores and by ~1
+        // MiFLOP of work each; the forced threshold-0 testing mode stays
+        // uncapped so equivalence tests still exercise the pool.
+        let work_512x4 = 2 * 512 * 512 * 4; // 2 MiFLOP
+        assert_eq!(plan_threads(work_512x4, 64, 1, 4, 1), 1, "1-core host");
+        assert_eq!(
+            plan_threads(work_512x4, 64, 1, 4, 8),
+            2,
+            "8-core host: 2 MiFLOP justifies two workers, not four"
+        );
+        let work_512x8 = 2 * 512 * 512 * 8;
+        assert_eq!(plan_threads(work_512x8, 64, 1, 4, 8), 4);
+        // Below the threshold: sequential.
+        assert_eq!(plan_threads(1000, 64, 32 << 20, 4, 8), 1);
+        // Threshold 0 (testing): uncapped by host cores or work floor.
+        assert_eq!(plan_threads(100, 64, 0, 4, 1), 4);
+        // Never more workers than panels, never zero.
+        assert_eq!(plan_threads(work_512x8, 3, 1, 4, 8), 3);
+        assert_eq!(plan_threads(usize::MAX, 0, 1, 4, 8), 1);
     }
 
     #[test]

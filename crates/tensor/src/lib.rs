@@ -8,11 +8,17 @@
 //! tall/skinny factors), and deterministic random initialization.
 //!
 //! The matrix products run on a cache-blocked, register-tiled GEMM layer
-//! (see `gemm.rs`) that fans large outputs across a small deterministic
-//! worker pool (`OPT_KERNEL_THREADS`, see [`kernel_threads`]). Results
-//! are **bit-identical** to the retained seed-naive reference kernels
-//! ([`naive`]) at any thread count, so training determinism — including
-//! checkpoint/restore bit-exactness — survives the parallelism.
+//! (see `gemm.rs`) with vectorized micro-kernels (AVX2+FMA on x86_64,
+//! NEON on aarch64, scalar `mul_add` fallback) selected once at startup
+//! by a runtime dispatch module ([`kernel_arch`], overridable via
+//! `OPT_KERNEL_ARCH`). Large outputs fan across a small deterministic
+//! worker pool (`OPT_KERNEL_THREADS`, see [`kernel_threads`]). The kernel
+//! contract — a fused-multiply-add accumulation chain per output element,
+//! plus a fixed 8-lane split for dot reductions — makes results
+//! **bit-identical** across every arch path and any thread count, so
+//! training determinism (including checkpoint/restore bit-exactness)
+//! survives both the SIMD and the parallelism. Sparse compressor payloads
+//! apply through [`SparseMatrix`] kernels under the same contract.
 //! Allocation-free `*_into` variants ([`Matrix::matmul_into`] and
 //! friends) back the model and compressor hot paths.
 //!
@@ -27,6 +33,7 @@
 //! assert_eq!(c, a);
 //! ```
 
+mod dispatch;
 mod gemm;
 mod init;
 mod linalg;
@@ -35,14 +42,23 @@ pub mod naive;
 mod ops;
 mod persist;
 mod pool;
+mod simd;
+mod sparse;
 mod stats;
 
+pub use dispatch::{
+    arch_available, available_arches, detected_arch, kernel_arch, kernel_arch_name,
+    kernel_path_counts, reset_kernel_path_counts, set_kernel_arch, KernelArch,
+};
 pub use init::{xavier_uniform, SeedStream};
 pub use linalg::orthonormalize_columns;
 pub use matrix::{Matrix, ShapeError};
 pub use persist::{codec_cycle_counts, Persist, PersistError, Reader, Writer};
 pub use pool::{
-    kernel_threads, parallel_flop_threshold, set_kernel_threads, set_parallel_flop_threshold,
-    MAX_KERNEL_THREADS,
+    host_parallelism, kernel_threads, parallel_flop_threshold, set_kernel_threads,
+    set_parallel_flop_threshold, MAX_KERNEL_THREADS,
+};
+pub use sparse::{
+    set_sparse_density_max, sparse_density_max, SparseMatrix, DEFAULT_DENSITY_MAX,
 };
 pub use stats::{cosine_similarity, frobenius_norm, mean, relative_error};

@@ -32,11 +32,11 @@ pub fn orthonormalize_columns(m: &mut Matrix) {
     // PowerSGD factors are tall and skinny (`rows >> cols`), so walking a
     // column of the row-major input strides by `cols` on every element.
     // Work on a row-major *transposed panel* instead: panel row `c` holds
-    // column `c` contiguously, turning every dot/AXPY below into a
-    // straight-line pass the compiler vectorizes. The floating-point
-    // operation order is unchanged (ascending `r`, one accumulator), so
-    // results are bit-identical to the seed-naive kernel
-    // ([`crate::naive::orthonormalize_columns`]).
+    // column `c` contiguously, so every dot/AXPY below is a straight-line
+    // pass. The dot reductions use the fixed 8-lane split contract
+    // ([`crate::simd::dot`]) — the same bits on every kernel arch — while
+    // the AXPY/normalize loops stay plain elementwise ops, which are
+    // bit-stable on any arch without dispatch.
     let mut panel = vec![0.0f32; rows * cols];
     for r in 0..rows {
         for (c, &v) in m.row(r).iter().enumerate() {
@@ -44,14 +44,7 @@ pub fn orthonormalize_columns(m: &mut Matrix) {
         }
     }
 
-    /// `sum_r a[r] * b[r]` with a single ascending accumulator.
-    fn dot(a: &[f32], b: &[f32]) -> f32 {
-        let mut acc = 0.0;
-        for (&x, &y) in a.iter().zip(b) {
-            acc += x * y;
-        }
-        acc
-    }
+    let dot = crate::simd::dot;
 
     for c in 0..cols {
         // `split_at_mut` gives the already-final columns `0..c` immutably

@@ -325,10 +325,12 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
-    /// Runs the cache-blocked, register-tiled kernel (the `gemm` module);
-    /// large products are fanned out over the deterministic worker pool.
-    /// Results are bit-identical to the naive reference kernels for finite
-    /// inputs at any thread count.
+    /// Runs the cache-blocked, register-tiled kernel (the `gemm` module)
+    /// on the dispatched micro-kernel arch ([`crate::kernel_arch`]); large
+    /// products are fanned out over the deterministic worker pool. The
+    /// fused-multiply-add chain contract makes results bit-identical
+    /// across every arch path and thread count for finite inputs (the
+    /// unfused [`crate::naive`] baseline agrees to rounding only).
     ///
     /// # Panics
     ///

@@ -3,16 +3,17 @@
 //! These are the original single-threaded, allocate-per-op loop nests that
 //! [`Matrix::matmul`], [`Matrix::t_matmul`], [`Matrix::matmul_t`] and
 //! [`crate::orthonormalize_columns`] shipped with, kept verbatim
-//! (including the dense-path `a == 0.0` skip the optimized kernels drop)
-//! for two purposes:
+//! (including the dense-path `a == 0.0` skip and the unfused
+//! `acc += a * b` accumulation the optimized kernels drop) as the
+//! **benchmark baseline**: the `bench_matrix` kernels axis reports
+//! speedups of the dispatched kernels over exactly this code (the
+//! `naive` variant rows in `BENCH_kernels.json`), and fails the run if a
+//! blocked kernel drops below 0.9× of it.
 //!
-//! * the **equivalence oracle**: `tests/kernel_equivalence.rs` asserts the
-//!   blocked and blocked+parallel kernels are bit-identical to these for
-//!   finite inputs;
-//! * the **benchmark baseline**: the `bench_matrix` kernels axis reports
-//!   speedups of the blocked kernels over exactly this code (the
-//!   `naive` variant rows in `BENCH_kernels.json`), and fails the run
-//!   if a blocked kernel drops below 0.9× of it.
+//! They are **not** the bit-exactness oracle. Since the micro-kernels
+//! moved to fused-multiply-add chains (see `simd.rs`), the dispatched
+//! kernels agree with these loops only to rounding; the bit contract is
+//! defined (and independently emulated) in `tests/kernel_equivalence.rs`.
 //!
 //! They are not used on any hot path.
 

@@ -37,6 +37,27 @@ const DEFAULT_PARALLEL_FLOPS: usize = 32 * 1024 * 1024;
 /// 0 means "not yet initialized from the environment".
 static KERNEL_THREADS: AtomicUsize = AtomicUsize::new(0);
 
+/// 0 means "not yet probed".
+static HOST_PARALLELISM: AtomicUsize = AtomicUsize::new(0);
+
+/// The host's available parallelism, probed once. The GEMM thread planner
+/// caps fan-out at this value (when a real FLOP threshold is configured)
+/// so a pool sized for a big machine doesn't oversubscribe a small one —
+/// the committed-baseline regression was exactly 4 workers contending for
+/// 1 core on a skinny 2 MiFLOP product.
+pub fn host_parallelism() -> usize {
+    match HOST_PARALLELISM.load(Ordering::Relaxed) {
+        0 => {
+            let n = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            HOST_PARALLELISM.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
 /// usize::MAX means "not yet initialized" (0 is a meaningful override:
 /// always parallelize).
 static PARALLEL_FLOPS: AtomicUsize = AtomicUsize::new(usize::MAX);

@@ -1,19 +1,32 @@
-//! The kernel determinism contract, enforced end to end: the blocked and
-//! blocked+parallel GEMM/orthonormalize kernels must be **bit-identical**
-//! to the seed-naive reference ([`opt_tensor::naive`]) for finite inputs —
-//! across odd shapes (1xN, Nx1, non-multiple-of-tile, empty) and across
-//! worker-thread counts (1/2/4).
+//! The kernel determinism contract, enforced end to end: every dispatchable
+//! kernel path (scalar fallback, AVX2+FMA, NEON) must be **bit-identical**
+//! to an in-test oracle that spells out the contract directly — a fused
+//! `mul_add` accumulation chain per output element for GEMM, and the fixed
+//! 8-lane split reduction for Gram–Schmidt dots — across odd shapes (1xN,
+//! Nx1, non-multiple-of-tile, empty) and worker-thread counts (1/2/4).
+//!
+//! The oracle is deliberately *not* [`opt_tensor::naive`]: the naive
+//! kernels keep the seed's unfused `a*b + acc` order as a benchmark
+//! baseline and agree with the dispatched kernels only to rounding, not to
+//! the bit. The contract the dispatcher must honor is the FMA-chain /
+//! lane-split order defined here.
+//!
+//! Every test loops over [`opt_tensor::available_arches`] — exactly the
+//! set the dispatcher could pick on this host — so CI's
+//! `kernel-equivalence` step fails if detection ever selects a path whose
+//! oracle comparison didn't run ([`detected_arch_is_covered`] pins the
+//! subset property explicitly).
 //!
 //! This binary owns the process-global kernel knobs
-//! ([`set_kernel_threads`], [`set_parallel_flop_threshold`]); integration
-//! tests are separate processes, so tweaking them here cannot perturb the
-//! rest of the suite. Within this binary the knobs only change *which*
-//! code path runs — never the bits — which is exactly the property under
-//! test.
+//! ([`set_kernel_threads`], [`set_parallel_flop_threshold`],
+//! [`set_kernel_arch`]); integration tests are separate processes, so
+//! tweaking them here cannot perturb the rest of the suite. Within this
+//! binary the knobs only change *which* code path runs — never the bits —
+//! which is exactly the property under test.
 
 use opt_tensor::{
-    naive, orthonormalize_columns, set_kernel_threads, set_parallel_flop_threshold, Matrix,
-    SeedStream,
+    available_arches, detected_arch, kernel_arch, orthonormalize_columns, set_kernel_arch,
+    set_kernel_threads, set_parallel_flop_threshold, Matrix, SeedStream,
 };
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
@@ -34,13 +47,154 @@ fn assert_bits_equal(label: &str, reference: &Matrix, got: &Matrix) -> Result<()
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// The contract, spelled out: oracles independent of the crate's kernels
+// ---------------------------------------------------------------------------
+
+/// `out[i][j] = fma-chain over ascending k of a[i][k] * b[k][j]`.
+fn oracle_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc = a[(i, kk)].mul_add(b[(kk, j)], acc);
+            }
+            out[(i, j)] = acc;
+        }
+    }
+    out
+}
+
+/// `out[i][j] = fma-chain over ascending k of a[k][i] * b[k][j]` (Aᵀ·B).
+fn oracle_t_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (k, m) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc = a[(kk, i)].mul_add(b[(kk, j)], acc);
+            }
+            out[(i, j)] = acc;
+        }
+    }
+    out
+}
+
+/// `out[i][j] = fma-chain over ascending k of a[i][k] * b[j][k]` (A·Bᵀ).
+fn oracle_matmul_t(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let n = b.rows();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc = a[(i, kk)].mul_add(b[(j, kk)], acc);
+            }
+            out[(i, j)] = acc;
+        }
+    }
+    out
+}
+
+/// The lane-split dot contract: element `i` accumulates into lane `i % 8`
+/// via `mul_add` (full 8-element chunks round-robin, the tail fills lanes
+/// `0..rem`), then lanes reduce sequentially left to right.
+fn oracle_dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    for c in 0..chunks {
+        for l in 0..8 {
+            lanes[l] = a[c * 8 + l].mul_add(b[c * 8 + l], lanes[l]);
+        }
+    }
+    for (l, i) in (chunks * 8..a.len()).enumerate() {
+        lanes[l] = a[i].mul_add(b[i], lanes[l]);
+    }
+    let mut acc = lanes[0];
+    for &l in &lanes[1..] {
+        acc += l;
+    }
+    acc
+}
+
+/// Modified Gram–Schmidt exactly as `orthonormalize_columns` performs it —
+/// transposed panel, two projection passes, degenerate-column unit-basis
+/// replacement — but with every dot reduction going through the
+/// independent [`oracle_dot`] emulation of the lane-split contract.
+fn oracle_orthonormalize(m: &mut Matrix) {
+    let (rows, cols) = m.shape();
+    const EPS: f32 = 1e-5;
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    let mut panel = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            panel[c * rows + r] = m[(r, c)];
+        }
+    }
+    for c in 0..cols {
+        let (done, rest) = panel.split_at_mut(c * rows);
+        let cur = &mut rest[..rows];
+        for _pass in 0..2 {
+            for prev in 0..c {
+                let prev_col = &done[prev * rows..(prev + 1) * rows];
+                let d = oracle_dot(cur, prev_col);
+                for (x, &p) in cur.iter_mut().zip(prev_col) {
+                    *x -= d * p;
+                }
+            }
+        }
+        let norm = oracle_dot(cur, cur).sqrt();
+        if norm > EPS {
+            let inv = 1.0 / norm;
+            for x in cur.iter_mut() {
+                *x *= inv;
+            }
+        } else {
+            'candidates: for t in 0..rows {
+                let pick = (c + t) % rows;
+                for (r, x) in cur.iter_mut().enumerate() {
+                    *x = if r == pick { 1.0 } else { 0.0 };
+                }
+                for prev in 0..c {
+                    let prev_col = &done[prev * rows..(prev + 1) * rows];
+                    let d = oracle_dot(cur, prev_col);
+                    for (x, &p) in cur.iter_mut().zip(prev_col) {
+                        *x -= d * p;
+                    }
+                }
+                let ns = oracle_dot(cur, cur);
+                if ns.sqrt() > 0.5 {
+                    let inv = 1.0 / ns.sqrt();
+                    for x in cur.iter_mut() {
+                        *x *= inv;
+                    }
+                    break 'candidates;
+                }
+            }
+        }
+    }
+    for r in 0..rows {
+        for c in 0..cols {
+            m[(r, c)] = panel[c * rows + r];
+        }
+    }
+}
+
 /// Odd shape distribution: tile multiples, off-by-one, degenerate 1xN /
 /// Nx1, and empty dimensions.
 fn dim() -> impl Strategy<Value = usize> {
     (0usize..5).prop_map(|sel| match sel {
         0 => 1,
         1 => 4,
-        2 => 17, // crosses both MR (4) and NR (8) tile boundaries
+        2 => 17, // crosses both the MR (8) and NR (8) tile boundaries
         3 => 33,
         _ => 0, // empty
     })
@@ -48,16 +202,17 @@ fn dim() -> impl Strategy<Value = usize> {
 
 /// Serializes every section that sets the process-global kernel knobs:
 /// the libtest harness runs this binary's tests on parallel threads, and
-/// without the lock a sibling test could retarget the thread count between
-/// a `set_kernel_threads(n)` and the product it is meant to cover — the
+/// without the lock a sibling test could retarget the thread count or arch
+/// between a `set_kernel_*` and the product it is meant to cover — the
 /// results would still be bit-identical (that is the contract), but the
-/// labeled 1/2/4-thread coverage would be fiction.
+/// labeled per-arch / per-thread-count coverage would be fiction.
 static KNOB_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
-/// Runs `got` under 1, 2, and 4 worker threads (parallel threshold forced
-/// to zero so even tiny shapes exercise the pool) and checks each result
-/// bit-for-bit against `reference`.
-fn check_all_thread_counts(
+/// Runs `got` on every kernel path this host can execute, each under 1, 2,
+/// and 4 worker threads (parallel threshold forced to zero so even tiny
+/// shapes exercise the pool), and checks every result bit-for-bit against
+/// `reference`.
+fn check_all_paths(
     label: &str,
     reference: &Matrix,
     mut got: impl FnMut() -> Matrix,
@@ -65,11 +220,19 @@ fn check_all_thread_counts(
     let _guard = KNOB_LOCK.lock().unwrap();
     let old_threshold = opt_tensor::parallel_flop_threshold();
     set_parallel_flop_threshold(0);
-    for threads in [1usize, 2, 4] {
-        set_kernel_threads(threads);
-        let result = got();
-        assert_bits_equal(&format!("{label} @{threads}thr"), reference, &result)?;
+    for arch in available_arches() {
+        set_kernel_arch(arch);
+        for threads in [1usize, 2, 4] {
+            set_kernel_threads(threads);
+            let result = got();
+            assert_bits_equal(
+                &format!("{label} [{} @{threads}thr]", arch.name()),
+                reference,
+                &result,
+            )?;
+        }
     }
+    set_kernel_arch(detected_arch());
     set_kernel_threads(1);
     set_parallel_flop_threshold(old_threshold);
     Ok(())
@@ -79,30 +242,30 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
-    fn matmul_is_bit_identical_to_naive(m in dim(), n in dim(), k in dim(), seed in 0u64..1000) {
+    fn matmul_matches_fma_chain_oracle_on_every_arch(m in dim(), n in dim(), k in dim(), seed in 0u64..1000) {
         let mut rng = SeedStream::new(seed);
         let a = rng.uniform_matrix(m, k, 100.0);
         let b = rng.uniform_matrix(k, n, 100.0);
-        let reference = naive::matmul(&a, &b);
-        check_all_thread_counts("matmul", &reference, || a.matmul(&b))?;
+        let reference = oracle_matmul(&a, &b);
+        check_all_paths("matmul", &reference, || a.matmul(&b))?;
     }
 
     #[test]
-    fn t_matmul_is_bit_identical_to_naive(m in dim(), n in dim(), k in dim(), seed in 0u64..1000) {
+    fn t_matmul_matches_fma_chain_oracle_on_every_arch(m in dim(), n in dim(), k in dim(), seed in 0u64..1000) {
         let mut rng = SeedStream::new(seed);
         let a = rng.uniform_matrix(k, m, 100.0);
         let b = rng.uniform_matrix(k, n, 100.0);
-        let reference = naive::t_matmul(&a, &b);
-        check_all_thread_counts("t_matmul", &reference, || a.t_matmul(&b))?;
+        let reference = oracle_t_matmul(&a, &b);
+        check_all_paths("t_matmul", &reference, || a.t_matmul(&b))?;
     }
 
     #[test]
-    fn matmul_t_is_bit_identical_to_naive(m in dim(), n in dim(), k in dim(), seed in 0u64..1000) {
+    fn matmul_t_matches_fma_chain_oracle_on_every_arch(m in dim(), n in dim(), k in dim(), seed in 0u64..1000) {
         let mut rng = SeedStream::new(seed);
         let a = rng.uniform_matrix(m, k, 100.0);
         let b = rng.uniform_matrix(n, k, 100.0);
-        let reference = naive::matmul_t(&a, &b);
-        check_all_thread_counts("matmul_t", &reference, || a.matmul_t(&b))?;
+        let reference = oracle_matmul_t(&a, &b);
+        check_all_paths("matmul_t", &reference, || a.matmul_t(&b))?;
     }
 
     #[test]
@@ -112,27 +275,32 @@ proptest! {
         let mut rng = SeedStream::new(seed);
         let grad = rng.uniform_matrix(rows, rows / 2 + 1, 1.0);
         let q = rng.uniform_matrix(rows / 2 + 1, rank, 1.0);
-        let p_ref = naive::matmul(&grad, &q);
-        check_all_thread_counts("powersgd_p", &p_ref, || grad.matmul(&q))?;
-        let q_ref = naive::t_matmul(&grad, &p_ref);
-        check_all_thread_counts("powersgd_q", &q_ref, || grad.t_matmul(&p_ref))?;
+        let p_ref = oracle_matmul(&grad, &q);
+        check_all_paths("powersgd_p", &p_ref, || grad.matmul(&q))?;
+        let q_ref = oracle_t_matmul(&grad, &p_ref);
+        check_all_paths("powersgd_q", &q_ref, || grad.t_matmul(&p_ref))?;
     }
 
     #[test]
-    fn orthonormalize_is_bit_identical_to_naive(rows in dim(), cols in dim(), seed in 0u64..1000) {
+    fn orthonormalize_matches_lane_split_oracle_on_every_arch(rows in dim(), cols in dim(), seed in 0u64..1000) {
         let mut rng = SeedStream::new(seed);
         let m0 = rng.uniform_matrix(rows, cols, 1.0);
         let mut reference = m0.clone();
-        naive::orthonormalize_columns(&mut reference);
-        let mut got = m0.clone();
-        orthonormalize_columns(&mut got);
-        assert_bits_equal("orthonormalize", &reference, &got)?;
+        oracle_orthonormalize(&mut reference);
+        let _guard = KNOB_LOCK.lock().unwrap();
+        for arch in available_arches() {
+            set_kernel_arch(arch);
+            let mut got = m0.clone();
+            orthonormalize_columns(&mut got);
+            assert_bits_equal(&format!("orthonormalize [{}]", arch.name()), &reference, &got)?;
+        }
+        set_kernel_arch(detected_arch());
     }
 
     #[test]
     fn orthonormalize_handles_degenerate_columns_identically(rows in 1usize..20, seed in 0u64..500) {
         // Duplicated / zero columns force the unit-basis replacement
-        // branch; it must stay bit-identical too.
+        // branch; it must stay bit-identical on every arch too.
         let mut rng = SeedStream::new(seed);
         let base = rng.uniform_matrix(rows, 1, 1.0);
         let mut m0 = Matrix::zeros(rows, 3);
@@ -142,10 +310,19 @@ proptest! {
             // column 2 stays all-zero
         }
         let mut reference = m0.clone();
-        naive::orthonormalize_columns(&mut reference);
-        let mut got = m0.clone();
-        orthonormalize_columns(&mut got);
-        assert_bits_equal("orthonormalize-degenerate", &reference, &got)?;
+        oracle_orthonormalize(&mut reference);
+        let _guard = KNOB_LOCK.lock().unwrap();
+        for arch in available_arches() {
+            set_kernel_arch(arch);
+            let mut got = m0.clone();
+            orthonormalize_columns(&mut got);
+            assert_bits_equal(
+                &format!("orthonormalize-degenerate [{}]", arch.name()),
+                &reference,
+                &got,
+            )?;
+        }
+        set_kernel_arch(detected_arch());
     }
 
     #[test]
@@ -167,25 +344,59 @@ proptest! {
     }
 }
 
-/// The headline determinism property as a plain test: one large-ish
-/// matmul, bit-compared across 1/2/4 threads against the naive kernel.
+/// The CI `kernel-equivalence` guarantee: the path the dispatcher resolves
+/// to (detection or `OPT_KERNEL_ARCH` override) must be in the set every
+/// equivalence test above iterated — otherwise a run could dispatch to a
+/// kernel whose oracle comparison never executed on this machine.
 #[test]
-fn matmul_is_deterministic_across_1_2_4_threads() {
+fn detected_arch_is_covered() {
+    let arches = available_arches();
+    assert!(
+        arches.contains(&kernel_arch()),
+        "dispatch resolved to {} but the oracle only covered {:?}",
+        kernel_arch().name(),
+        arches.iter().map(|a| a.name()).collect::<Vec<_>>()
+    );
+    assert!(arches.contains(&detected_arch()));
+}
+
+/// The headline determinism property as a plain test: one large-ish
+/// matmul, bit-compared across every arch × 1/2/4 threads against the
+/// FMA-chain oracle — plus a rounding-level sanity check against the
+/// unfused [`opt_tensor::naive`] baseline (which is *not* bit-identical:
+/// fusing changes rounding, not math).
+#[test]
+fn matmul_is_deterministic_across_arches_and_threads() {
     let mut rng = SeedStream::new(0xD17);
     let a = rng.uniform_matrix(73, 129, 1.0);
     let b = rng.uniform_matrix(129, 37, 1.0);
-    let reference = naive::matmul(&a, &b);
+    let reference = oracle_matmul(&a, &b);
     let _guard = KNOB_LOCK.lock().unwrap();
     let old_threshold = opt_tensor::parallel_flop_threshold();
     set_parallel_flop_threshold(0);
-    for threads in [1usize, 2, 4] {
-        opt_tensor::set_kernel_threads(threads);
-        let got = a.matmul(&b);
-        assert_eq!(reference.shape(), got.shape());
-        for (x, y) in reference.as_slice().iter().zip(got.as_slice()) {
-            assert_eq!(x.to_bits(), y.to_bits(), "{threads} threads diverged");
+    for arch in available_arches() {
+        set_kernel_arch(arch);
+        for threads in [1usize, 2, 4] {
+            set_kernel_threads(threads);
+            let got = a.matmul(&b);
+            assert_eq!(reference.shape(), got.shape());
+            for (x, y) in reference.as_slice().iter().zip(got.as_slice()) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{} @ {threads} threads diverged",
+                    arch.name()
+                );
+            }
         }
     }
+    set_kernel_arch(detected_arch());
     set_kernel_threads(1);
     set_parallel_flop_threshold(old_threshold);
+    let unfused = opt_tensor::naive::matmul(&a, &b);
+    let rel = opt_tensor::relative_error(&reference, &unfused);
+    assert!(
+        rel < 1e-5,
+        "fused vs unfused drifted beyond rounding: {rel}"
+    );
 }

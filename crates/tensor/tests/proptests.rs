@@ -1,6 +1,9 @@
-//! Property-based tests for the tensor crate's algebraic invariants.
+//! Property-based tests for the tensor crate's algebraic invariants and
+//! the sparse-kernel equivalence contract.
 
-use opt_tensor::{cosine_similarity, orthonormalize_columns, Matrix, SeedStream};
+use opt_tensor::{
+    cosine_similarity, orthonormalize_columns, Matrix, Persist, SeedStream, SparseMatrix,
+};
 use proptest::prelude::*;
 
 /// Strategy producing a matrix with the given shape and bounded entries.
@@ -110,5 +113,85 @@ proptest! {
         let cat = a.vcat(&b);
         prop_assert_eq!(cat.slice_rows(0, 3), a);
         prop_assert_eq!(cat.slice_rows(3, 5), b);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sparse fast-path equivalence (the densify-then-dense reference)
+// ---------------------------------------------------------------------------
+
+/// The densities the sparse crossover knob ranges over: from a deep top-k
+/// payload (0.1 %) through the crossover region up to fully dense.
+const SPARSE_DENSITIES: [f32; 5] = [0.001, 0.01, 0.1, 0.5, 1.0];
+
+/// A seeded random sparse matrix at approximately the requested density
+/// (at least one stored entry): a deterministic shuffle picks the flat
+/// positions, ascending, matching the top-k wire invariants.
+fn random_sparse(rows: usize, cols: usize, density: f32, seed: u64) -> SparseMatrix {
+    let total = rows * cols;
+    let k = ((density * total as f32).ceil() as usize).clamp(1, total);
+    let mut rng = SeedStream::new(seed);
+    let mut flats: Vec<u32> = (0..total as u32).collect();
+    // Partial Fisher–Yates over the first k slots.
+    for i in 0..k {
+        let j = i + (rng.uniform(1.0).abs() * (total - i) as f32) as usize % (total - i);
+        flats.swap(i, j);
+    }
+    let mut picked = flats[..k].to_vec();
+    picked.sort_unstable();
+    let values: Vec<f32> = picked.iter().map(|_| rng.uniform(1.0)).collect();
+    SparseMatrix::from_flat_payload(rows, cols, &picked, &values)
+}
+
+fn assert_bits(label: &str, reference: &Matrix, got: &Matrix) -> Result<(), TestCaseError> {
+    prop_assert_eq!(reference.shape(), got.shape(), "{}: shape", label);
+    for (i, (x, y)) in reference.as_slice().iter().zip(got.as_slice()).enumerate() {
+        prop_assert_eq!(x.to_bits(), y.to_bits(), "{}: element {}", label, i);
+    }
+    Ok(())
+}
+
+use proptest::test_runner::TestCaseError;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn spmm_is_bit_identical_to_densify_then_dense(seed in 0u64..500) {
+        let (rows, cols, n) = (40, 50, 9);
+        let mut rng = SeedStream::new(seed ^ 0xABCD);
+        let b = rng.uniform_matrix(cols, n, 1.0);
+        for &density in &SPARSE_DENSITIES {
+            let s = random_sparse(rows, cols, density, seed);
+            let reference = s.densify().matmul(&b);
+            let got = s.spmm(&b);
+            assert_bits(&format!("spmm @density {density}"), &reference, &got)?;
+        }
+    }
+
+    #[test]
+    fn sparse_subtract_is_bit_identical_to_dense_subtract(seed in 0u64..500) {
+        let (rows, cols) = (40, 50);
+        let mut rng = SeedStream::new(seed ^ 0x1234);
+        let base = rng.uniform_matrix(rows, cols, 1.0);
+        for &density in &SPARSE_DENSITIES {
+            let s = random_sparse(rows, cols, density, seed);
+            let mut sparse_path = base.clone();
+            s.sub_from(&mut sparse_path);
+            let mut dense_path = base.clone();
+            dense_path.sub_assign(&s.densify());
+            assert_bits(&format!("sub @density {density}"), &dense_path, &sparse_path)?;
+        }
+    }
+
+    #[test]
+    fn sparse_matrix_persist_roundtrips(seed in 0u64..500, density_sel in 0usize..5) {
+        let s = random_sparse(17, 23, SPARSE_DENSITIES[density_sel], seed);
+        let bytes = s.to_bytes();
+        prop_assert_eq!(bytes.len(), s.persist_len());
+        let back = SparseMatrix::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&back, &s);
+        // The round-trip must preserve value bits exactly, densified too.
+        assert_bits("persist-densify", &s.densify(), &back.densify())?;
     }
 }

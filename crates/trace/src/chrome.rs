@@ -53,6 +53,13 @@ impl Trace {
     /// timestamps relative to the earliest span in the trace, and the
     /// structural fields repeated under `args` so the analyzer can
     /// round-trip a trace through this export.
+    ///
+    /// One extra `"M"` metadata event named `kernel_paths` (pid 0)
+    /// records the *exporting* process's nonzero
+    /// [`opt_tensor::kernel_path_counts`] — which `{arch, dense|sparse}`
+    /// kernel paths the run actually exercised. In a multi-process run
+    /// the counters are per-process, so the event describes the process
+    /// that merged and exported the trace.
     pub fn to_chrome_json(&self) -> String {
         let t0 = self
             .buffers
@@ -72,6 +79,23 @@ impl Trace {
             out.push_str("\n    ");
             out.push_str(&ev);
         };
+        let mut path_args = String::new();
+        for (arch, kind, count) in opt_tensor::kernel_path_counts() {
+            if count > 0 {
+                if !path_args.is_empty() {
+                    path_args.push_str(", ");
+                }
+                let _ = write!(path_args, "\"{arch}/{kind}\": {count}");
+            }
+        }
+        push(
+            format!(
+                "{{\"ph\": \"M\", \"name\": \"kernel_paths\", \"pid\": 0, \"tid\": 0, \
+                 \"args\": {{{path_args}}}}}"
+            ),
+            &mut out,
+            &mut first,
+        );
         for b in &self.buffers {
             push(
                 format!(
@@ -170,5 +194,20 @@ mod tests {
         assert!(json.contains("\"name\": \"forward\""));
         // Earliest span sits at ts 0.
         assert!(json.contains("\"ts\": 0.000"));
+    }
+
+    #[test]
+    fn chrome_json_reports_exercised_kernel_paths() {
+        // Drive at least one dense kernel through the dispatcher so the
+        // exporting process has a nonzero counter to report.
+        let a = opt_tensor::Matrix::full(3, 3, 1.0);
+        let _ = a.matmul(&a);
+        let json = Trace::merge(vec![buffer(0, &[0])]).to_chrome_json();
+        assert!(json.contains("\"name\": \"kernel_paths\""));
+        let arch = opt_tensor::kernel_arch().name();
+        assert!(
+            json.contains(&format!("\"{arch}/dense\":")),
+            "kernel_paths event missing {arch}/dense in {json}"
+        );
     }
 }

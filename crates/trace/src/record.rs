@@ -12,6 +12,10 @@ pub const NO_PARENT: u64 = u64::MAX;
 /// Span flag bit: this backward slot carries a compression epilogue send.
 pub const FLAG_EPILOGUE: u8 = 1;
 
+/// Span flag bit: this decode applied a payload through the sparse fast
+/// path (CSR kernels) instead of densify-then-dense math.
+pub const FLAG_SPARSE: u8 = 2;
+
 /// What a span measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SpanKind {
